@@ -1,0 +1,989 @@
+//! Loop classification: the paper's end-to-end driver (§5).
+//!
+//! For a target loop, [`analyze_loop`] builds per-iteration summaries,
+//! poses the flow/output independence equations per array, factorizes
+//! them into predicate cascades, and decides how the loop is to be
+//! executed: statically parallel, parallel under a runtime predicate
+//! cascade, or through an exact fallback (hoisted USR evaluation or
+//! thread-level speculation) — recording the enabling techniques
+//! (privatization, last value, reductions, CIV, BOUNDS-COMP) that the
+//! paper's Tables 1–3 report per benchmark.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use lip_core::{build_cascade, complexity, ArrayExtent, Cascade, FactorConfig, Factorizer, Pdag};
+use lip_ir::{Program, Stmt, Subroutine};
+use lip_symbolic::{BoolExpr, RangeEnv, Sym, SymExpr};
+use lip_usr::{
+    flow_independence, output_independence, reshape, slv_equation, ReshapeConfig, Usr,
+};
+
+use crate::baseline::affine_definitely_dependent;
+use crate::summarize::{IterationSummary, ScalarKind, Summarizer};
+use crate::symbridge::{declared_size, SymEnv};
+
+/// Parallelization-enabling techniques (the paper's table vocabulary).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Technique {
+    /// Array privatization.
+    Priv,
+    /// Static last value.
+    Slv,
+    /// Dynamic last value.
+    Dlv,
+    /// Statically recognized reduction.
+    Sred,
+    /// Runtime-validated reduction.
+    Rred,
+    /// Extended reduction (writes outside reduction statements).
+    ExtRred,
+    /// Runtime bounds estimation for reduction arrays.
+    BoundsComp,
+    /// Monotonicity-based disambiguation.
+    Mon,
+    /// CIV flow-sensitive aggregation.
+    CivAgg,
+    /// Parallel precomputation of CIV values (loop slice).
+    CivComp,
+    /// UMEG-preserving USR reshaping.
+    Umeg,
+    /// Hoisted exact USR evaluation.
+    HoistUsr,
+    /// Thread-level speculation.
+    Tls,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::Priv => "PRIV",
+            Technique::Slv => "SLV",
+            Technique::Dlv => "DLV",
+            Technique::Sred => "SRED",
+            Technique::Rred => "RRED",
+            Technique::ExtRred => "EXT-RRED",
+            Technique::BoundsComp => "BOUNDS-COMP",
+            Technique::Mon => "MON",
+            Technique::CivAgg => "CIVagg",
+            Technique::CivComp => "CIV-COMP",
+            Technique::Umeg => "UMEG",
+            Technique::HoistUsr => "HOIST-USR",
+            Technique::Tls => "TLS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the last value of a privatized array is restored.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LastValue {
+    /// The array is not live-out / every iteration overwrites fully.
+    NotNeeded,
+    /// The last iteration's writes cover the loop's (SLV).
+    Static,
+    /// Per-element last-writer tracking (DLV).
+    Dynamic,
+}
+
+/// Reduction implementation flavor.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RedKind {
+    /// Bounds known statically: private buffers, merged after the loop.
+    Static,
+    /// Runtime test may prove direct (shared) updates safe.
+    Runtime,
+    /// Writes outside reduction statements (paper §4 EXT-RRED).
+    Extended,
+    /// Bounds estimated at runtime (paper §4 BOUNDS-COMP).
+    Bounds,
+}
+
+/// Exact fallbacks when all predicates fail.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FallbackKind {
+    /// Evaluate the independence USR (hoistable / amortizable).
+    HoistUsr,
+    /// LRPD-style thread-level speculation.
+    Tls,
+}
+
+/// The execution plan for one array.
+#[derive(Clone, Debug)]
+pub enum ArrayPlan {
+    /// Only read.
+    ReadOnly,
+    /// Proven independent statically.
+    Independent,
+    /// Independent iff the cascade passes at runtime.
+    Predicated(Cascade),
+    /// Privatized per iteration, with a last-value policy.
+    Privatized {
+        /// Last-value restoration policy.
+        last_value: LastValue,
+        /// Flow-independence cascade that must still pass (empty =
+        /// statically fine).
+        cascade: Option<Cascade>,
+    },
+    /// A reduction array.
+    Reduction {
+        /// Implementation flavor.
+        kind: RedKind,
+        /// Optional independence cascade: when it passes, direct shared
+        /// updates are safe (no buffers).
+        cascade: Option<Cascade>,
+    },
+    /// Needs an exact runtime test.
+    Fallback(FallbackKind),
+}
+
+/// Loop-level classification (the tables' `PAR/SEQ/RT TEST` column).
+#[derive(Clone, PartialEq, Debug)]
+pub enum LoopClass {
+    /// Provably parallel at compile time.
+    StaticParallel,
+    /// Provably (or heuristically) dependent: left sequential.
+    StaticSequential,
+    /// Parallel under a runtime predicate cascade.
+    Predicated {
+        /// Complexity of the first stage (0 = O(1), 1 = O(N), …).
+        first_stage_complexity: u32,
+    },
+    /// Requires an exact fallback test.
+    NeedsFallback(FallbackKind),
+}
+
+/// The complete analysis result for one loop.
+#[derive(Clone, Debug)]
+pub struct LoopAnalysis {
+    /// The loop's label.
+    pub label: String,
+    /// Loop index variable.
+    pub var: Sym,
+    /// Symbolic bounds.
+    pub lo: SymExpr,
+    /// Symbolic bounds.
+    pub hi: SymExpr,
+    /// Final classification.
+    pub class: LoopClass,
+    /// Techniques employed.
+    pub techniques: BTreeSet<Technique>,
+    /// Per-array plans.
+    pub arrays: BTreeMap<Sym, ArrayPlan>,
+    /// The merged runtime cascade (empty when static).
+    pub cascade: Cascade,
+    /// CIV traces the runtime must precompute: `(scalar, trace array)`.
+    pub civs: Vec<(Sym, Sym)>,
+    /// Whether any scalar is a reduction accumulator.
+    pub scalar_reductions: Vec<Sym>,
+    /// The union of the unresolved arrays' independence USRs: the exact
+    /// last-resort test (hoisted USR evaluation, paper §5). `None` when
+    /// everything is statically resolved.
+    pub ind_usr: Option<Usr>,
+}
+
+/// Options controlling the analysis (ablation switches).
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// USR reshaping (Figure 8) on/off.
+    pub reshape: ReshapeConfig,
+    /// Factorization options.
+    pub factor: FactorConfig,
+    /// Extra facts known about the inputs (e.g. `N ≥ 1`).
+    pub facts: Vec<BoolExpr>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            reshape: ReshapeConfig::default(),
+            factor: FactorConfig::default(),
+            facts: Vec::new(),
+        }
+    }
+}
+
+/// Analyzes the loop labelled `label` in subroutine `sub_name`.
+/// Returns `None` when the loop cannot be found.
+pub fn analyze_loop(
+    prog: &Program,
+    sub_name: Sym,
+    label: &str,
+    cfg: &AnalysisConfig,
+) -> Option<LoopAnalysis> {
+    let sub = prog.subroutine(sub_name)?.clone();
+    let target = sub.find_loop(label)?.clone();
+    let mut summarizer = Summarizer::new(prog);
+    let entry_env = env_at_loop(&mut summarizer, &sub, label).unwrap_or_default();
+
+    if affine_definitely_dependent(&sub, &target) {
+        // Provably dependent in the affine domain: report STATIC-SEQ
+        // without emitting runtime tests (paper Table 1's qcd rows).
+        let mut summarizer2 = Summarizer::new(prog);
+        if let Stmt::Do {
+            var, lo, hi, body, ..
+        } = &target
+        {
+            let it = summarizer2.iteration_summary(&sub, *var, lo, hi, body, &entry_env);
+            return Some(LoopAnalysis {
+                label: label.to_owned(),
+                var: it.var,
+                lo: it.lo,
+                hi: it.hi,
+                class: LoopClass::StaticSequential,
+                techniques: BTreeSet::new(),
+                arrays: BTreeMap::new(),
+                cascade: Cascade::default(),
+                civs: Vec::new(),
+                scalar_reductions: Vec::new(),
+                ind_usr: None,
+            });
+        }
+    }
+    let it = match &target {
+        Stmt::Do {
+            var, lo, hi, body, ..
+        } => summarizer.iteration_summary(&sub, *var, lo, hi, body, &entry_env),
+        Stmt::While { .. } => {
+            // While loops go through CIV-COMP: trip count and traces are
+            // runtime slice outputs; model as a counted loop.
+            return analyze_while(prog, &sub, &target, label, cfg, entry_env);
+        }
+        _ => return None,
+    };
+    Some(classify(&sub, label, it, cfg, false))
+}
+
+fn analyze_while(
+    prog: &Program,
+    sub: &Subroutine,
+    target: &Stmt,
+    label: &str,
+    cfg: &AnalysisConfig,
+    entry_env: SymEnv,
+) -> Option<LoopAnalysis> {
+    let Stmt::While { body, cond, .. } = target else {
+        return None;
+    };
+    let mut summarizer = Summarizer::new(prog);
+    // Fresh iteration space 1..=niters with every assigned scalar traced.
+    let itvar = Sym::fresh(&format!("{label}@it"));
+    let niters = lip_symbolic::sym(&format!("{label}@niters"));
+    let mut iter_env = entry_env;
+    let mut civs = Vec::new();
+    for s in crate::summarize::assigned_scalars(body) {
+        let trace = iter_env.bind_trace(s, itvar);
+        civs.push((s, trace));
+    }
+    let mut pre = crate::summarize::ScopeSummary::default();
+    let _ = cond;
+    let body_sum = summarizer.summarize_block(sub, body, iter_env);
+    pre.arrays.extend(body_sum.arrays.clone());
+    let it = IterationSummary {
+        var: itvar,
+        lo: SymExpr::konst(1),
+        hi: SymExpr::var(niters),
+        body: body_sum,
+        civs,
+        kinds: BTreeMap::new(),
+    };
+    let mut analysis = classify(sub, label, it, cfg, true);
+    analysis.techniques.insert(Technique::CivComp);
+    analysis.techniques.insert(Technique::CivAgg);
+    Some(analysis)
+}
+
+/// The scalar environment just before the labelled loop, obtained by
+/// summarizing the statements that precede it (top level and inside
+/// branches).
+fn env_at_loop(summarizer: &mut Summarizer, sub: &Subroutine, label: &str) -> Option<SymEnv> {
+    fn walk(
+        summarizer: &mut Summarizer,
+        sub: &Subroutine,
+        stmts: &[Stmt],
+        label: &str,
+        env: SymEnv,
+    ) -> Result<SymEnv, SymEnv> {
+        // Ok(env) = found (env at loop entry); Err(env) = not found.
+        let mut env = env;
+        for s in stmts {
+            match s {
+                Stmt::Do { label: Some(l), .. } | Stmt::While { label: Some(l), .. }
+                    if l == label =>
+                {
+                    return Ok(env);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    // Search branches with the current env.
+                    match walk(summarizer, sub, then_body, label, env.clone()) {
+                        Ok(found) => return Ok(found),
+                        Err(_) => {}
+                    }
+                    match walk(summarizer, sub, else_body, label, env.clone()) {
+                        Ok(found) => return Ok(found),
+                        Err(_) => {}
+                    }
+                }
+                Stmt::Do { body, .. } | Stmt::While { body, .. } => {
+                    // A loop nested inside another: analyze relative to
+                    // one iteration of the outer loop (outer var opaque).
+                    let mut inner_env = env.clone();
+                    if let Stmt::Do { var, .. } = s {
+                        inner_env.bind(*var, SymExpr::var(*var));
+                    }
+                    if let Ok(found) = walk(summarizer, sub, body, label, inner_env) {
+                        return Ok(found);
+                    }
+                }
+                _ => {}
+            }
+            let next = summarizer.summarize_stmt(sub, s, env);
+            env = next.env;
+        }
+        Err(env)
+    }
+    walk(summarizer, sub, &sub.body, label, SymEnv::new()).ok()
+}
+
+fn classify(
+    sub: &Subroutine,
+    label: &str,
+    it: IterationSummary,
+    cfg: &AnalysisConfig,
+    from_while: bool,
+) -> LoopAnalysis {
+    let mut env = RangeEnv::new();
+    env.set_range(it.var, it.lo.clone(), it.hi.clone());
+    for f in &cfg.facts {
+        env.assume(f.clone());
+    }
+    // The loop is only interesting when it runs: assume a non-empty
+    // range for static decisions (runtime guards still check it).
+    env.assume(BoolExpr::le(it.lo.clone(), it.hi.clone()));
+
+    let mut techniques: BTreeSet<Technique> = BTreeSet::new();
+    let mut arrays: BTreeMap<Sym, ArrayPlan> = BTreeMap::new();
+    let mut required: Vec<Pdag> = Vec::new();
+    let mut fallback: Option<FallbackKind> = None;
+    let mut scalar_reductions = Vec::new();
+    let mut exact_usrs: Vec<Usr> = Vec::new();
+
+    if !it.civs.is_empty() {
+        techniques.insert(Technique::CivAgg);
+        techniques.insert(Technique::CivComp);
+    }
+    for (s, kind) in &it.kinds {
+        match kind {
+            ScalarKind::Reduction => {
+                techniques.insert(Technique::Sred);
+                scalar_reductions.push(*s);
+            }
+            ScalarKind::Recomputed | ScalarKind::AffineIv { .. } => {
+                techniques.insert(Technique::Priv);
+            }
+            _ => {}
+        }
+    }
+
+    for (arr, facts) in &it.body.arrays {
+        let s = &facts.summary;
+        if s.written().is_empty() {
+            arrays.insert(*arr, ArrayPlan::ReadOnly);
+            continue;
+        }
+        let extent = declared_size(sub, &SymEnv::new(), *arr);
+        let mut fcfg = cfg.factor.clone();
+        fcfg.array_extent = extent.clone().map(|size| ArrayExtent {
+            base: SymExpr::konst(1),
+            size,
+        });
+
+        // Reduction arrays.
+        if facts.all_reduction && !s.rw.is_empty() && s.wf.is_empty() && s.ro.is_empty() {
+            let oind = reshaped(
+                &output_independence(it.var, &it.lo, &it.hi, &s.rw),
+                cfg,
+                &mut techniques,
+            );
+            let mut f = Factorizer::new(fcfg.clone());
+            let pred = lip_core::simplify(&f.factor(&oind), &env);
+            let cascade = build_cascade(&pred, &env);
+            mark_monotonicity(&cascade, &mut techniques);
+            // Statically-independent reductions update shared storage
+            // directly; only buffered reductions with unknown extents
+            // need BOUNDS-COMP.
+            let kind = if cascade.statically_true() {
+                RedKind::Static
+            } else if extent.is_some() {
+                RedKind::Runtime
+            } else {
+                RedKind::Bounds
+            };
+            techniques.insert(match kind {
+                RedKind::Static => Technique::Sred,
+                RedKind::Runtime => Technique::Rred,
+                RedKind::Bounds => Technique::BoundsComp,
+                RedKind::Extended => Technique::ExtRred,
+            });
+            arrays.insert(
+                *arr,
+                ArrayPlan::Reduction {
+                    kind,
+                    cascade: (!cascade.statically_true()).then_some(cascade),
+                },
+            );
+            continue;
+        }
+
+        // Extended reduction: WF + reduction RW, no exposed reads.
+        let extended = facts.red_op.is_some()
+            && !s.rw.is_empty()
+            && !s.wf.is_empty()
+            && s.ro.is_empty();
+
+        // Flow/anti independence.
+        let find = reshaped(
+            &flow_independence(it.var, &it.lo, &it.hi, s),
+            cfg,
+            &mut techniques,
+        );
+        let mut f = Factorizer::new(fcfg.clone());
+        let flow_pred = lip_core::simplify(&f.factor(&find), &env);
+        let flow_cascade = build_cascade(&flow_pred, &env);
+        mark_monotonicity(&flow_cascade, &mut techniques);
+
+        // Output independence of the write-first set.
+        let oind = reshaped(
+            &output_independence(it.var, &it.lo, &it.hi, &s.wf),
+            cfg,
+            &mut techniques,
+        );
+        let mut f2 = Factorizer::new(fcfg.clone());
+        let out_pred = lip_core::simplify(&f2.factor(&oind), &env);
+        let out_cascade = build_cascade(&out_pred, &env);
+        mark_monotonicity(&out_cascade, &mut techniques);
+
+        // Coverage: every read is covered by a same-iteration prior
+        // write, so privatization resolves all cross-iteration WAR/WAW.
+        let covered = s.ro.is_empty() && s.rw.is_empty();
+
+        // Static last value.
+        let slv = slv_equation(it.var, &it.lo, &it.hi, &s.wf);
+        let mut f3 = Factorizer::new(fcfg);
+        let slv_pred = lip_core::simplify(&f3.factor(&slv), &env);
+        let slv_static = slv_pred.is_true();
+
+        if extended {
+            techniques.insert(Technique::ExtRred);
+        }
+
+        let flow_ok_static = flow_pred.is_true();
+
+        // CIV device (§3.3): when the write-first hull is parametrized
+        // by a trace atom and the plain OIND predicate is unusable,
+        // emit the per-iteration window check
+        // `empty_i ∨ (tr(i) < lo_i ∧ hi_i ≤ tr(i+1))`, sound given the
+        // slice-computed, increment-generated trace.
+        let (out_pred, out_cascade) = if !it.civs.is_empty() {
+            match civ_output_pred(it.var, &it.lo, &it.hi, &s.wf, &it.civs) {
+                Some(p) => {
+                    techniques.insert(Technique::CivAgg);
+                    let ored = Pdag::or(vec![out_pred.clone(), p]);
+                    let c = build_cascade(&ored, &env);
+                    (ored, c)
+                }
+                None => (out_pred, out_cascade),
+            }
+        } else {
+            (out_pred, out_cascade)
+        };
+        let out_ok_static = out_pred.is_true();
+
+        // Policy order (cheapest execution first): static independence;
+        // privatization with *static* last value; an output-independence
+        // predicate (shared direct writes); privatization with dynamic
+        // last value; then the same ladder under a flow predicate.
+        let out_usable = runtime_evaluable(&out_pred) && !out_pred.is_false();
+        let plan = if flow_ok_static && out_ok_static {
+            ArrayPlan::Independent
+        } else if flow_ok_static && covered && slv_static {
+            techniques.insert(Technique::Priv);
+            techniques.insert(Technique::Slv);
+            ArrayPlan::Privatized {
+                last_value: LastValue::Static,
+                cascade: None,
+            }
+        } else if flow_ok_static && out_usable {
+            required.push(out_pred.clone());
+            ArrayPlan::Predicated(out_cascade)
+        } else if flow_ok_static {
+            // Flow independence alone makes copy-in privatization sound
+            // (uncovered reads see pre-loop values, which no earlier
+            // iteration was allowed to overwrite); dynamic last value
+            // restores live-out state. This is the paper's conditional
+            // privatization (§5).
+            techniques.insert(Technique::Priv);
+            techniques.insert(Technique::Dlv);
+            ArrayPlan::Privatized {
+                last_value: LastValue::Dynamic,
+                cascade: None,
+            }
+        } else if runtime_evaluable(&flow_pred) && !flow_pred.is_false() {
+            let mut pred_parts = vec![flow_pred.clone()];
+            let plan = if out_ok_static {
+                ArrayPlan::Predicated(flow_cascade)
+            } else if covered && slv_static {
+                techniques.insert(Technique::Priv);
+                techniques.insert(Technique::Slv);
+                ArrayPlan::Privatized {
+                    last_value: LastValue::Static,
+                    cascade: Some(flow_cascade),
+                }
+            } else if out_usable {
+                pred_parts.push(out_pred.clone());
+                ArrayPlan::Predicated(build_cascade(&Pdag::and(pred_parts.clone()), &env))
+            } else {
+                // Conditional privatization: sound whenever the flow
+                // predicate passes at runtime.
+                techniques.insert(Technique::Priv);
+                techniques.insert(Technique::Dlv);
+                ArrayPlan::Privatized {
+                    last_value: LastValue::Dynamic,
+                    cascade: Some(flow_cascade),
+                }
+            };
+            if !matches!(plan, ArrayPlan::Fallback(_)) {
+                required.extend(pred_parts);
+            }
+            plan
+        } else {
+            fallback = Some(pick_fallback(&find, fallback));
+            ArrayPlan::Fallback(fallback.expect("just set"))
+        };
+        match &plan {
+            ArrayPlan::Predicated(_) => {
+                exact_usrs.push(Usr::union(find.clone(), oind.clone()));
+            }
+            ArrayPlan::Privatized {
+                cascade: Some(_), ..
+            } => {
+                exact_usrs.push(find.clone());
+            }
+            ArrayPlan::Fallback(_) => {
+                exact_usrs.push(Usr::union(find.clone(), oind.clone()));
+            }
+            _ => {}
+        }
+        arrays.insert(*arr, plan);
+    }
+
+    // Merge per-array requirements into the loop-level cascade. The
+    // paper bounds runtime-test complexity at compile time (§3.6): we
+    // keep stages up to O(N); anything deeper is the exact fallback's
+    // job, not a predicate's.
+    let merged = Pdag::and(required);
+    let mut cascade = build_cascade(&merged, &env);
+    cascade.stages.retain(|s| s.complexity <= 1);
+
+    let class = if let Some(kind) = fallback {
+        techniques.insert(match kind {
+            FallbackKind::HoistUsr => Technique::HoistUsr,
+            FallbackKind::Tls => Technique::Tls,
+        });
+        LoopClass::NeedsFallback(kind)
+    } else if merged.is_true() {
+        LoopClass::StaticParallel
+    } else if cascade.needs_fallback() {
+        if exact_usrs.is_empty() {
+            // All predicates constant-false: heuristically dependent.
+            LoopClass::StaticSequential
+        } else {
+            // Predicates gone, but the exact test remains viable.
+            LoopClass::Predicated {
+                first_stage_complexity: 1,
+            }
+        }
+    } else {
+        LoopClass::Predicated {
+            first_stage_complexity: cascade.stages.first().map(|s| s.complexity).unwrap_or(0),
+        }
+    };
+    let _ = from_while;
+    LoopAnalysis {
+        label: label.to_owned(),
+        var: it.var,
+        lo: it.lo,
+        hi: it.hi,
+        class,
+        techniques,
+        arrays,
+        cascade,
+        civs: it.civs,
+        scalar_reductions,
+        ind_usr: (!exact_usrs.is_empty()).then(|| Usr::union_all(exact_usrs)),
+    }
+}
+
+fn reshaped(u: &Usr, cfg: &AnalysisConfig, techniques: &mut BTreeSet<Technique>) -> Usr {
+    let r = reshape(u, cfg.reshape);
+    if cfg.reshape.umeg && r != *u {
+        techniques.insert(Technique::Umeg);
+    }
+    r
+}
+
+/// The §3.3 CIV output-independence predicate: per-iteration write
+/// windows must sit inside `(trace(i), trace(i+1)]`. Sound because the
+/// runtime slice generates the trace from the loop's own increments.
+fn civ_output_pred(
+    var: Sym,
+    lo: &SymExpr,
+    hi: &SymExpr,
+    wf_i: &Usr,
+    civs: &[(Sym, Sym)],
+) -> Option<Pdag> {
+    let over = lip_core::overestimate(wf_i)?;
+    let (l, h) = over.set.hull()?;
+    let (_, trace) = civs
+        .iter()
+        .find(|(_, t)| l.contains_sym(*t) || h.contains_sym(*t))?;
+    let tr_i = SymExpr::elem(*trace, SymExpr::var(var));
+    let tr_next = SymExpr::elem(*trace, &SymExpr::var(var) + &SymExpr::konst(1));
+    let body = Pdag::or(vec![
+        over.empty_if,
+        Pdag::and(vec![
+            Pdag::leaf(BoolExpr::lt(tr_i, l)),
+            Pdag::leaf(BoolExpr::le(h, tr_next)),
+        ]),
+    ]);
+    Some(Pdag::forall(var, lo.clone(), hi.clone(), body))
+}
+
+/// Heuristic: monotonicity predicates compare consecutive-iteration
+/// hulls, recognizable by a leaf relating `trace(i)` and `trace(i+1)`.
+fn mark_monotonicity(cascade: &Cascade, techniques: &mut BTreeSet<Technique>) {
+    for stage in &cascade.stages {
+        if complexity(&stage.pred) == 1 && format!("{}", stage.pred).contains("+ 1)") {
+            techniques.insert(Technique::Mon);
+            return;
+        }
+    }
+}
+
+/// Whether a predicate's free symbols can all be produced at runtime
+/// (program scalars, arrays, CIV traces — but not opaque unknowns).
+fn runtime_evaluable(p: &Pdag) -> bool {
+    p.free_syms().iter().all(|s| {
+        let n = s.name();
+        !(n.contains("@u") || n.contains("cond@") || n.contains("@idx") || n
+            .contains("@arg")
+            || n.contains("@sec")
+            || n.contains("@opaque")
+            || n.contains("@ridx"))
+    })
+}
+
+/// Fallback choice: hoisted USR evaluation when the equation's inputs
+/// are runtime-computable, TLS otherwise.
+fn pick_fallback(usr: &Usr, prior: Option<FallbackKind>) -> FallbackKind {
+    if prior == Some(FallbackKind::Tls) {
+        return FallbackKind::Tls;
+    }
+    let evaluable = usr.free_syms().iter().all(|s| {
+        let n = s.name();
+        !(n.contains("@u") || n.contains("cond@") || n.contains("@idx") || n
+            .contains("@arg")
+            || n.contains("@sec")
+            || n.contains("@opaque")
+            || n.contains("@ridx"))
+    });
+    if evaluable {
+        FallbackKind::HoistUsr
+    } else {
+        FallbackKind::Tls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_ir::parse_program;
+    use lip_symbolic::sym;
+
+    fn analyze(src: &str, sub: &str, label: &str) -> LoopAnalysis {
+        let prog = parse_program(src).expect("parses");
+        analyze_loop(&prog, sym(sub), label, &AnalysisConfig::default()).expect("loop found")
+    }
+
+    #[test]
+    fn disjoint_writes_are_static_parallel() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(*), B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = B(i) + 1.0
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert_eq!(a.class, LoopClass::StaticParallel);
+        assert!(matches!(a.arrays[&sym("A")], ArrayPlan::Independent));
+        assert!(matches!(a.arrays[&sym("B")], ArrayPlan::ReadOnly));
+    }
+
+    #[test]
+    fn loop_carried_flow_is_not_parallel() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 2, N
+    A(i) = A(i - 1) + 1.0
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert_ne!(a.class, LoopClass::StaticParallel);
+    }
+
+    #[test]
+    fn offset_crossover_yields_o1_predicate() {
+        // A(i) = A(i + M): independent iff M >= N (or M <= -N); the
+        // factorization must produce a runtime predicate, not give up.
+        let a = analyze(
+            "
+SUBROUTINE t(A, N, M)
+  DIMENSION A(*)
+  INTEGER i, N, M
+  DO l1 i = 1, N
+    A(i) = A(i + M) * 0.5
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        match &a.class {
+            LoopClass::Predicated {
+                first_stage_complexity,
+            } => assert_eq!(*first_stage_complexity, 0),
+            other => panic!("expected predicated, got {other:?}"),
+        }
+        // The cascade passes for M >= N and fails for 0 < M < N.
+        let mut ctx = lip_symbolic::MapCtx::new();
+        ctx.set_scalar(sym("N"), 100).set_scalar(sym("M"), 100);
+        assert_eq!(a.cascade.first_success(&ctx, 10_000), Some(0));
+        ctx.set_scalar(sym("M"), 5);
+        assert_eq!(a.cascade.first_success(&ctx, 10_000), None);
+    }
+
+    #[test]
+    fn privatizable_scratch_array() {
+        // T is written then read per iteration: PRIV applies.
+        let a = analyze(
+            "
+SUBROUTINE t(A, T, N, M)
+  DIMENSION A(*), T(*)
+  INTEGER i, j, N, M
+  DO l1 i = 1, N
+    DO j = 1, M
+      T(j) = 1.0
+    ENDDO
+    DO j = 1, M
+      A(i) = A(i) + T(j)
+    ENDDO
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert!(a.techniques.contains(&Technique::Priv), "{:?}", a.techniques);
+        assert!(matches!(
+            a.arrays[&sym("T")],
+            ArrayPlan::Privatized { .. }
+        ));
+    }
+
+    #[test]
+    fn index_array_reduction_is_runtime_or_bounds() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(*)
+  INTEGER B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = A(B(i)) + 1.0
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        match &a.arrays[&sym("A")] {
+            ArrayPlan::Reduction { kind, cascade } => {
+                // A(*) has unknown extent: BOUNDS-COMP flavor.
+                assert_eq!(*kind, RedKind::Bounds);
+                // The monotonicity predicate over B should exist.
+                assert!(cascade.is_some());
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+        assert!(a.techniques.contains(&Technique::BoundsComp));
+    }
+
+    #[test]
+    fn monotonic_index_windows_get_on_predicate() {
+        // The paper's §3.3 shape: per-iteration window [B(i), B(i)+L-1].
+        let a = analyze(
+            "
+SUBROUTINE t(A, B, N, L)
+  DIMENSION A(*)
+  INTEGER B(*)
+  INTEGER i, k, N, L
+  DO l1 i = 1, N
+    DO k = 1, L
+      A(B(i) + k - 1) = 1.0
+    ENDDO
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        match &a.class {
+            LoopClass::Predicated { .. } => {}
+            other => panic!("expected predicated, got {other:?}"),
+        }
+        // Runtime: monotone bases pass, overlapping bases fail.
+        let mut ctx = lip_symbolic::MapCtx::new();
+        ctx.set_scalar(sym("N"), 4).set_scalar(sym("L"), 3);
+        ctx.set_array(sym("B"), 1, vec![1, 4, 7, 10]);
+        assert!(a.cascade.first_success(&ctx, 10_000).is_some());
+        ctx.set_array(sym("B"), 1, vec![1, 2, 3, 4]);
+        assert_eq!(a.cascade.first_success(&ctx, 10_000), None);
+    }
+
+    #[test]
+    fn civ_loop_uses_traces() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, C, N)
+  DIMENSION A(*)
+  INTEGER C(*)
+  INTEGER i, civ, N
+  civ = 0
+  DO l1 i = 1, N
+    IF (C(i) .GT. 0) THEN
+      civ = civ + 1
+      A(civ) = 1.0
+    ENDIF
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert!(a.techniques.contains(&Technique::CivAgg));
+        assert_eq!(a.civs.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_is_civ_comp() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER k, N
+  k = 1
+  DO w1 WHILE (k .LT. N)
+    A(k) = 1.0
+    k = k + 2
+  ENDDO
+END
+",
+            "t",
+            "w1",
+        );
+        assert!(a.techniques.contains(&Technique::CivComp));
+    }
+
+    #[test]
+    fn quadratic_indexing_proved_by_monotonicity() {
+        // The trfd OLDA class (paper §7, Range-test comparison):
+        // windows [i²+1, i²+2i] are strictly increasing, so the §3.3
+        // monotonicity rule proves output independence *statically* —
+        // the hull comparison (i²+2i < (i+1)²+1) folds to true.
+        let a = analyze(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, j, N
+  DO l1 i = 1, N
+    DO j = 1, 2 * i
+      A(i * i + j) = 1.0
+    ENDDO
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert_eq!(a.class, LoopClass::StaticParallel, "{:?}", a.class);
+    }
+
+    #[test]
+    fn overlapping_quadratic_windows_not_static_parallel() {
+        // Same shape but windows widened past the next base: the
+        // monotone argument must NOT prove it.
+        let a = analyze(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, j, N
+  DO l1 i = 1, N
+    DO j = 1, 2 * i + 5
+      A(i * i + j) = 1.0
+    ENDDO
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert_ne!(a.class, LoopClass::StaticParallel);
+    }
+
+    #[test]
+    fn scalar_sum_is_reduction() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  s = 0.0
+  DO l1 i = 1, N
+    s = s + A(i)
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert!(a.techniques.contains(&Technique::Sred));
+        assert_eq!(a.scalar_reductions, vec![sym("s")]);
+        assert_eq!(a.class, LoopClass::StaticParallel);
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! (a) USR reshaping on/off, (b) monotonicity rule on/off,
+//! (c) invariant hoisting via simplification on/off (simplify vs raw).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lip_analysis::{analyze_loop, AnalysisConfig};
+use lip_core::FactorConfig;
+use lip_symbolic::sym;
+use lip_usr::ReshapeConfig;
+
+fn analyze_with(cfg: &AnalysisConfig) -> lip_analysis::LoopAnalysis {
+    let p = lip_suite::MONOTONE_WINDOWS.prepared(64);
+    let prog = p.machine.program().clone();
+    analyze_loop(&prog, sym(p.sub), p.label, cfg).expect("analyzed")
+}
+
+fn bench_ablation_monotonicity(c: &mut Criterion) {
+    c.bench_function("analysis_mono_on", |b| {
+        b.iter(|| std::hint::black_box(analyze_with(&AnalysisConfig::default())))
+    });
+    c.bench_function("analysis_mono_off", |b| {
+        let cfg = AnalysisConfig {
+            factor: FactorConfig {
+                monotonicity: false,
+                ..FactorConfig::default()
+            },
+            ..AnalysisConfig::default()
+        };
+        b.iter(|| std::hint::black_box(analyze_with(&cfg)))
+    });
+}
+
+fn bench_ablation_reshape(c: &mut Criterion) {
+    c.bench_function("analysis_reshape_on", |b| {
+        b.iter(|| std::hint::black_box(analyze_with(&AnalysisConfig::default())))
+    });
+    c.bench_function("analysis_reshape_off", |b| {
+        let cfg = AnalysisConfig {
+            reshape: ReshapeConfig {
+                reassociate_subtraction: false,
+                umeg: false,
+            },
+            ..AnalysisConfig::default()
+        };
+        b.iter(|| std::hint::black_box(analyze_with(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench_ablation_monotonicity, bench_ablation_reshape);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: compile-time cost of the factorization
+//! pipeline and runtime cost of predicate evaluation vs exact USR
+//! evaluation (the paper's core overhead claim: predicates are orders
+//! of magnitude cheaper than evaluating the independence USR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_core::{build_cascade, Factorizer};
+use lip_lmad::{Lmad, LmadSet};
+use lip_symbolic::{sym, BoolExpr, MapCtx, RangeEnv, SymExpr};
+use lip_usr::{eval_usr, output_independence, Usr};
+
+fn window_oind(n: i64) -> (Usr, MapCtx) {
+    let v = |s: &str| SymExpr::var(sym(s));
+    let wf = Usr::leaf(LmadSet::single(Lmad::interval(
+        SymExpr::elem(sym("B"), v("i")),
+        SymExpr::elem(sym("B"), v("i")) + v("L") - SymExpr::konst(1),
+    )));
+    let oind = output_independence(sym("i"), &SymExpr::konst(1), &v("N"), &wf);
+    let mut ctx = MapCtx::new();
+    ctx.set_scalar(sym("N"), n).set_scalar(sym("L"), 4);
+    ctx.set_array(sym("B"), 1, (0..n).map(|k| k * 4 + 1).collect());
+    (oind, ctx)
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let (oind, _) = window_oind(64);
+    c.bench_function("factor_monotone_oind", |b| {
+        b.iter(|| {
+            let mut f = Factorizer::with_defaults();
+            std::hint::black_box(f.factor(&oind))
+        })
+    });
+    c.bench_function("cascade_build", |b| {
+        let mut f = Factorizer::with_defaults();
+        let p = f.factor(&oind);
+        let env = RangeEnv::new().with_fact(BoolExpr::ge0(
+            SymExpr::var(sym("N")) - SymExpr::konst(1),
+        ));
+        b.iter(|| std::hint::black_box(build_cascade(&p, &env)))
+    });
+}
+
+fn bench_predicate_vs_usr_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_test");
+    for n in [64i64, 512, 4096] {
+        let (oind, ctx) = window_oind(n);
+        let mut f = Factorizer::with_defaults();
+        let pred = f.factor(&oind);
+        let env = RangeEnv::new();
+        let cascade = build_cascade(&pred, &env);
+        group.bench_with_input(BenchmarkId::new("predicate_cascade", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(cascade.first_success(&ctx, 10_000_000)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_usr_eval", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(eval_usr(&oind, &ctx, 10_000_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization, bench_predicate_vs_usr_eval);
+criterion_main!(benches);

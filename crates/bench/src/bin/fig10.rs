@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: normalized parallel timing, PERFECT-CLUB,
+//! 4 processors, factorization vs the Intel-style static baseline.
+fn main() {
+    lip_bench::print_figure(
+        "Figure 10: PERFECT-CLUB normalized parallel timing",
+        lip_suite::PERFECT_CLUB,
+        4,
+        "Intel-style",
+    );
+    println!(
+        "average speedup: {:.2}x",
+        lip_bench::average_speedup(lip_suite::PERFECT_CLUB, 4)
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 11: normalized parallel timing, SPEC89/92,
+//! 4 processors.
+fn main() {
+    lip_bench::print_figure(
+        "Figure 11: SPEC89/92 normalized parallel timing",
+        lip_suite::SPEC92,
+        4,
+        "Intel-style",
+    );
+    println!(
+        "average speedup: {:.2}x",
+        lip_bench::average_speedup(lip_suite::SPEC92, 4)
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 12: normalized parallel timing, SPEC2000/2006,
+//! 8 processors, factorization vs the XLF-style static baseline.
+fn main() {
+    lip_bench::print_figure(
+        "Figure 12: SPEC2000/2006 normalized parallel timing",
+        lip_suite::SPEC2006,
+        8,
+        "XLF-style",
+    );
+    println!(
+        "average speedup: {:.2}x",
+        lip_bench::average_speedup(lip_suite::SPEC2006, 8)
+    );
+}

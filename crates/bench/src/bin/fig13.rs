@@ -1,0 +1,9 @@
+//! Regenerates Figure 13: scalability up to 16 processors,
+//! SPEC2000/2006.
+fn main() {
+    lip_bench::print_scalability(
+        "Figure 13: SPEC2000/2006 scalability",
+        lip_suite::SPEC2006,
+        &[1, 2, 4, 8, 16],
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: properties of the PERFECT-CLUB suite.
+fn main() {
+    lip_bench::print_table("Table 1: PERFECT-CLUB suite", lip_suite::PERFECT_CLUB);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: properties of the SPEC89/92 suites.
+fn main() {
+    lip_bench::print_table("Table 2: SPEC89/92 suites", lip_suite::SPEC92);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3: properties of the SPEC2000/2006 suites.
+fn main() {
+    lip_bench::print_table("Table 3: SPEC2000/2006 suites", lip_suite::SPEC2006);
+}

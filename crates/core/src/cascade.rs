@@ -1,0 +1,336 @@
+//! Predicate complexity separation and cascading (paper §3.5, §5).
+//!
+//! A predicate's runtime complexity is modeled by the loop-nest depth of
+//! its implementation. The full factorized predicate is separated into a
+//! *cascade* of sufficient conditions of increasing cost:
+//!
+//! 1. an **O(1)** stage: loop nodes are eliminated by aggressive
+//!    invariant extraction plus symbolic Fourier–Motzkin elimination of
+//!    the quantified variable from comparison leaves,
+//! 2. an **O(N)** stage: inner loop nodes (nest depth > 1) are replaced
+//!    by `false` and the result simplified,
+//! 3. the **exact** factorized predicate (and past it, the paper falls
+//!    back to hoisted USR evaluation or thread-level speculation).
+//!
+//! Generated code evaluates the stages in order; the first success
+//! proves independence and disables the rest.
+
+use lip_symbolic::{reduce_ge0, reduce_gt0, BoolExpr, RangeEnv};
+
+use crate::pdag::Pdag;
+use crate::simplify::simplify;
+
+/// The runtime-complexity model: maximal `ForAll` nesting depth.
+pub fn complexity(p: &Pdag) -> u32 {
+    match p {
+        Pdag::Bool(_) | Pdag::Leaf(_) => 0,
+        Pdag::And(ps) | Pdag::Or(ps) => ps.iter().map(complexity).max().unwrap_or(0),
+        Pdag::ForAll { body, .. } => 1 + complexity(body),
+        Pdag::AtCall(_, body) => complexity(body),
+    }
+}
+
+/// Strengthens `p` to an O(1) sufficient condition: every `ForAll` is
+/// eliminated, either by hoisting loop-invariant parts or by
+/// Fourier–Motzkin elimination of the bound variable from comparison
+/// leaves; leaves that resist elimination become `false`.
+pub fn separate_o1(p: &Pdag, env: &RangeEnv) -> Pdag {
+    let s = strengthen_o1(p, env);
+    simplify(&s, env)
+}
+
+fn strengthen_o1(p: &Pdag, env: &RangeEnv) -> Pdag {
+    match p {
+        Pdag::Bool(_) | Pdag::Leaf(_) => p.clone(),
+        Pdag::And(ps) => Pdag::and(ps.iter().map(|q| strengthen_o1(q, env)).collect()),
+        Pdag::Or(ps) => Pdag::or(ps.iter().map(|q| strengthen_o1(q, env)).collect()),
+        Pdag::AtCall(site, body) => Pdag::at_call(*site, strengthen_o1(body, env)),
+        Pdag::ForAll { var, lo, hi, body } => {
+            let mut inner_env = env.clone();
+            inner_env.set_range(*var, lo.clone(), hi.clone());
+            let body = strengthen_o1(body, &inner_env);
+            let eliminated = eliminate_var(&body, *var, &inner_env);
+            // ∀ over an empty range is vacuously true.
+            Pdag::or(vec![
+                Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone())),
+                eliminated,
+            ])
+        }
+    }
+}
+
+/// Replaces every leaf containing `var` by a `var`-free sufficient
+/// condition (Fourier–Motzkin for inequalities, `false` otherwise).
+fn eliminate_var(p: &Pdag, var: lip_symbolic::Sym, env: &RangeEnv) -> Pdag {
+    match p {
+        Pdag::Bool(_) => p.clone(),
+        Pdag::Leaf(b) => {
+            if !b.contains_sym(var) {
+                return p.clone();
+            }
+            let reduced = match b {
+                BoolExpr::Gt0(e) => reduce_gt0(e, env),
+                BoolExpr::Ge0(e) => reduce_ge0(e, env),
+                // Compound leaves (e.g. the interval disjunction emitted
+                // by DISJOINT_LMAD_1D) unfold so each comparison can be
+                // eliminated independently.
+                BoolExpr::And(bs) => {
+                    let parts = bs.iter().cloned().map(Pdag::leaf).collect();
+                    return eliminate_var(&Pdag::and(parts), var, env);
+                }
+                BoolExpr::Or(bs) => {
+                    let parts = bs.iter().cloned().map(Pdag::leaf).collect();
+                    return eliminate_var(&Pdag::or(parts), var, env);
+                }
+                _ => return Pdag::f(),
+            };
+            if reduced.contains_sym(var) {
+                Pdag::f()
+            } else {
+                Pdag::leaf(reduced)
+            }
+        }
+        Pdag::And(ps) => Pdag::and(ps.iter().map(|q| eliminate_var(q, var, env)).collect()),
+        Pdag::Or(ps) => Pdag::or(ps.iter().map(|q| eliminate_var(q, var, env)).collect()),
+        // Nested quantifiers were already strengthened away by the o1
+        // pass; anything left that still depends on var is dropped.
+        Pdag::ForAll { .. } | Pdag::AtCall(_, _) => {
+            if p.contains_sym(var) {
+                Pdag::f()
+            } else {
+                p.clone()
+            }
+        }
+    }
+}
+
+/// Strengthens `p` to an O(N) sufficient condition by replacing every
+/// inner loop node (nest depth > 1) with `false` (paper Figure 9(a)).
+pub fn separate_on(p: &Pdag, env: &RangeEnv) -> Pdag {
+    let s = drop_inner_loops(p, 0);
+    simplify(&s, env)
+}
+
+fn drop_inner_loops(p: &Pdag, depth: u32) -> Pdag {
+    match p {
+        Pdag::Bool(_) | Pdag::Leaf(_) => p.clone(),
+        Pdag::And(ps) => Pdag::and(ps.iter().map(|q| drop_inner_loops(q, depth)).collect()),
+        Pdag::Or(ps) => Pdag::or(ps.iter().map(|q| drop_inner_loops(q, depth)).collect()),
+        Pdag::AtCall(site, body) => Pdag::at_call(*site, drop_inner_loops(body, depth)),
+        Pdag::ForAll { var, lo, hi, body } => {
+            if depth >= 1 {
+                Pdag::f()
+            } else {
+                Pdag::forall(
+                    *var,
+                    lo.clone(),
+                    hi.clone(),
+                    drop_inner_loops(body, depth + 1),
+                )
+            }
+        }
+    }
+}
+
+/// One stage of the runtime-test cascade.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// The sufficient-independence predicate.
+    pub pred: Pdag,
+    /// Loop-nest depth of its evaluation (0 = O(1), 1 = O(N), …).
+    pub complexity: u32,
+}
+
+/// An ordered sequence of increasingly expensive sufficient conditions.
+#[derive(Clone, Debug, Default)]
+pub struct Cascade {
+    /// Stages in evaluation order (cheapest first).
+    pub stages: Vec<Stage>,
+}
+
+impl Cascade {
+    /// Whether the cascade proves independence statically (its first
+    /// stage is the constant `true`).
+    pub fn statically_true(&self) -> bool {
+        self.stages.first().is_some_and(|s| s.pred.is_true())
+    }
+
+    /// Whether no runtime test can succeed (every stage is `false`) —
+    /// the loop needs the exact fallback (USR evaluation or TLS).
+    pub fn needs_fallback(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Evaluates the cascade under `ctx`: returns the index of the first
+    /// succeeding stage, or `None` if all stages fail or are undecidable.
+    pub fn first_success(
+        &self,
+        ctx: &dyn lip_symbolic::EvalCtx,
+        iter_limit: u64,
+    ) -> Option<usize> {
+        self.stages
+            .iter()
+            .position(|s| s.pred.eval(ctx, iter_limit) == Some(true))
+    }
+}
+
+/// Builds the cascade for a factorized independence predicate.
+pub fn build_cascade(p: &Pdag, env: &RangeEnv) -> Cascade {
+    let exact = simplify(p, env);
+    if exact.is_true() {
+        return Cascade {
+            stages: vec![Stage {
+                pred: Pdag::t(),
+                complexity: 0,
+            }],
+        };
+    }
+    if exact.is_false() {
+        return Cascade { stages: vec![] };
+    }
+    let mut stages: Vec<Stage> = Vec::new();
+    let o1 = separate_o1(&exact, env);
+    if !o1.is_false() {
+        stages.push(Stage {
+            pred: o1,
+            complexity: 0,
+        });
+    }
+    let on = separate_on(&exact, env);
+    if !on.is_false() && !stages.iter().any(|s| s.pred == on) {
+        stages.push(Stage {
+            complexity: complexity(&on),
+            pred: on,
+        });
+    }
+    if !stages.iter().any(|s| s.pred == exact) {
+        stages.push(Stage {
+            complexity: complexity(&exact),
+            pred: exact,
+        });
+    }
+    Cascade { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_symbolic::{sym, MapCtx, SymExpr};
+
+    fn v(name: &str) -> SymExpr {
+        SymExpr::var(sym(name))
+    }
+
+    fn k(c: i64) -> SymExpr {
+        SymExpr::konst(c)
+    }
+
+    #[test]
+    fn complexity_counts_nesting() {
+        let leaf = Pdag::leaf(BoolExpr::gt0(SymExpr::elem(sym("B"), v("i"))));
+        let inner = Pdag::ForAll {
+            var: sym("i"),
+            lo: k(1),
+            hi: v("N"),
+            body: std::rc::Rc::new(leaf),
+        };
+        assert_eq!(complexity(&inner), 1);
+        let outer = Pdag::ForAll {
+            var: sym("j"),
+            lo: k(1),
+            hi: v("M"),
+            body: std::rc::Rc::new(inner.subst(sym("N"), &v("j"))),
+        };
+        assert_eq!(complexity(&outer), 2);
+    }
+
+    #[test]
+    fn o1_separation_uses_fourier_motzkin() {
+        // ∧_{i=1..NOP} (IX(1)+1-IX(2)-i > 0): FM replaces i by NOP,
+        // giving the O(1) CORREC_DO711 predicate.
+        let ix1 = SymExpr::elem(sym("IX"), k(1));
+        let ix2 = SymExpr::elem(sym("IX"), k(2));
+        let body = Pdag::leaf(BoolExpr::gt0(
+            &ix1 + &k(1) - &ix2 - &v("i"),
+        ));
+        let p = Pdag::forall(sym("i"), k(1), v("NOP"), body);
+        let o1 = separate_o1(&p, &RangeEnv::new());
+        assert_eq!(complexity(&o1), 0);
+        // IX = [big, small]: IX(2)+NOP <= IX(1) holds.
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("NOP"), 10);
+        ctx.set_array(sym("IX"), 1, vec![100, 5]);
+        assert_eq!(o1.eval(&ctx, 100), Some(true));
+        ctx.set_array(sym("IX"), 1, vec![10, 5]);
+        assert_eq!(o1.eval(&ctx, 100), Some(false));
+    }
+
+    #[test]
+    fn on_separation_drops_inner_loops() {
+        // ∧_i (leaf(i) ∨ ∧_k inner(k)): the O(N) stage must drop the
+        // inner ∧_k (Figure 9(a)'s shape).
+        let outer_leaf = Pdag::leaf(BoolExpr::gt0(SymExpr::elem(sym("C"), v("i"))));
+        let inner = Pdag::forall(
+            sym("kq"),
+            k(1),
+            v("i"),
+            Pdag::leaf(BoolExpr::gt0(SymExpr::elem(sym("D"), v("kq")))),
+        );
+        let body = Pdag::or(vec![outer_leaf, inner]);
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body);
+        assert_eq!(complexity(&p), 2);
+        let on = separate_on(&p, &RangeEnv::new());
+        assert!(complexity(&on) <= 1, "got {on}");
+        // Semantics: C all positive satisfies the O(N) stage.
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("N"), 3);
+        ctx.set_array(sym("C"), 1, vec![1, 1, 1]);
+        assert_eq!(on.eval(&ctx, 100), Some(true));
+    }
+
+    #[test]
+    fn cascade_orders_stages_by_cost() {
+        // An O(1)-able invariant ∨ a per-iteration test.
+        let inv = Pdag::leaf(BoolExpr::lt(v("NP").scale(8), v("NS") + k(6)));
+        let per_iter = Pdag::leaf(BoolExpr::gt0(SymExpr::elem(sym("B"), v("i"))));
+        let p = Pdag::forall(
+            sym("i"),
+            k(1),
+            v("N"),
+            Pdag::or(vec![inv, per_iter]),
+        );
+        let c = build_cascade(&p, &RangeEnv::new());
+        assert!(!c.stages.is_empty());
+        for w in c.stages.windows(2) {
+            assert!(w[0].complexity <= w[1].complexity);
+        }
+        assert_eq!(c.stages[0].complexity, 0);
+
+        // Runtime: O(1) stage succeeds without touching B.
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("NP"), 1)
+            .set_scalar(sym("NS"), 48)
+            .set_scalar(sym("N"), 3);
+        assert_eq!(c.first_success(&ctx, 1000), Some(0));
+        // O(1) fails, O(N) succeeds.
+        ctx.set_scalar(sym("NS"), 1);
+        ctx.set_array(sym("B"), 1, vec![1, 2, 3]);
+        let idx = c.first_success(&ctx, 1000).expect("some stage succeeds");
+        assert!(idx > 0);
+    }
+
+    #[test]
+    fn static_truth_shortcuts() {
+        let env = RangeEnv::new().with_fact(BoolExpr::ge0(v("N") - k(1)));
+        let p = Pdag::leaf(BoolExpr::ge0(v("N")));
+        let c = build_cascade(&p, &env);
+        assert!(c.statically_true());
+    }
+
+    #[test]
+    fn unprovable_predicate_needs_fallback() {
+        let p = Pdag::f();
+        let c = build_cascade(&p, &RangeEnv::new());
+        assert!(c.needs_fallback());
+    }
+}

@@ -1,0 +1,669 @@
+//! The factorization algorithm (paper Figure 5): the language translation
+//! `F : USR → PDAG` with `F(S) ⇒ S = ∅`.
+//!
+//! Inference on set-algebra properties guides a recursive construction of
+//! a predicate program via a top-down traversal of the input summary:
+//!
+//! * a **union** is empty iff both operands are;
+//! * a **subtraction** `S1 − S2` is empty if `S1` is empty or `S1 ⊆ S2`;
+//! * an **intersection** is empty if either operand is empty or the two
+//!   are disjoint;
+//! * a **gated** summary is empty if the gate fails or the body is empty;
+//! * a **recurrence** is empty if every iteration's body is empty — or,
+//!   for the `∪ᵢ(Sᵢ ∩ ∪ₖ₍ᵢ₋₁₎Sₖ)` shape, if the `Sᵢ` form a *monotone*
+//!   sequence of non-overlapping intervals (§3.3).
+//!
+//! When no structural rule applies, [`crate::estimate`] flattens the
+//! problem to the LMAD domain and the Figure 6 predicates take over.
+
+use std::collections::HashMap;
+
+use lip_symbolic::{BoolExpr, Sym, SymExpr};
+use lip_usr::{Usr, UsrNode};
+
+use crate::estimate::{overestimate, underestimate};
+use crate::pdag::Pdag;
+
+/// Declared extent of the array under analysis (enables `FILLS_ARR`).
+#[derive(Clone, Debug)]
+pub struct ArrayExtent {
+    /// First valid index.
+    pub base: SymExpr,
+    /// Number of elements.
+    pub size: SymExpr,
+}
+
+/// Tunables for the factorization (the ablation benches flip these).
+#[derive(Clone, Debug)]
+pub struct FactorConfig {
+    /// Enable the §3.3 monotonicity rule.
+    pub monotonicity: bool,
+    /// Recursion budget; exceeding it yields `false` (sound).
+    pub max_depth: u32,
+    /// Extent of the array under analysis, when statically known.
+    pub array_extent: Option<ArrayExtent>,
+}
+
+impl Default for FactorConfig {
+    fn default() -> FactorConfig {
+        FactorConfig {
+            monotonicity: true,
+            max_depth: 48,
+            array_extent: None,
+        }
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+enum PairOp {
+    Included,
+    Disjoint,
+}
+
+/// The factorization engine. One instance per independence equation;
+/// memoization is keyed on USR node identity.
+pub struct Factorizer {
+    cfg: FactorConfig,
+    memo_factor: HashMap<usize, Pdag>,
+    memo_pair: HashMap<(PairOp, usize, usize), Pdag>,
+    depth: u32,
+}
+
+impl Factorizer {
+    /// Creates a factorizer with the given configuration.
+    pub fn new(cfg: FactorConfig) -> Factorizer {
+        Factorizer {
+            cfg,
+            memo_factor: HashMap::new(),
+            memo_pair: HashMap::new(),
+            depth: 0,
+        }
+    }
+
+    /// Creates a factorizer with default configuration.
+    pub fn with_defaults() -> Factorizer {
+        Factorizer::new(FactorConfig::default())
+    }
+
+    /// `FACTOR(S)`: a predicate sufficient for `S = ∅`.
+    pub fn factor(&mut self, s: &Usr) -> Pdag {
+        if let Some(p) = self.memo_factor.get(&s.id()) {
+            return p.clone();
+        }
+        if self.depth >= self.cfg.max_depth {
+            return Pdag::f();
+        }
+        self.depth += 1;
+        let result = self.factor_uncached(s);
+        self.depth -= 1;
+        self.memo_factor.insert(s.id(), result.clone());
+        result
+    }
+
+    fn factor_uncached(&mut self, s: &Usr) -> Pdag {
+        match s.node() {
+            UsrNode::Empty => Pdag::t(),
+            UsrNode::Leaf(set) => Pdag::leaf(set.empty_pred()),
+            UsrNode::Gate(q, s1) => Pdag::or(vec![
+                Pdag::leaf(q.clone().negate()),
+                self.factor(s1),
+            ]),
+            UsrNode::Union(a, b) => {
+                let fa = self.factor(a);
+                let fb = self.factor(b);
+                Pdag::and(vec![fa, fb])
+            }
+            UsrNode::Subtract(a, b) => {
+                let fa = self.factor(a);
+                let inc = self.included(a, b);
+                Pdag::or(vec![fa, inc])
+            }
+            UsrNode::Intersect(a, b) => {
+                let fa = self.factor(a);
+                let fb = self.factor(b);
+                let dis = self.disjoint(a, b);
+                Pdag::or(vec![fa, fb, dis])
+            }
+            UsrNode::Call(site, body) => Pdag::at_call(*site, self.factor(body)),
+            UsrNode::RecTotal { var, lo, hi, body } => {
+                let mut alts = vec![Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone()))];
+                if self.cfg.monotonicity {
+                    if let Some(mono) = self.try_monotonicity(*var, lo, hi, body) {
+                        alts.push(mono);
+                    }
+                }
+                let inner = self.factor(body);
+                alts.push(Pdag::forall(*var, lo.clone(), hi.clone(), inner));
+                Pdag::or(alts)
+            }
+            UsrNode::RecPartial { var, lo, hi, body } => {
+                let inner = self.factor(body);
+                Pdag::or(vec![
+                    Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone())),
+                    Pdag::forall(*var, lo.clone(), hi.clone(), inner),
+                ])
+            }
+        }
+    }
+
+    /// `INCLUDED(S1, S2)`: a predicate sufficient for `S1 ⊆ S2`.
+    pub fn included(&mut self, s1: &Usr, s2: &Usr) -> Pdag {
+        if s1 == s2 || s1.is_empty() {
+            return Pdag::t();
+        }
+        if s2.is_empty() {
+            return self.factor(s1);
+        }
+        let key = (PairOp::Included, s1.id(), s2.id());
+        if let Some(p) = self.memo_pair.get(&key) {
+            return p.clone();
+        }
+        if self.depth >= self.cfg.max_depth {
+            return Pdag::f();
+        }
+        self.depth += 1;
+        let result = self.included_uncached(s1, s2);
+        self.depth -= 1;
+        self.memo_pair.insert(key, result.clone());
+        result
+    }
+
+    fn included_uncached(&mut self, s1: &Usr, s2: &Usr) -> Pdag {
+        // Rule (3): recurrences over the same range include iff the
+        // iteration bodies do, pointwise.
+        let mut p1 = Pdag::f();
+        if let (
+            UsrNode::RecTotal {
+                var: v1,
+                lo: lo1,
+                hi: hi1,
+                body: b1,
+            },
+            UsrNode::RecTotal {
+                var: v2,
+                lo: lo2,
+                hi: hi2,
+                body: b2,
+            },
+        ) = (s1.node(), s2.node())
+        {
+            if lo1 == lo2 && hi1 == hi2 {
+                let b2r = if v1 == v2 {
+                    b2.clone()
+                } else {
+                    b2.rename_bound(*v2, *v1)
+                };
+                let inner = self.included(b1, &b2r);
+                p1 = Pdag::forall(*v1, lo1.clone(), hi1.clone(), inner);
+            }
+        }
+        if p1.is_false() {
+            p1 = self.included_h(s1, s2);
+        }
+        let papp = self.included_app(s1, s2);
+        Pdag::or(vec![p1, papp])
+    }
+
+    /// `INCLUDED_H(S, U)` of Figure 5(b): structural rules on both sides.
+    fn included_h(&mut self, s: &Usr, u: &Usr) -> Pdag {
+        // P1: case on U (the including side).
+        let p1 = match u.node() {
+            UsrNode::Gate(q, u1) => Pdag::and(vec![
+                Pdag::leaf(q.clone()),
+                self.included(s, u1),
+            ]),
+            UsrNode::Union(a, b) => {
+                let ia = self.included(s, a);
+                let ib = self.included(s, b);
+                Pdag::or(vec![ia, ib])
+            }
+            // Rule (4): S ⊆ S1 − S2 ⇐ S ⊆ S1 ∧ S ∩ S2 = ∅.
+            UsrNode::Subtract(a, b) => {
+                let ia = self.included(s, a);
+                let db = self.disjoint(s, b);
+                Pdag::and(vec![ia, db])
+            }
+            UsrNode::Intersect(a, b) => {
+                let ia = self.included(s, a);
+                let ib = self.included(s, b);
+                Pdag::and(vec![ia, ib])
+            }
+            // Rule (5): an LMAD filling the whole declared array includes
+            // any summary of that array.
+            UsrNode::Leaf(set) => match &self.cfg.array_extent {
+                Some(ext) => Pdag::or(
+                    set.lmads()
+                        .iter()
+                        .map(|l| {
+                            Pdag::leaf(lip_lmad::fills_array(l, &ext.base, &ext.size))
+                        })
+                        .collect(),
+                ),
+                None => Pdag::f(),
+            },
+            _ => Pdag::f(),
+        };
+        // P2: case on S (the included side).
+        let p2 = match s.node() {
+            UsrNode::Gate(q, s1) => Pdag::or(vec![
+                Pdag::leaf(q.clone().negate()),
+                self.included(s1, u),
+            ]),
+            UsrNode::Union(a, b) => {
+                let ia = self.included(a, u);
+                let ib = self.included(b, u);
+                Pdag::and(vec![ia, ib])
+            }
+            UsrNode::Subtract(a, _) => self.included(a, u),
+            UsrNode::Intersect(a, b) => {
+                let ia = self.included(a, u);
+                let ib = self.included(b, u);
+                Pdag::or(vec![ia, ib])
+            }
+            // ∪_i body_i ⊆ U ⇔ ∀ i: body_i ⊆ U (exact).
+            UsrNode::RecTotal { var, lo, hi, body }
+            | UsrNode::RecPartial { var, lo, hi, body } => {
+                let (var, body) = self.unshadow(*var, body, u);
+                let inner = self.included(&body, u);
+                Pdag::or(vec![
+                    Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone())),
+                    Pdag::forall(var, lo.clone(), hi.clone(), inner),
+                ])
+            }
+            _ => Pdag::f(),
+        };
+        Pdag::or(vec![p1, p2])
+    }
+
+    /// `DISJOINT(S1, S2)`: a predicate sufficient for `S1 ∩ S2 = ∅`.
+    pub fn disjoint(&mut self, s1: &Usr, s2: &Usr) -> Pdag {
+        if s1.is_empty() || s2.is_empty() {
+            return Pdag::t();
+        }
+        if s1 == s2 {
+            return self.factor(s1);
+        }
+        let key = (PairOp::Disjoint, s1.id(), s2.id());
+        if let Some(p) = self.memo_pair.get(&key) {
+            return p.clone();
+        }
+        if self.depth >= self.cfg.max_depth {
+            return Pdag::f();
+        }
+        self.depth += 1;
+        let h1 = self.disjoint_h(s1, s2);
+        let h2 = self.disjoint_h(s2, s1);
+        let papp = self.disjoint_app(s1, s2);
+        let result = Pdag::or(vec![h1, h2, papp]);
+        self.depth -= 1;
+        self.memo_pair.insert(key, result.clone());
+        result
+    }
+
+    /// `DISJOINT_H(U, S)` of Figure 5(a): structural rules on `U`.
+    fn disjoint_h(&mut self, u: &Usr, s: &Usr) -> Pdag {
+        match u.node() {
+            UsrNode::Gate(q, u1) => Pdag::or(vec![
+                Pdag::leaf(q.clone().negate()),
+                self.disjoint(u1, s),
+            ]),
+            UsrNode::Union(a, b) => {
+                let da = self.disjoint(a, s);
+                let db = self.disjoint(b, s);
+                Pdag::and(vec![da, db])
+            }
+            // Rule (2): S disjoint from S1 − S2 if disjoint from S1 or
+            // included in S2.
+            UsrNode::Subtract(a, b) => {
+                let da = self.disjoint(a, s);
+                let ib = self.included(s, b);
+                Pdag::or(vec![da, ib])
+            }
+            UsrNode::Intersect(a, b) => {
+                let da = self.disjoint(a, s);
+                let db = self.disjoint(b, s);
+                Pdag::or(vec![da, db])
+            }
+            // (∪_i body_i) ∩ S = ∅ ⇔ ∀ i: body_i ∩ S = ∅ (exact).
+            UsrNode::RecTotal { var, lo, hi, body }
+            | UsrNode::RecPartial { var, lo, hi, body } => {
+                let (var, body) = self.unshadow(*var, body, s);
+                let inner = self.disjoint(&body, s);
+                Pdag::or(vec![
+                    Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone())),
+                    Pdag::forall(var, lo.clone(), hi.clone(), inner),
+                ])
+            }
+            UsrNode::Call(site, body) => {
+                Pdag::at_call(*site, self.disjoint(body, s))
+            }
+            _ => Pdag::f(),
+        }
+    }
+
+    /// Renames the recurrence variable when it would capture a free
+    /// symbol of the opposite operand.
+    fn unshadow(&self, var: Sym, body: &Usr, other: &Usr) -> (Sym, Usr) {
+        if other.contains_sym(var) {
+            let fresh = Sym::fresh(&var.name());
+            (fresh, body.rename_bound(var, fresh))
+        } else {
+            (var, body.clone())
+        }
+    }
+
+    /// `INCLUDED_APP(C, D)`: flatten to the LMAD domain via a conditional
+    /// overestimate of `C` and underestimate of `D`.
+    fn included_app(&mut self, c: &Usr, d: &Usr) -> Pdag {
+        let Some(over) = overestimate(c) else {
+            return Pdag::f();
+        };
+        let under = match underestimate(d) {
+            Some(u) => u,
+            None => {
+                return over.empty_if;
+            }
+        };
+        let lmad_pred = lip_lmad::included_lmads(&over.set, &under.set);
+        Pdag::or(vec![
+            over.empty_if,
+            Pdag::and(vec![under.valid_if, Pdag::leaf(lmad_pred)]),
+        ])
+    }
+
+    /// `DISJOINT_APP(C, D)`: flatten to the LMAD domain via conditional
+    /// overestimates of both sides.
+    fn disjoint_app(&mut self, c: &Usr, d: &Usr) -> Pdag {
+        let Some(oc) = overestimate(c) else {
+            return Pdag::f();
+        };
+        let Some(od) = overestimate(d) else {
+            return oc.empty_if;
+        };
+        let lmad_pred = lip_lmad::disjoint_lmads(&oc.set, &od.set);
+        Pdag::or(vec![oc.empty_if, od.empty_if, Pdag::leaf(lmad_pred)])
+    }
+
+    /// The §3.3 monotonicity rule for `∪_{i}(Sᵢ ∩ ∪_{k=lo}^{i-1} Sₖ) = ∅`:
+    /// if the interval hulls of the `Sᵢ` form a strictly monotone
+    /// sequence of non-empty, non-overlapping intervals, no two distinct
+    /// iterations overlap.
+    fn try_monotonicity(
+        &mut self,
+        var: Sym,
+        lo: &SymExpr,
+        hi: &SymExpr,
+        body: &Usr,
+    ) -> Option<Pdag> {
+        let UsrNode::Intersect(x, y) = body.node() else {
+            return None;
+        };
+        // Identify which operand is the prefix recurrence.
+        let (si, prefix) = match (x.node(), y.node()) {
+            (_, UsrNode::RecPartial { .. }) => (x, y),
+            (UsrNode::RecPartial { .. }, _) => (y, x),
+            _ => return None,
+        };
+        let UsrNode::RecPartial {
+            var: k,
+            lo: plo,
+            hi: phi,
+            body: sk,
+        } = prefix.node()
+        else {
+            return None;
+        };
+        // The prefix must run over the same summary: S_k = S_i[i := k],
+        // from the loop's lower bound up to i-1.
+        if plo != lo {
+            return None;
+        }
+        let expected_hi = &SymExpr::var(var) - &SymExpr::konst(1);
+        if *phi != expected_hi {
+            return None;
+        }
+        if si.rename_bound(var, *k) != *sk {
+            return None;
+        }
+        // Hull of S_i as a function of i.
+        let over = overestimate(si)?;
+        let (hlo, hhi) = over.set.hull()?;
+        let next = &SymExpr::var(var) + &SymExpr::konst(1);
+        let hlo_next = hlo.subst(var, &next);
+        let hhi_next = hhi.subst(var, &next);
+        let nonempty = BoolExpr::le(hlo.clone(), hhi.clone());
+        let incr = Pdag::forall(
+            var,
+            lo.clone(),
+            hi - &SymExpr::konst(1),
+            Pdag::and(vec![
+                Pdag::leaf(BoolExpr::lt(hhi.clone(), hlo_next.clone())),
+                Pdag::leaf(nonempty.clone()),
+            ]),
+        );
+        let decr = Pdag::forall(
+            var,
+            lo.clone(),
+            hi - &SymExpr::konst(1),
+            Pdag::and(vec![
+                Pdag::leaf(BoolExpr::lt(hhi_next, hlo.clone())),
+                Pdag::leaf(nonempty),
+            ]),
+        );
+        Some(Pdag::or(vec![incr, decr]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_lmad::{Lmad, LmadSet};
+    use lip_symbolic::{sym, MapCtx, RangeEnv};
+    use lip_usr::output_independence;
+
+    fn v(name: &str) -> SymExpr {
+        SymExpr::var(sym(name))
+    }
+
+    fn k(c: i64) -> SymExpr {
+        SymExpr::konst(c)
+    }
+
+    fn iv(lo: SymExpr, hi: SymExpr) -> Usr {
+        Usr::leaf(LmadSet::single(Lmad::interval(lo, hi)))
+    }
+
+    /// The paper's Figure 4: the XE flow-independence USR of Figure 3(c)
+    /// translates to `(SYM.EQ.1 ∨ NS ≤ 16·NP) ∧ (SYM.NE.1 ∨ NS ≤ 0)`,
+    /// which simplifies (under NS ≥ 1) to `NS ≤ 16·NP ∧ SYM.NE.1`.
+    #[test]
+    fn figure4_xe_example() {
+        let g1 = BoolExpr::ne(v("SYM"), k(1));
+        let g2 = g1.clone().negate();
+        let s1 = Usr::subtract(
+            iv(k(0), v("NS") - k(1)),
+            iv(k(0), v("NP").scale(16) - k(1)),
+        );
+        let s2 = iv(k(0), v("NS") - k(1));
+        let a = Usr::gate(g1.clone(), s1);
+        let b = Usr::gate(g2.clone(), s2);
+        let find = Usr::union(a, b);
+        let mut f = Factorizer::with_defaults();
+        let p = f.factor(&find);
+
+        // Semantics: holds iff SYM != 1 and NS <= 16*NP (given NS >= 1).
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("SYM"), 2)
+            .set_scalar(sym("NS"), 32)
+            .set_scalar(sym("NP"), 2);
+        assert_eq!(p.eval(&ctx, 1000), Some(true));
+        ctx.set_scalar(sym("SYM"), 1);
+        assert_eq!(p.eval(&ctx, 1000), Some(false));
+        ctx.set_scalar(sym("SYM"), 2).set_scalar(sym("NS"), 33);
+        assert_eq!(p.eval(&ctx, 1000), Some(false));
+    }
+
+    #[test]
+    fn subtract_factors_through_inclusion() {
+        // [+1, +NS] − [+1, +8NP−5] empty ⇐ NS ≤ 8NP−5, i.e. the paper's
+        // HE predicate 8·NP < NS+6 reversed (we use the inclusion form).
+        let off = v("off");
+        let a = iv(off.clone() + k(1), off.clone() + v("NS"));
+        let b = iv(off.clone() + k(1), off.clone() + v("NP").scale(8) - k(5));
+        let mut f = Factorizer::with_defaults();
+        let p = f.factor(&Usr::subtract(a, b));
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("off"), 64)
+            .set_scalar(sym("NS"), 11)
+            .set_scalar(sym("NP"), 2);
+        assert_eq!(p.eval(&ctx, 1000), Some(true));
+        ctx.set_scalar(sym("NS"), 12);
+        assert_eq!(p.eval(&ctx, 1000), Some(false));
+    }
+
+    #[test]
+    fn monotonicity_rule_fires_on_oind_shape() {
+        // WF_i = [B(i), B(i)+L-1]: the classic §3.3 shape. The rule must
+        // produce a ForAll comparing consecutive hulls.
+        let wf = Usr::leaf(LmadSet::single(Lmad::interval(
+            SymExpr::elem(sym("B"), v("i")),
+            SymExpr::elem(sym("B"), v("i")) + v("L") - k(1),
+        )));
+        let oind = output_independence(sym("i"), &k(1), &v("N"), &wf);
+        let mut f = Factorizer::with_defaults();
+        let p = f.factor(&oind);
+
+        // Strictly increasing bases spaced >= L apart: independent.
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("N"), 4).set_scalar(sym("L"), 3);
+        ctx.set_array(sym("B"), 1, vec![0, 3, 6, 9]);
+        assert_eq!(p.eval(&ctx, 10_000), Some(true));
+        // Overlapping windows: the monotone test fails.
+        ctx.set_array(sym("B"), 1, vec![0, 2, 4, 6]);
+        assert_eq!(p.eval(&ctx, 10_000), Some(false));
+        // Decreasing windows, disjoint: the decreasing branch holds.
+        ctx.set_array(sym("B"), 1, vec![9, 6, 3, 0]);
+        assert_eq!(p.eval(&ctx, 10_000), Some(true));
+    }
+
+    #[test]
+    fn monotonicity_disabled_still_sound_but_quadratic() {
+        // Without the §3.3 rule the factorization still decides the
+        // instance — but only through the O(N²) nested pairwise test
+        // (which the cascade would rank last). The ablation bench
+        // measures the cost difference; here we check soundness and the
+        // extra nesting depth.
+        let wf = Usr::leaf(LmadSet::single(Lmad::interval(
+            SymExpr::elem(sym("B"), v("i")),
+            SymExpr::elem(sym("B"), v("i")) + v("L") - k(1),
+        )));
+        let oind = output_independence(sym("i"), &k(1), &v("N"), &wf);
+        let mut f = Factorizer::new(FactorConfig {
+            monotonicity: false,
+            ..FactorConfig::default()
+        });
+        let p = f.factor(&oind);
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("N"), 4).set_scalar(sym("L"), 3);
+        ctx.set_array(sym("B"), 1, vec![0, 3, 6, 9]);
+        assert_eq!(p.eval(&ctx, 10_000), Some(true));
+        ctx.set_array(sym("B"), 1, vec![0, 2, 4, 6]);
+        assert_eq!(p.eval(&ctx, 10_000), Some(false));
+        assert!(crate::cascade::complexity(&p) >= 2, "expected nested test");
+    }
+
+    #[test]
+    fn gate_complement_makes_branches_exclusive() {
+        // gate(c, S) ∩ gate(¬c, T) is always empty: factor proves it via
+        // the gate rules.
+        let c = BoolExpr::gt0(v("x"));
+        let s = Usr::gate(c.clone(), iv(k(0), k(9)));
+        let t = Usr::gate(c.negate(), iv(k(0), k(9)));
+        let mut f = Factorizer::with_defaults();
+        let p = f.factor(&Usr::intersect(s, t));
+        // (¬c ∨ ...) ∨ (c ∨ ...) — the disjunction of complementary
+        // gates folds to true during construction or evaluates true.
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("x"), 5);
+        assert_eq!(p.eval(&ctx, 100), Some(true));
+        ctx.set_scalar(sym("x"), -5);
+        assert_eq!(p.eval(&ctx, 100), Some(true));
+    }
+
+    #[test]
+    fn fills_arr_rule_uses_extent() {
+        // S ⊆ U where U = [1, NP] and the array is declared [1, NP]:
+        // FILLS_ARR lets any summary of the array be included.
+        let s = Usr::leaf(LmadSet::single(Lmad::point(SymExpr::elem(
+            sym("IDX"),
+            v("i"),
+        ))));
+        let u = iv(k(1), v("NP"));
+        let mut f = Factorizer::new(FactorConfig {
+            array_extent: Some(ArrayExtent {
+                base: k(1),
+                size: v("NP"),
+            }),
+            ..FactorConfig::default()
+        });
+        let p = f.included(&s, &u);
+        let env = RangeEnv::new().with_fact(BoolExpr::ge0(v("NP") - k(1)));
+        assert_eq!(env.decide_pdag_leaves(&p), Some(true));
+    }
+
+    #[test]
+    fn depth_budget_yields_false_not_hang() {
+        let mut u = iv(k(0), v("n0"));
+        for d in 1..80 {
+            u = Usr::subtract(
+                Usr::intersect(u.clone(), iv(k(0), v(&format!("n{d}")))),
+                iv(v(&format!("m{d}")), v(&format!("m{d}")) + k(1)),
+            );
+        }
+        let mut f = Factorizer::new(FactorConfig {
+            max_depth: 8,
+            ..FactorConfig::default()
+        });
+        let p = f.factor(&u);
+        // Must terminate and produce *something* (possibly just false).
+        let _ = format!("{p}");
+    }
+
+    /// Test-only helper: decide a PDAG whose leaves are all statically
+    /// decidable under the environment (no ForAll iteration).
+    trait DecidePdag {
+        fn decide_pdag_leaves(&self, p: &Pdag) -> Option<bool>;
+    }
+
+    impl DecidePdag for lip_symbolic::RangeEnv {
+        fn decide_pdag_leaves(&self, p: &Pdag) -> Option<bool> {
+            match p {
+                Pdag::Bool(b) => Some(*b),
+                Pdag::Leaf(b) => self.decide(b),
+                Pdag::And(ps) => {
+                    let mut all = true;
+                    for q in ps {
+                        match self.decide_pdag_leaves(q) {
+                            Some(false) => return Some(false),
+                            Some(true) => {}
+                            None => all = false,
+                        }
+                    }
+                    all.then_some(true)
+                }
+                Pdag::Or(ps) => {
+                    let mut none = true;
+                    for q in ps {
+                        match self.decide_pdag_leaves(q) {
+                            Some(true) => return Some(true),
+                            Some(false) => {}
+                            None => none = false,
+                        }
+                    }
+                    none.then_some(false)
+                }
+                Pdag::ForAll { .. } | Pdag::AtCall(_, _) => None,
+            }
+        }
+    }
+}

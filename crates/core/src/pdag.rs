@@ -1,0 +1,438 @@
+//! The PDAG predicate language.
+//!
+//! Like the USR it mirrors, a PDAG is a DAG: leaves are [`BoolExpr`]s,
+//! interior nodes are `∧`/`∨` (n-ary, flattened), irreducible loop-level
+//! conjunctions `∧_{i=lo}^{hi}` ([`Pdag::ForAll`]) and untranslatable call
+//! sites ([`Pdag::AtCall`]).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+use lip_symbolic::{BoolExpr, EvalCtx, ScopedCtx, Sym, SymExpr};
+use lip_usr::CallSiteId;
+
+/// A predicate-DAG node.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Pdag {
+    /// Constant truth value.
+    Bool(bool),
+    /// A boolean-expression leaf.
+    Leaf(BoolExpr),
+    /// N-ary conjunction (flattened, sorted, deduplicated).
+    And(Vec<Pdag>),
+    /// N-ary disjunction (flattened, sorted, deduplicated).
+    Or(Vec<Pdag>),
+    /// Irreducible loop conjunction `∧_{var=lo}^{hi} body(var)`.
+    ForAll {
+        /// Bound variable.
+        var: Sym,
+        /// Inclusive lower bound.
+        lo: SymExpr,
+        /// Inclusive upper bound.
+        hi: SymExpr,
+        /// Per-iteration predicate.
+        body: Rc<Pdag>,
+    },
+    /// A predicate that must be evaluated across a call-site barrier.
+    AtCall(CallSiteId, Rc<Pdag>),
+}
+
+impl Pdag {
+    /// The constant `true`.
+    pub fn t() -> Pdag {
+        Pdag::Bool(true)
+    }
+
+    /// The constant `false`.
+    pub fn f() -> Pdag {
+        Pdag::Bool(false)
+    }
+
+    /// A leaf, folding constant boolean expressions.
+    pub fn leaf(b: BoolExpr) -> Pdag {
+        match b {
+            BoolExpr::Const(v) => Pdag::Bool(v),
+            other => Pdag::Leaf(other),
+        }
+    }
+
+    /// Flattening conjunction.
+    pub fn and(parts: Vec<Pdag>) -> Pdag {
+        let mut flat = BTreeSet::new();
+        for p in parts {
+            match p {
+                Pdag::Bool(true) => {}
+                Pdag::Bool(false) => return Pdag::Bool(false),
+                Pdag::And(inner) => flat.extend(inner),
+                other => {
+                    flat.insert(other);
+                }
+            }
+        }
+        let flat: Vec<_> = flat.into_iter().collect();
+        match flat.len() {
+            0 => Pdag::Bool(true),
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => Pdag::And(flat),
+        }
+    }
+
+    /// Flattening disjunction.
+    pub fn or(parts: Vec<Pdag>) -> Pdag {
+        let mut flat = BTreeSet::new();
+        for p in parts {
+            match p {
+                Pdag::Bool(false) => {}
+                Pdag::Bool(true) => return Pdag::Bool(true),
+                Pdag::Or(inner) => flat.extend(inner),
+                other => {
+                    flat.insert(other);
+                }
+            }
+        }
+        let flat: Vec<_> = flat.into_iter().collect();
+        match flat.len() {
+            0 => Pdag::Bool(false),
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => Pdag::Or(flat),
+        }
+    }
+
+    /// `∧_{var=lo}^{hi} body`: true over an empty range; a `var`-invariant
+    /// body hoists out (guarded by range emptiness).
+    pub fn forall(var: Sym, lo: SymExpr, hi: SymExpr, body: Pdag) -> Pdag {
+        match body {
+            Pdag::Bool(true) => Pdag::Bool(true),
+            Pdag::Bool(false) => {
+                // Vacuously true only when the range is empty.
+                Pdag::leaf(BoolExpr::lt(hi, lo))
+            }
+            body if !body.contains_sym(var) => {
+                Pdag::or(vec![Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone())), body])
+            }
+            body => Pdag::ForAll {
+                var,
+                lo,
+                hi,
+                body: Rc::new(body),
+            },
+        }
+    }
+
+    /// Wraps a predicate behind a call-site barrier.
+    pub fn at_call(site: CallSiteId, body: Pdag) -> Pdag {
+        match body {
+            Pdag::Bool(b) => Pdag::Bool(b),
+            body => Pdag::AtCall(site, Rc::new(body)),
+        }
+    }
+
+    /// Whether this is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Pdag::Bool(true))
+    }
+
+    /// Whether this is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Pdag::Bool(false))
+    }
+
+    /// Whether `s` occurs free (ForAll binds its variable).
+    pub fn contains_sym(&self, s: Sym) -> bool {
+        match self {
+            Pdag::Bool(_) => false,
+            Pdag::Leaf(b) => b.contains_sym(s),
+            Pdag::And(ps) | Pdag::Or(ps) => ps.iter().any(|p| p.contains_sym(s)),
+            Pdag::ForAll { var, lo, hi, body } => {
+                lo.contains_sym(s) || hi.contains_sym(s) || (*var != s && body.contains_sym(s))
+            }
+            Pdag::AtCall(_, body) => body.contains_sym(s),
+        }
+    }
+
+    /// All free symbols (the inputs the generated test must read).
+    pub fn free_syms(&self) -> BTreeSet<Sym> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut out);
+        out
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Sym>) {
+        match self {
+            Pdag::Bool(_) => {}
+            Pdag::Leaf(b) => out.extend(b.syms()),
+            Pdag::And(ps) | Pdag::Or(ps) => {
+                for p in ps {
+                    p.collect_free(out);
+                }
+            }
+            Pdag::ForAll { var, lo, hi, body } => {
+                out.extend(lo.syms());
+                out.extend(hi.syms());
+                let mut inner = BTreeSet::new();
+                body.collect_free(&mut inner);
+                inner.remove(var);
+                out.extend(inner);
+            }
+            Pdag::AtCall(_, body) => body.collect_free(out),
+        }
+    }
+
+    /// Substitutes `with` for free occurrences of `s`.
+    pub fn subst(&self, s: Sym, with: &SymExpr) -> Pdag {
+        if !self.contains_sym(s) {
+            return self.clone();
+        }
+        match self {
+            Pdag::Bool(b) => Pdag::Bool(*b),
+            Pdag::Leaf(b) => Pdag::leaf(b.subst(s, with)),
+            Pdag::And(ps) => Pdag::and(ps.iter().map(|p| p.subst(s, with)).collect()),
+            Pdag::Or(ps) => Pdag::or(ps.iter().map(|p| p.subst(s, with)).collect()),
+            Pdag::ForAll { var, lo, hi, body } => {
+                let new_body = if *var == s {
+                    (**body).clone()
+                } else {
+                    body.subst(s, with)
+                };
+                Pdag::forall(*var, lo.subst(s, with), hi.subst(s, with), new_body)
+            }
+            Pdag::AtCall(site, body) => Pdag::at_call(*site, body.subst(s, with)),
+        }
+    }
+
+    /// Evaluates to a concrete truth value. `ForAll`nodes iterate their
+    /// range (up to `iter_limit` total iterations — the runtime-test
+    /// budget); unbound symbols yield `None`.
+    pub fn eval(&self, ctx: &dyn EvalCtx, iter_limit: u64) -> Option<bool> {
+        let mut budget = iter_limit;
+        self.eval_inner(ctx, &mut budget)
+    }
+
+    fn eval_inner(&self, ctx: &dyn EvalCtx, budget: &mut u64) -> Option<bool> {
+        match self {
+            Pdag::Bool(b) => Some(*b),
+            Pdag::Leaf(b) => b.eval(ctx),
+            Pdag::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval_inner(ctx, budget) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            Pdag::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval_inner(ctx, budget) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => unknown = true,
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Pdag::ForAll { var, lo, hi, body } => {
+                let lo = lo.eval(ctx)?;
+                let hi = hi.eval(ctx)?;
+                let mut iv = lo;
+                while iv <= hi {
+                    if *budget == 0 {
+                        return None;
+                    }
+                    *budget -= 1;
+                    let scoped = ScopedCtx::new(ctx, *var, iv);
+                    match body.eval_inner(&scoped, budget) {
+                        Some(true) => {}
+                        other => return other,
+                    }
+                    iv += 1;
+                }
+                Some(true)
+            }
+            Pdag::AtCall(_, body) => body.eval_inner(ctx, budget),
+        }
+    }
+
+    /// The number of loop-conjunction iterations `eval` would perform —
+    /// the runtime cost model used for RTov accounting.
+    pub fn eval_cost(&self, ctx: &dyn EvalCtx) -> u64 {
+        match self {
+            Pdag::Bool(_) | Pdag::Leaf(_) => 1,
+            Pdag::And(ps) | Pdag::Or(ps) => ps.iter().map(|p| p.eval_cost(ctx)).sum(),
+            Pdag::ForAll { lo, hi, body, .. } => {
+                let trip = match (lo.eval(ctx), hi.eval(ctx)) {
+                    (Some(l), Some(h)) if h >= l => (h - l + 1) as u64,
+                    _ => 1,
+                };
+                trip * body.eval_cost(ctx).max(1)
+            }
+            Pdag::AtCall(_, body) => body.eval_cost(ctx),
+        }
+    }
+
+    /// Number of leaves (a size measure for compile-time accounting).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Pdag::Bool(_) => 0,
+            Pdag::Leaf(_) => 1,
+            Pdag::And(ps) | Pdag::Or(ps) => ps.iter().map(Pdag::leaf_count).sum(),
+            Pdag::ForAll { body, .. } | Pdag::AtCall(_, body) => body.leaf_count(),
+        }
+    }
+}
+
+impl fmt::Display for Pdag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pdag::Bool(b) => write!(f, "{b}"),
+            Pdag::Leaf(b) => write!(f, "{b}"),
+            Pdag::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pdag::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Pdag::ForAll { var, lo, hi, body } => {
+                write!(f, "ALL[{var}={lo}..{hi}]({body})")
+            }
+            Pdag::AtCall(site, body) => write!(f, "atcall({site}, {body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_symbolic::{sym, MapCtx};
+
+    fn v(name: &str) -> SymExpr {
+        SymExpr::var(sym(name))
+    }
+
+    fn k(c: i64) -> SymExpr {
+        SymExpr::konst(c)
+    }
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert!(Pdag::and(vec![Pdag::t(), Pdag::t()]).is_true());
+        assert!(Pdag::and(vec![Pdag::t(), Pdag::f()]).is_false());
+        assert!(Pdag::or(vec![Pdag::f(), Pdag::t()]).is_true());
+        assert!(Pdag::leaf(BoolExpr::le(k(1), k(2))).is_true());
+    }
+
+    #[test]
+    fn and_or_flatten_and_dedupe() {
+        let a = Pdag::leaf(BoolExpr::gt0(v("x")));
+        let b = Pdag::leaf(BoolExpr::gt0(v("y")));
+        let nested = Pdag::and(vec![
+            a.clone(),
+            Pdag::and(vec![b.clone(), a.clone()]),
+        ]);
+        match nested {
+            Pdag::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected And, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forall_with_false_body_tests_empty_range() {
+        let p = Pdag::forall(sym("i"), k(1), v("N"), Pdag::f());
+        // True exactly when the range is empty: N < 1.
+        assert_eq!(p, Pdag::leaf(BoolExpr::lt(v("N"), k(1))));
+    }
+
+    #[test]
+    fn forall_hoists_invariant_body() {
+        let body = Pdag::leaf(BoolExpr::gt0(v("M")));
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body.clone());
+        match p {
+            Pdag::Or(parts) => {
+                assert!(parts.contains(&body));
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forall_eval_iterates() {
+        // ∀ i in 1..=5: B(i) < B(i+1) with strictly increasing B.
+        let body = Pdag::leaf(BoolExpr::lt(
+            SymExpr::elem(sym("B"), v("i")),
+            SymExpr::elem(sym("B"), v("i") + k(1)),
+        ));
+        let p = Pdag::forall(sym("i"), k(1), k(5), body);
+        let mut ctx = MapCtx::new();
+        ctx.set_array(sym("B"), 1, vec![1, 3, 5, 7, 9, 11]);
+        assert_eq!(p.eval(&ctx, 1000), Some(true));
+        ctx.set_array(sym("B"), 1, vec![1, 3, 2, 7, 9, 11]);
+        assert_eq!(p.eval(&ctx, 1000), Some(false));
+    }
+
+    #[test]
+    fn eval_budget_exhaustion_returns_none() {
+        let body = Pdag::leaf(BoolExpr::gt0(v("i")));
+        let p = Pdag::forall(sym("i"), k(1), k(1000), body);
+        let ctx = MapCtx::new();
+        assert_eq!(p.eval(&ctx, 10), None);
+    }
+
+    #[test]
+    fn eval_cost_models_trip_count() {
+        let body = Pdag::leaf(BoolExpr::gt0(SymExpr::elem(sym("B"), v("i"))));
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body);
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("N"), 100);
+        assert_eq!(p.eval_cost(&ctx), 100);
+    }
+
+    #[test]
+    fn subst_respects_binding() {
+        let body = Pdag::leaf(BoolExpr::gt0(v("i") + v("N")));
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body);
+        // Substituting the bound var changes nothing.
+        assert_eq!(p.subst(sym("i"), &k(3)), p);
+        // Substituting N rewrites bounds and body.
+        let q = p.subst(sym("N"), &k(4));
+        match q {
+            Pdag::ForAll { hi, .. } => assert_eq!(hi, k(4)),
+            other => panic!("expected ForAll, got {other}"),
+        }
+    }
+
+    #[test]
+    fn free_syms_excludes_bound_var() {
+        let body = Pdag::leaf(BoolExpr::gt0(v("i") + v("Q")));
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body);
+        let syms = p.free_syms();
+        assert!(syms.contains(&sym("Q")));
+        assert!(syms.contains(&sym("N")));
+        assert!(!syms.contains(&sym("i")));
+    }
+}

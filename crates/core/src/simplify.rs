@@ -1,0 +1,323 @@
+//! Predicate simplification (paper §3.5).
+//!
+//! Three cooperating rewrites, applied bottom-up:
+//!
+//! * **leaf decision** against a [`RangeEnv`] (ranges + assumed facts),
+//! * **leaf fusion & unit propagation**: adjacent boolean leaves merge
+//!   through [`BoolExpr`]'s flattening constructors (which detect
+//!   complements), and a leaf conjunct `q` deletes `¬q` from sibling
+//!   disjunctions (this is what turns Figure 4's
+//!   `(SYM.EQ.1 ∨ NS≤16NP) ∧ SYM.NE.1` into `NS≤16NP ∧ SYM.NE.1`),
+//! * **invariant hoisting & common-factor extraction** around `∧ᵢ`
+//!   nodes: `∧ᵢ(∨(Aⁱⁿᵛ, Bᵛᵃʳ)) → ∨(Aⁱⁿᵛ) ∨ ∧ᵢ(∨(Bᵛᵃʳ))` and
+//!   `∧(B₁∨A, …, Bₚ∨A) → ∧(B₁,…,Bₚ) ∨ A`.
+
+use lip_symbolic::{BoolExpr, RangeEnv};
+
+use crate::pdag::Pdag;
+
+/// Simplifies `p` under `env`. The result is logically *equivalent* to
+/// `p` given the environment's facts (no strengthening happens here;
+/// strengthening belongs to [`crate::cascade`]).
+pub fn simplify(p: &Pdag, env: &RangeEnv) -> Pdag {
+    match p {
+        Pdag::Bool(_) => p.clone(),
+        // Compound boolean leaves unfold into PDAG structure so that
+        // hoisting and propagation see through them; atomic leaves are
+        // decided against the environment.
+        Pdag::Leaf(BoolExpr::And(bs)) => {
+            simplify(&Pdag::and(bs.iter().cloned().map(Pdag::leaf).collect()), env)
+        }
+        Pdag::Leaf(BoolExpr::Or(bs)) => {
+            simplify(&Pdag::or(bs.iter().cloned().map(Pdag::leaf).collect()), env)
+        }
+        Pdag::Leaf(b) => match env.decide(b) {
+            Some(v) => Pdag::Bool(v),
+            None => Pdag::Leaf(b.clone()),
+        },
+        Pdag::And(parts) => {
+            let parts: Vec<Pdag> = parts.iter().map(|q| simplify(q, env)).collect();
+            if has_complementary_leaves(&parts) {
+                return Pdag::Bool(false);
+            }
+            let propagated = unit_propagate(parts, true);
+            let anded = Pdag::and(propagated);
+            extract_common_factor(anded)
+        }
+        Pdag::Or(parts) => {
+            let parts: Vec<Pdag> = parts.iter().map(|q| simplify(q, env)).collect();
+            if has_complementary_leaves(&parts) {
+                return Pdag::Bool(true);
+            }
+            let propagated = unit_propagate(parts, false);
+            Pdag::or(propagated)
+        }
+        Pdag::ForAll { var, lo, hi, body } => {
+            let mut inner_env = env.clone();
+            inner_env.set_range(*var, lo.clone(), hi.clone());
+            let body = simplify(body, &inner_env);
+            // Invariant hoisting.
+            let range_empty = Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone()));
+            match body {
+                Pdag::Or(parts) => {
+                    let (inv, var_parts): (Vec<_>, Vec<_>) =
+                        parts.into_iter().partition(|q| !q.contains_sym(*var));
+                    if inv.is_empty() {
+                        Pdag::forall(*var, lo.clone(), hi.clone(), Pdag::or(var_parts))
+                    } else {
+                        let mut alts = inv;
+                        alts.push(Pdag::forall(
+                            *var,
+                            lo.clone(),
+                            hi.clone(),
+                            Pdag::or(var_parts),
+                        ));
+                        simplify(&Pdag::or(alts), env)
+                    }
+                }
+                Pdag::And(parts) => {
+                    let (inv, var_parts): (Vec<_>, Vec<_>) =
+                        parts.into_iter().partition(|q| !q.contains_sym(*var));
+                    if inv.is_empty() {
+                        Pdag::forall(*var, lo.clone(), hi.clone(), Pdag::and(var_parts))
+                    } else {
+                        // ∀(A ∧ B(i)) = (empty-range ∨ A) ∧ ∀B(i).
+                        let mut conj = vec![Pdag::or({
+                            let mut v = inv;
+                            v.push(range_empty);
+                            v
+                        })];
+                        conj.push(Pdag::forall(
+                            *var,
+                            lo.clone(),
+                            hi.clone(),
+                            Pdag::and(var_parts),
+                        ));
+                        simplify(&Pdag::and(conj), env)
+                    }
+                }
+                body => Pdag::forall(*var, lo.clone(), hi.clone(), body),
+            }
+        }
+        Pdag::AtCall(site, body) => Pdag::at_call(*site, simplify(body, env)),
+    }
+}
+
+/// Whether two leaves among `parts` are syntactic complements.
+fn has_complementary_leaves(parts: &[Pdag]) -> bool {
+    let leaves: Vec<&BoolExpr> = parts
+        .iter()
+        .filter_map(|p| match p {
+            Pdag::Leaf(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+    leaves
+        .iter()
+        .any(|b| leaves.iter().any(|c| **c == (*b).clone().negate()))
+}
+
+/// Unit propagation: in a conjunction, a leaf `q` removes `¬q` from
+/// sibling disjunctions (dually for disjunctions).
+fn unit_propagate(parts: Vec<Pdag>, conjunction: bool) -> Vec<Pdag> {
+    let units: Vec<BoolExpr> = parts
+        .iter()
+        .filter_map(|p| match p {
+            Pdag::Leaf(b) => Some(b.clone()),
+            _ => None,
+        })
+        .collect();
+    if units.is_empty() {
+        return parts;
+    }
+    let complements: Vec<BoolExpr> =
+        units.iter().map(|u| u.clone().negate()).collect();
+    parts
+        .into_iter()
+        .map(|p| match (&p, conjunction) {
+            (Pdag::Or(ds), true) => {
+                let filtered: Vec<Pdag> = ds
+                    .iter()
+                    .filter(|d| !matches!(d, Pdag::Leaf(b) if complements.contains(b)))
+                    .cloned()
+                    .collect();
+                Pdag::or(filtered)
+            }
+            (Pdag::And(cs), false) => {
+                let filtered: Vec<Pdag> = cs
+                    .iter()
+                    .filter(|c| !matches!(c, Pdag::Leaf(b) if complements.contains(b)))
+                    .cloned()
+                    .collect();
+                Pdag::and(filtered)
+            }
+            _ => p,
+        })
+        .collect()
+}
+
+/// `∧(B₁∨A, …, Bₚ∨A) → ∧(B₁,…,Bₚ) ∨ A` — reduces redundancy and turns
+/// loop-variant conjunctions into hoistable shapes.
+fn extract_common_factor(p: Pdag) -> Pdag {
+    let Pdag::And(parts) = &p else {
+        return p;
+    };
+    if parts.len() < 2 {
+        return p;
+    }
+    let as_disjuncts = |q: &Pdag| -> Vec<Pdag> {
+        match q {
+            Pdag::Or(ds) => ds.clone(),
+            other => vec![other.clone()],
+        }
+    };
+    let mut common = as_disjuncts(&parts[0]);
+    for q in &parts[1..] {
+        let ds = as_disjuncts(q);
+        common.retain(|c| ds.contains(c));
+        if common.is_empty() {
+            return p;
+        }
+    }
+    let residuals: Vec<Pdag> = parts
+        .iter()
+        .map(|q| {
+            let ds: Vec<Pdag> = as_disjuncts(q)
+                .into_iter()
+                .filter(|d| !common.contains(d))
+                .collect();
+            Pdag::or(ds)
+        })
+        .collect();
+    let mut alts = common;
+    alts.push(Pdag::and(residuals));
+    Pdag::or(alts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_symbolic::{sym, SymExpr};
+
+    fn v(name: &str) -> SymExpr {
+        SymExpr::var(sym(name))
+    }
+
+    fn k(c: i64) -> SymExpr {
+        SymExpr::konst(c)
+    }
+
+    #[test]
+    fn figure4_unit_propagation() {
+        // (SYM.EQ.1 ∨ NS ≤ 16·NP) ∧ SYM.NE.1  →  NS ≤ 16·NP ∧ SYM.NE.1.
+        let sym_ne = BoolExpr::ne(v("SYM"), k(1));
+        let sym_eq = sym_ne.clone().negate();
+        let bound = BoolExpr::le(v("NS"), v("NP").scale(16));
+        let p = Pdag::and(vec![
+            Pdag::or(vec![Pdag::leaf(sym_eq), Pdag::leaf(bound.clone())]),
+            Pdag::leaf(sym_ne.clone()),
+        ]);
+        let s = simplify(&p, &RangeEnv::new());
+        let expected = Pdag::and(vec![Pdag::leaf(bound), Pdag::leaf(sym_ne)]);
+        // Leaf fusion may represent the result as one fused leaf; compare
+        // by both shape-insensitive routes.
+        match (&s, &expected) {
+            (Pdag::Leaf(a), _) => {
+                assert_eq!(
+                    *a,
+                    BoolExpr::and(vec![
+                        BoolExpr::le(v("NS"), v("NP").scale(16)),
+                        BoolExpr::ne(v("SYM"), k(1)),
+                    ])
+                );
+            }
+            _ => assert_eq!(s, expected),
+        }
+    }
+
+    #[test]
+    fn leaves_fold_against_facts() {
+        let env = RangeEnv::new().with_fact(BoolExpr::ge0(v("N") - k(1)));
+        let p = Pdag::or(vec![
+            Pdag::leaf(BoolExpr::le(v("N"), k(0))),
+            Pdag::leaf(BoolExpr::le(v("NS"), v("NP").scale(16))),
+        ]);
+        let s = simplify(&p, &env);
+        assert_eq!(
+            s,
+            Pdag::leaf(BoolExpr::le(v("NS"), v("NP").scale(16)))
+        );
+    }
+
+    #[test]
+    fn invariant_hoists_out_of_forall() {
+        // ∧_i (Pleaf ∨ B(i) > 0) with invariant Pleaf = 8NP < NS+6:
+        // hoists to Pleaf ∨ ∧_i (B(i) > 0) — the §3.5 example.
+        let pleaf = BoolExpr::lt(v("NP").scale(8), v("NS") + k(6));
+        let var_leaf = BoolExpr::gt0(SymExpr::elem(sym("B"), v("i")));
+        let body = Pdag::or(vec![Pdag::leaf(pleaf.clone()), Pdag::leaf(var_leaf)]);
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body);
+        let s = simplify(&p, &RangeEnv::new());
+        match &s {
+            Pdag::Or(parts) => {
+                assert!(
+                    parts.iter().any(|q| matches!(q, Pdag::Leaf(b) if *b == pleaf)),
+                    "invariant leaf must be hoisted: {s}"
+                );
+                assert!(
+                    parts.iter().any(|q| matches!(q, Pdag::ForAll { .. })),
+                    "variant part must stay quantified: {s}"
+                );
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fully_invariant_forall_collapses() {
+        // ∧_{i=1..N} (8NP < NS+6) → (N < 1) ∨ (8NP < NS+6); with the
+        // fact N ≥ 1 the guard folds away, giving the bare O(1) leaf —
+        // exactly the paper's SOLVH example.
+        let pleaf = BoolExpr::lt(v("NP").scale(8), v("NS") + k(6));
+        let inner = Pdag::forall(sym("kk"), k(1), v("IAi"), Pdag::leaf(pleaf.clone()));
+        let outer = Pdag::forall(sym("ii"), k(1), v("N"), inner);
+        let env = RangeEnv::new()
+            .with_fact(BoolExpr::ge0(v("N") - k(1)))
+            .with_fact(BoolExpr::ge0(v("IAi") - k(1)));
+        let s = simplify(&outer, &env);
+        assert_eq!(s, Pdag::leaf(pleaf));
+    }
+
+    #[test]
+    fn common_factor_extraction() {
+        let a = Pdag::leaf(BoolExpr::gt0(v("A")));
+        let b1 = Pdag::leaf(BoolExpr::gt0(v("B1")));
+        let b2 = Pdag::leaf(BoolExpr::gt0(v("B2")));
+        let p = Pdag::and(vec![
+            Pdag::or(vec![b1.clone(), a.clone()]),
+            Pdag::or(vec![b2.clone(), a.clone()]),
+        ]);
+        let s = simplify(&p, &RangeEnv::new());
+        // Expect (B1 ∧ B2) ∨ A (possibly leaf-fused).
+        match &s {
+            Pdag::Or(parts) => assert!(parts.len() >= 2, "{s}"),
+            Pdag::Leaf(b) => {
+                let expected = BoolExpr::or(vec![
+                    BoolExpr::gt0(v("A")),
+                    BoolExpr::and(vec![BoolExpr::gt0(v("B1")), BoolExpr::gt0(v("B2"))]),
+                ]);
+                assert_eq!(*b, expected);
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forall_range_informs_leaf_decision() {
+        // ∧_{i=1..N} (i > 0) is decided true from the range alone.
+        let body = Pdag::leaf(BoolExpr::gt0(v("i")));
+        let p = Pdag::forall(sym("i"), k(1), v("N"), body);
+        let s = simplify(&p, &RangeEnv::new());
+        assert!(s.is_true(), "got {s}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Lexer for the mini-Fortran surface syntax.
+//!
+//! Free-form (not column-sensitive), case-insensitive keywords, `!` and
+//! full-line `C`/`c`/`*` comments, Fortran dot-operators (`.EQ.`,
+//! `.AND.`, …) and the usual arithmetic punctuation.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (uppercased for keywords at parse time).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// Dot operator (`EQ`, `NE`, `LT`, `LE`, `GT`, `GE`, `AND`, `OR`,
+    /// `NOT`, `TRUE`, `FALSE`), stored uppercased without dots.
+    DotOp(String),
+    /// Statement separator (newline or `;`).
+    Newline,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::StarStar => write!(f, "**"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DotOp(s) => write!(f, ".{s}."),
+            Tok::Newline => write!(f, "<nl>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line_no: u32 = 0;
+    for raw_line in src.lines() {
+        line_no += 1;
+        let line = raw_line.trim_end();
+        let trimmed = line.trim_start();
+        // Full-line comments (classic Fortran 'C' in column 1 included).
+        if trimmed.is_empty() {
+            continue;
+        }
+        let first = line.chars().next().unwrap_or(' ');
+        if (first == 'C' || first == 'c' || first == '*')
+            && line
+                .chars()
+                .nth(1)
+                .map(|c| c.is_whitespace() || c == 'C' || c == 'c')
+                .unwrap_or(true)
+        {
+            continue;
+        }
+        lex_line(trimmed, line_no, &mut out)?;
+        if out.last().map(|s| &s.tok) != Some(&Tok::Newline) {
+            out.push(Spanned {
+                tok: Tok::Newline,
+                line: line_no,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn lex_line(line: &str, line_no: u32, out: &mut Vec<Spanned>) -> Result<(), LexError> {
+    let bytes: Vec<char> = line.chars().collect();
+    let n = bytes.len();
+    let mut i = 0;
+    let push = |out: &mut Vec<Spanned>, tok: Tok| {
+        out.push(Spanned { tok, line: line_no });
+    };
+    while i < n {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '!' => break, // inline comment
+            ';' => {
+                push(out, Tok::Newline);
+                i += 1;
+            }
+            '(' => {
+                push(out, Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push(out, Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                push(out, Tok::Comma);
+                i += 1;
+            }
+            '=' => {
+                push(out, Tok::Assign);
+                i += 1;
+            }
+            '+' => {
+                push(out, Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                push(out, Tok::Minus);
+                i += 1;
+            }
+            '/' => {
+                push(out, Tok::Slash);
+                i += 1;
+            }
+            '*' => {
+                if i + 1 < n && bytes[i + 1] == '*' {
+                    push(out, Tok::StarStar);
+                    i += 2;
+                } else {
+                    push(out, Tok::Star);
+                    i += 1;
+                }
+            }
+            '.' => {
+                // Either a dot-operator (.EQ.) or a real literal (.5).
+                if i + 1 < n && bytes[i + 1].is_ascii_alphabetic() {
+                    let mut j = i + 1;
+                    while j < n && bytes[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '.' {
+                        let word: String =
+                            bytes[i + 1..j].iter().collect::<String>().to_uppercase();
+                        push(out, Tok::DotOp(word));
+                        i = j + 1;
+                    } else {
+                        return Err(LexError {
+                            message: format!("unterminated dot-operator near '.{}'",
+                                bytes[i + 1..j].iter().collect::<String>()),
+                            line: line_no,
+                        });
+                    }
+                } else {
+                    let (tok, next) = lex_number(&bytes, i, line_no)?;
+                    push(out, tok);
+                    i = next;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&bytes, i, line_no)?;
+                push(out, tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                push(out, Tok::Ident(word));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line: line_no,
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lex_number(bytes: &[char], start: usize, line: u32) -> Result<(Tok, usize), LexError> {
+    let n = bytes.len();
+    let mut i = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    let mut s = String::new();
+    while i < n {
+        let c = bytes[i];
+        if c.is_ascii_digit() {
+            s.push(c);
+            i += 1;
+        } else if c == '.' && !saw_dot && !saw_exp {
+            // A dot followed by a letter is a dot-operator boundary
+            // (e.g. `1.AND.`): stop the number before it.
+            if i + 1 < n && bytes[i + 1].is_ascii_alphabetic() {
+                break;
+            }
+            saw_dot = true;
+            s.push(c);
+            i += 1;
+        } else if (c == 'e' || c == 'E' || c == 'd' || c == 'D') && !saw_exp {
+            saw_exp = true;
+            s.push('e');
+            i += 1;
+            if i < n && (bytes[i] == '+' || bytes[i] == '-') {
+                s.push(bytes[i]);
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    if saw_dot || saw_exp {
+        s.parse::<f64>()
+            .map(|v| (Tok::Real(v), i))
+            .map_err(|e| LexError {
+                message: format!("bad real literal '{s}': {e}"),
+                line,
+            })
+    } else {
+        s.parse::<i64>()
+            .map(|v| (Tok::Int(v), i))
+            .map_err(|e| LexError {
+                message: format!("bad integer literal '{s}': {e}"),
+                line,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    #[test]
+    fn basic_assignment() {
+        assert_eq!(
+            toks("X(j) = X(j) + 1"),
+            vec![
+                Tok::Ident("X".into()),
+                Tok::LParen,
+                Tok::Ident("j".into()),
+                Tok::RParen,
+                Tok::Assign,
+                Tok::Ident("X".into()),
+                Tok::LParen,
+                Tok::Ident("j".into()),
+                Tok::RParen,
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_operators() {
+        assert_eq!(
+            toks("IF (SYM .NE. 1 .AND. N.GT.0)"),
+            vec![
+                Tok::Ident("IF".into()),
+                Tok::LParen,
+                Tok::Ident("SYM".into()),
+                Tok::DotOp("NE".into()),
+                Tok::Int(1),
+                Tok::DotOp("AND".into()),
+                Tok::Ident("N".into()),
+                Tok::DotOp("GT".into()),
+                Tok::Int(0),
+                Tok::RParen,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_power() {
+        assert_eq!(
+            toks("y = 2.5e3 ** 2"),
+            vec![
+                Tok::Ident("y".into()),
+                Tok::Assign,
+                Tok::Real(2500.0),
+                Tok::StarStar,
+                Tok::Int(2),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let src = "C full line comment\n  x = 1 ! trailing\n* another comment\n";
+        assert_eq!(
+            toks(src),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn number_dotop_boundary() {
+        // `1.AND.` must lex as Int(1), DotOp(AND).
+        assert_eq!(
+            toks("IF (i.EQ.1.AND.j.GT.2)"),
+            vec![
+                Tok::Ident("IF".into()),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::DotOp("EQ".into()),
+                Tok::Int(1),
+                Tok::DotOp("AND".into()),
+                Tok::Ident("j".into()),
+                Tok::DotOp("GT".into()),
+                Tok::Int(2),
+                Tok::RParen,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_bad_character() {
+        assert!(lex("x = @").is_err());
+    }
+}

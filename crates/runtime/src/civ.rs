@@ -1,0 +1,393 @@
+//! CIV precomputation (the paper's CIV-COMP, §3.3).
+//!
+//! Conditionally-incremented induction variables make per-iteration
+//! access sets depend on loop-carried scalar state. The analysis binds
+//! them to *trace atoms* `s@trace(i)`; before parallel execution, the
+//! runtime materializes those traces by executing the *loop slice* — the
+//! dependence closure of the statements computing the CIVs — once,
+//! sequentially, recording each scalar's value at every iteration entry.
+//! (For `track`'s while loops this slice is almost the whole body, which
+//! is exactly why the paper reports RTov ≈ 47% there.)
+
+use std::collections::BTreeSet;
+
+use lip_ir::{ExecState, LValue, Machine, RunError, Stmt, Store, Subroutine, Value};
+use lip_symbolic::Sym;
+
+/// Extracts the slice of `body` needed to compute `targets` each
+/// iteration: the transitive closure of statements assigning needed
+/// scalars, keeping enclosing control flow intact (paper §5: the
+/// CDG-transitive closure of the predicate's input symbols).
+pub fn extract_slice(body: &[Stmt], targets: &BTreeSet<Sym>) -> Vec<Stmt> {
+    // Grow the needed-symbol set to a fixed point.
+    let mut needed = targets.clone();
+    loop {
+        let before = needed.len();
+        grow_needed(body, &mut needed);
+        if needed.len() == before {
+            break;
+        }
+    }
+    filter_stmts(body, &needed)
+}
+
+fn grow_needed(stmts: &[Stmt], needed: &mut BTreeSet<Sym>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign {
+                lhs: LValue::Scalar(v),
+                rhs,
+            } if needed.contains(v) => {
+                needed.extend(expr_syms(rhs));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if touches(then_body, needed) || touches(else_body, needed) {
+                    needed.extend(expr_syms(cond));
+                }
+                grow_needed(then_body, needed);
+                grow_needed(else_body, needed);
+            }
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                if touches(body, needed) {
+                    needed.insert(*var);
+                    needed.extend(expr_syms(lo));
+                    needed.extend(expr_syms(hi));
+                    if let Some(st) = step {
+                        needed.extend(expr_syms(st));
+                    }
+                }
+                grow_needed(body, needed);
+            }
+            Stmt::While { cond, body, .. } => {
+                if touches(body, needed) {
+                    needed.extend(expr_syms(cond));
+                }
+                grow_needed(body, needed);
+            }
+            Stmt::Read { .. } | Stmt::Call { .. } | Stmt::Assign { .. } => {}
+        }
+    }
+}
+
+fn touches(stmts: &[Stmt], needed: &BTreeSet<Sym>) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign {
+            lhs: LValue::Scalar(v),
+            ..
+        } => needed.contains(v),
+        Stmt::Read { targets } => targets.iter().any(|t| needed.contains(t)),
+        other => other.child_blocks().iter().any(|b| touches(b, needed)),
+    })
+}
+
+fn filter_stmts(stmts: &[Stmt], needed: &BTreeSet<Sym>) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Assign {
+                lhs: LValue::Scalar(v),
+                ..
+            } if needed.contains(v) => out.push(s.clone()),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let t = filter_stmts(then_body, needed);
+                let e = filter_stmts(else_body, needed);
+                if !t.is_empty() || !e.is_empty() {
+                    out.push(Stmt::If {
+                        cond: cond.clone(),
+                        then_body: t,
+                        else_body: e,
+                    });
+                }
+            }
+            Stmt::Do {
+                label,
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let b = filter_stmts(body, needed);
+                if !b.is_empty() {
+                    out.push(Stmt::Do {
+                        label: label.clone(),
+                        var: *var,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        step: step.clone(),
+                        body: b,
+                    });
+                }
+            }
+            Stmt::While { label, cond, body } => {
+                let b = filter_stmts(body, needed);
+                if !b.is_empty() {
+                    out.push(Stmt::While {
+                        label: label.clone(),
+                        cond: cond.clone(),
+                        body: b,
+                    });
+                }
+            }
+            Stmt::Read { targets } if targets.iter().any(|t| needed.contains(t)) => {
+                out.push(s.clone())
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn expr_syms(e: &lip_ir::Expr) -> BTreeSet<Sym> {
+    use lip_ir::Expr;
+    let mut out = BTreeSet::new();
+    fn walk(e: &Expr, out: &mut BTreeSet<Sym>) {
+        match e {
+            Expr::Int(_) | Expr::Real(_) => {}
+            Expr::Var(s) => {
+                out.insert(*s);
+            }
+            Expr::Elem(a, idx) => {
+                out.insert(*a);
+                for i in idx {
+                    walk(i, out);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Expr::Un(_, a) => walk(a, out),
+            Expr::Intrin(_, args) => {
+                for a in args {
+                    walk(a, out);
+                }
+            }
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Runs the CIV slice sequentially and records, for each traced scalar,
+/// its value at the entry of every iteration (plus one final entry for
+/// the post-loop value). Returns the traces (bound into `frame` under
+/// the trace-array names) and the slice's work-unit cost.
+///
+/// For a `DO` loop the slice runs `lo..=hi`; for a `DO WHILE` it runs
+/// until the condition fails, additionally binding `<label>@niters`.
+///
+/// # Errors
+///
+/// Propagates interpreter failures from the slice execution.
+pub fn compute_civ_traces(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    civs: &[(Sym, Sym)],
+    frame: &mut Store,
+    niters_sym: Option<Sym>,
+) -> Result<u64, RunError> {
+    let mut state = ExecState::default();
+    let targets: BTreeSet<Sym> = civs.iter().map(|(s, _)| *s).collect();
+    let mut traces: Vec<(Sym, Sym, Vec<i64>)> = civs
+        .iter()
+        .map(|(s, t)| (*s, *t, Vec::new()))
+        .collect();
+    let mut slice_frame = frame.clone();
+
+    match target {
+        Stmt::Do {
+            var, lo, hi, body, ..
+        } => {
+            let slice = extract_slice(body, &targets);
+            let lo = machine.eval(sub, &slice_frame, lo, &mut state)?.as_i64();
+            let hi = machine.eval(sub, &slice_frame, hi, &mut state)?.as_i64();
+            let mut i = lo;
+            while i <= hi {
+                slice_frame.set_scalar(*var, Value::Int(i));
+                for (s, _, vals) in traces.iter_mut() {
+                    vals.push(slice_frame.scalar(*s).map(Value::as_i64).unwrap_or(0));
+                }
+                machine.exec_block(sub, &mut slice_frame, &slice, &mut state)?;
+                i += 1;
+            }
+            // Post-loop entry (trace(hi+1)).
+            for (s, _, vals) in traces.iter_mut() {
+                vals.push(slice_frame.scalar(*s).map(Value::as_i64).unwrap_or(0));
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let slice = extract_slice(body, &targets);
+            let mut n: i64 = 0;
+            loop {
+                let c = machine.eval(sub, &slice_frame, cond, &mut state)?;
+                for (s, _, vals) in traces.iter_mut() {
+                    vals.push(slice_frame.scalar(*s).map(Value::as_i64).unwrap_or(0));
+                }
+                if !c.truthy() {
+                    break;
+                }
+                n += 1;
+                machine.exec_block(sub, &mut slice_frame, &slice, &mut state)?;
+                if n > 100_000_000 {
+                    return Err(RunError::StepLimit);
+                }
+            }
+            if let Some(ns) = niters_sym {
+                frame.set_scalar(ns, Value::Int(n));
+            }
+        }
+        _ => {}
+    }
+
+    for (_, trace, vals) in traces {
+        let buf = lip_ir::ArrayBuf::from_i64(&vals);
+        frame.bind_array(
+            trace,
+            lip_ir::ArrayView {
+                buf,
+                offset: 0,
+                extents: vec![vals_len(&[])],
+            },
+        );
+    }
+    Ok(state.cost)
+}
+
+fn vals_len(_: &[i64]) -> i64 {
+    i64::MAX // trace views are 1-D, assumed-size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_ir::parse_program;
+    use lip_symbolic::sym;
+
+    #[test]
+    fn slice_keeps_only_needed_statements() {
+        let prog = parse_program(
+            "
+SUBROUTINE t(A, C, N)
+  DIMENSION A(*)
+  INTEGER C(*)
+  INTEGER i, civ, N
+  DO l1 i = 1, N
+    IF (C(i) .GT. 0) THEN
+      civ = civ + 1
+      A(civ) = 1.0
+    ENDIF
+  ENDDO
+END
+",
+        )
+        .expect("parses");
+        let sub = prog.units[0].clone();
+        let Stmt::Do { body, .. } = sub.find_loop("l1").expect("loop") else {
+            panic!()
+        };
+        let targets: BTreeSet<Sym> = [sym("civ")].into_iter().collect();
+        let slice = extract_slice(body, &targets);
+        // The IF survives (its branch assigns civ) but the array write
+        // is gone.
+        assert_eq!(slice.len(), 1);
+        let Stmt::If { then_body, .. } = &slice[0] else {
+            panic!("expected IF, got {slice:?}")
+        };
+        assert_eq!(then_body.len(), 1);
+    }
+
+    #[test]
+    fn traces_record_iteration_entries() {
+        let prog = parse_program(
+            "
+SUBROUTINE t(A, C, N)
+  DIMENSION A(*)
+  INTEGER C(*)
+  INTEGER i, civ, N
+  civ = 0
+  DO l1 i = 1, N
+    IF (C(i) .GT. 0) THEN
+      civ = civ + 1
+      A(civ) = 1.0
+    ENDIF
+  ENDDO
+END
+",
+        )
+        .expect("parses");
+        let sub = prog.units[0].clone();
+        let machine = Machine::new(prog.clone());
+        let target = sub.find_loop("l1").expect("loop").clone();
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 5).set_int(sym("civ"), 0);
+        frame.alloc_real(sym("A"), 16);
+        let c = frame.alloc_int(sym("C"), 5);
+        for (i, v) in [1, 0, 1, 1, 0].iter().enumerate() {
+            c.set(i, Value::Int(*v));
+        }
+        let civs = vec![(sym("civ"), sym("civ@tr"))];
+        let cost =
+            compute_civ_traces(&machine, &sub, &target, &civs, &mut frame, None)
+                .expect("slice runs");
+        assert!(cost > 0);
+        let tr = frame.array(sym("civ@tr")).expect("trace bound");
+        // Entry values: 0,1,1,2,3 then post-loop 3.
+        let got: Vec<i64> = (0..6).map(|k| tr.get_i64(k)).collect();
+        assert_eq!(got, vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn while_trip_count_is_bound() {
+        let prog = parse_program(
+            "
+SUBROUTINE t(N)
+  INTEGER k, N
+  k = 1
+  DO w1 WHILE (k .LT. N)
+    k = k + 2
+  ENDDO
+END
+",
+        )
+        .expect("parses");
+        let sub = prog.units[0].clone();
+        let machine = Machine::new(prog.clone());
+        let target = sub.find_loop("w1").expect("loop").clone();
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 10).set_int(sym("k"), 1);
+        let civs = vec![(sym("k"), sym("k@tr"))];
+        compute_civ_traces(
+            &machine,
+            &sub,
+            &target,
+            &civs,
+            &mut frame,
+            Some(sym("w1@niters")),
+        )
+        .expect("slice runs");
+        assert_eq!(
+            frame.scalar(sym("w1@niters")).map(Value::as_i64),
+            Some(5)
+        );
+        let tr = frame.array(sym("k@tr")).expect("trace");
+        assert_eq!(tr.get_i64(0), 1);
+        assert_eq!(tr.get_i64(4), 9);
+    }
+}

@@ -1,0 +1,697 @@
+//! The conditional-parallelization executor (paper §5).
+//!
+//! [`run_loop`] puts everything together for one analyzed loop:
+//!
+//! 1. precompute CIV traces via the loop slice (CIV-COMP),
+//! 2. evaluate the predicate cascade against live state (cheapest
+//!    stage first; the first success disables the rest),
+//! 3. execute: in parallel — with privatized copies (+ static/dynamic
+//!    last value), per-thread reduction buffers (or direct shared
+//!    updates when the runtime test proved independence) — or through
+//!    LRPD speculation when every predicate failed, or sequentially.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+
+use lip_analysis::{ArrayPlan, LastValue, LoopAnalysis, LoopClass};
+use lip_ir::{
+    AccessTracer, ArrayBuf, ArrayView, BinOp, ExecState, Machine, RunError, Stmt, Store, StoreCtx,
+    Ty, Value,
+};
+use lip_symbolic::Sym;
+use parking_lot::Mutex;
+
+use crate::civ::compute_civ_traces;
+use crate::lrpd::{lrpd_execute, LrpdOutcome};
+use crate::pool::{chunk_bounds, parallel_chunks};
+
+/// How the loop ended up being executed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecOutcome {
+    /// Ran in parallel without any runtime test.
+    StaticParallel,
+    /// A cascade stage passed; ran in parallel.
+    PredicatePassed {
+        /// Index of the first successful stage.
+        stage: usize,
+    },
+    /// All predicates failed; speculation decided.
+    Speculated(LrpdOutcome),
+    /// Ran sequentially (classified sequential, or empty plan).
+    Sequential,
+}
+
+/// Execution statistics (work units are the deterministic interpreter
+/// cost model shared with the simulator).
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// How the loop executed.
+    pub outcome: ExecOutcome,
+    /// Units spent on runtime tests (cascade + CIV slices).
+    pub test_units: u64,
+    /// Units spent executing the loop body.
+    pub loop_units: u64,
+}
+
+/// Per-array parallel-execution mode derived from the analysis.
+#[derive(Clone, Debug)]
+pub enum ExecPlan {
+    /// Access the shared buffer directly.
+    Shared,
+    /// Per-chunk private copy; `true` = static last value (the chunk
+    /// holding the last iteration writes back), `false` = dynamic last
+    /// value (chunk-ordered merge of written elements).
+    Private(bool),
+    /// Per-chunk identity-initialized buffer merged with the operator.
+    ReductionBuffer(BinOp),
+}
+
+/// Runs the analyzed loop against `frame`.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn run_loop(
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    target: &Stmt,
+    analysis: &LoopAnalysis,
+    frame: &mut Store,
+    nthreads: usize,
+) -> Result<RunStats, RunError> {
+    let mut test_units = 0u64;
+
+    // CIV-COMP: materialize traces + while-loop trip counts.
+    if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
+        let niters = matches!(target, Stmt::While { .. })
+            .then(|| lip_symbolic::sym(&format!("{}@niters", analysis.label)));
+        test_units +=
+            compute_civ_traces(machine, sub, target, &analysis.civs, frame, niters)?;
+    }
+
+    // While loops execute sequentially in this executor (their parallel
+    // form requires iteration re-indexing); the simulator models their
+    // parallel execution from the traces.
+    let Stmt::Do {
+        var, lo, hi, body, ..
+    } = target
+    else {
+        let mut st = ExecState::default();
+        machine.exec_stmt(sub, frame, target, &mut st)?;
+        return Ok(RunStats {
+            outcome: ExecOutcome::Sequential,
+            test_units,
+            loop_units: st.cost,
+        });
+    };
+
+    // Evaluate the cascade.
+    let (parallel_ok, outcome) = match &analysis.class {
+        LoopClass::StaticParallel => (true, ExecOutcome::StaticParallel),
+        LoopClass::StaticSequential => (false, ExecOutcome::Sequential),
+        LoopClass::Predicated { .. } => {
+            let ctx = StoreCtx(frame);
+            let mut passed = None;
+            for (k, stage) in analysis.cascade.stages.iter().enumerate() {
+                test_units += stage.pred.eval_cost(&ctx);
+                if stage.pred.eval(&ctx, 100_000_000) == Some(true) {
+                    passed = Some(k);
+                    break;
+                }
+            }
+            match passed {
+                Some(k) => (true, ExecOutcome::PredicatePassed { stage: k }),
+                None => {
+                    // Last resort (§5): exact USR evaluation, then TLS.
+                    let exact = analysis
+                        .ind_usr
+                        .as_ref()
+                        .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000));
+                    match exact {
+                        Some(s) if s.is_empty() => {
+                            (true, ExecOutcome::PredicatePassed { stage: usize::MAX })
+                        }
+                        Some(_) => (false, ExecOutcome::Sequential),
+                        None => {
+                            let arrays: Vec<Sym> =
+                                analysis.arrays.keys().copied().collect();
+                            let (out, cost) = lrpd_execute(
+                                machine, sub, target, frame, &arrays, nthreads,
+                            )?;
+                            return Ok(RunStats {
+                                outcome: ExecOutcome::Speculated(out),
+                                test_units,
+                                loop_units: cost,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        LoopClass::NeedsFallback(_) => {
+            // Straight to speculation on the written arrays.
+            let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
+            let (out, cost) =
+                lrpd_execute(machine, sub, target, frame, &arrays, nthreads)?;
+            return Ok(RunStats {
+                outcome: ExecOutcome::Speculated(out),
+                test_units,
+                loop_units: cost,
+            });
+        }
+    };
+
+    if !parallel_ok {
+        // Sequential execution; reductions/privatization unnecessary.
+        let mut st = ExecState::default();
+        machine.exec_stmt(sub, frame, target, &mut st)?;
+        return Ok(RunStats {
+            outcome: ExecOutcome::Sequential,
+            test_units,
+            loop_units: st.cost,
+        });
+    }
+
+    // Build per-array execution plans.
+    let mut plans: HashMap<Sym, ExecPlan> = HashMap::new();
+    for (arr, plan) in &analysis.arrays {
+        let mode = match plan {
+            ArrayPlan::ReadOnly | ArrayPlan::Independent | ArrayPlan::Predicated(_) => {
+                ExecPlan::Shared
+            }
+            ArrayPlan::Privatized { last_value, .. } => {
+                ExecPlan::Private(matches!(last_value, LastValue::Static))
+            }
+            ArrayPlan::Reduction { kind, cascade } => {
+                // No cascade stored = statically independent; a passing
+                // cascade proves distinct iterations touch distinct
+                // elements. Either way direct shared updates are safe;
+                // otherwise buffer per thread and merge.
+                let _ = kind;
+                let direct = match cascade {
+                    Some(c) => {
+                        let ctx = StoreCtx(frame);
+                        c.first_success(&ctx, 100_000_000).is_some()
+                    }
+                    None => true,
+                };
+                if direct {
+                    ExecPlan::Shared
+                } else {
+                    let op = red_op_of(plan);
+                    ExecPlan::ReductionBuffer(op)
+                }
+            }
+            ArrayPlan::Fallback(_) => ExecPlan::Shared, // handled above
+        };
+        plans.insert(*arr, mode);
+    }
+
+    let mut st = ExecState::default();
+    let lo_v = machine.eval(sub, frame, lo, &mut st)?.as_i64();
+    let hi_v = machine.eval(sub, frame, hi, &mut st)?.as_i64();
+    let loop_units = run_parallel_do(
+        machine,
+        sub,
+        *var,
+        lo_v,
+        hi_v,
+        body,
+        frame,
+        &plans,
+        &analysis.scalar_reductions,
+        &analysis.civs,
+        nthreads,
+    )?;
+    Ok(RunStats {
+        outcome,
+        test_units,
+        loop_units: loop_units + st.cost,
+    })
+}
+
+fn red_op_of(plan: &ArrayPlan) -> BinOp {
+    // The analysis records Lt/Gt for MIN/MAX reductions.
+    if let ArrayPlan::Reduction { .. } = plan {
+        BinOp::Add
+    } else {
+        BinOp::Add
+    }
+}
+
+/// A tracer recording written element indexes (dynamic last value).
+struct WriteSetTracer {
+    interesting: HashSet<Sym>,
+    writes: Mutex<HashMap<Sym, HashSet<usize>>>,
+}
+
+impl AccessTracer for WriteSetTracer {
+    fn read(&self, _arr: Sym, _idx: usize) {}
+    fn write(&self, arr: Sym, idx: usize) {
+        if self.interesting.contains(&arr) {
+            self.writes.lock().entry(arr).or_default().insert(idx);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_do(
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    var: Sym,
+    lo: i64,
+    hi: i64,
+    body: &[Stmt],
+    frame: &mut Store,
+    plans: &HashMap<Sym, ExecPlan>,
+    scalar_reds: &[Sym],
+    civs: &[(Sym, Sym)],
+    nthreads: usize,
+) -> Result<u64, RunError> {
+    if hi < lo {
+        return Ok(0);
+    }
+    let chunks = chunk_bounds(nthreads, lo, hi);
+    let nchunks = chunks.len();
+    let total_cost = Mutex::new(0u64);
+
+    struct ChunkOut {
+        idx: usize,
+        red: Vec<(Sym, Arc<ArrayBuf>, BinOp)>,
+        privs: Vec<(Sym, Arc<ArrayBuf>, bool)>,
+        writes: HashMap<Sym, HashSet<usize>>,
+        scalars: Vec<(Sym, Value)>,
+        last_scalar_values: Vec<(Sym, Value)>,
+    }
+    let outs: Mutex<Vec<ChunkOut>> = Mutex::new(Vec::new());
+    let any_error = AtomicBool::new(false);
+    let completed = AtomicUsize::new(0);
+
+    let dlv_arrays: HashSet<Sym> = plans
+        .iter()
+        .filter(|(_, p)| matches!(p, ExecPlan::Private(false)))
+        .map(|(a, _)| *a)
+        .collect();
+
+    parallel_chunks(nthreads, lo, hi, |chunk_idx, c_lo, c_hi| {
+        let mut local = frame.clone();
+        let mut out = ChunkOut {
+            idx: chunk_idx,
+            red: Vec::new(),
+            privs: Vec::new(),
+            writes: HashMap::new(),
+            scalars: Vec::new(),
+            last_scalar_values: Vec::new(),
+        };
+        // Rebind privatized / reduction arrays.
+        for (arr, plan) in plans {
+            let Some(view) = frame.array(*arr) else {
+                continue;
+            };
+            match plan {
+                ExecPlan::Shared => {}
+                ExecPlan::Private(slv) => {
+                    // Copy-in.
+                    let buf = clone_buf(&view.buf);
+                    local.bind_array(
+                        *arr,
+                        ArrayView {
+                            buf: buf.clone(),
+                            offset: view.offset,
+                            extents: view.extents.clone(),
+                        },
+                    );
+                    out.privs.push((*arr, buf, *slv));
+                }
+                ExecPlan::ReductionBuffer(op) => {
+                    let buf = identity_buf(&view.buf, *op);
+                    local.bind_array(
+                        *arr,
+                        ArrayView {
+                            buf: buf.clone(),
+                            offset: view.offset,
+                            extents: view.extents.clone(),
+                        },
+                    );
+                    out.red.push((*arr, buf, *op));
+                }
+            }
+        }
+        // CIV-COMP: seed loop-carried scalars from their precomputed
+        // traces at the chunk's first iteration (the whole point of the
+        // slice precomputation — chunks become independent).
+        for (s, trace) in civs {
+            if let Some(view) = frame.array(*trace) {
+                if let Some(v) = view.get_lin(c_lo) {
+                    local.set_scalar(*s, v);
+                }
+            }
+        }
+        // Scalar reductions start from the identity.
+        for s in scalar_reds {
+            let ty = sub.ty_of(*s);
+            local.set_scalar(
+                *s,
+                match ty {
+                    Ty::Int => Value::Int(0),
+                    Ty::Real => Value::Real(0.0),
+                },
+            );
+        }
+        // Dynamic-last-value tracking needs write sets.
+        let tracer = (!dlv_arrays.is_empty()).then(|| {
+            Arc::new(WriteSetTracer {
+                interesting: dlv_arrays.clone(),
+                writes: Mutex::new(HashMap::new()),
+            })
+        });
+        let m = match &tracer {
+            Some(t) => machine.with_tracer(t.clone() as Arc<dyn AccessTracer>),
+            None => machine.clone(),
+        };
+        let mut st = ExecState::default();
+        for i in c_lo..=c_hi {
+            local.set_scalar(var, Value::Int(i));
+            m.exec_block(sub, &mut local, body, &mut st)?;
+        }
+        if let Some(t) = tracer {
+            out.writes = std::mem::take(&mut *t.writes.lock());
+        }
+        for s in scalar_reds {
+            if let Some(v) = local.scalar(*s) {
+                out.scalars.push((*s, v));
+            }
+        }
+        // Live-out scalars from the last chunk (sequential semantics).
+        if chunk_idx == nchunks - 1 {
+            out.last_scalar_values.push((
+                var,
+                Value::Int(hi + 1),
+            ));
+        }
+        *total_cost.lock() += st.cost;
+        outs.lock().push(out);
+        completed.fetch_add(1, AtomicOrdering::Relaxed);
+        Ok::<(), RunError>(())
+    })?;
+    if any_error.load(AtomicOrdering::Relaxed) {
+        return Err(RunError::StepLimit);
+    }
+
+    // Merge phase (sequential, deterministic order).
+    let mut outs = outs.into_inner();
+    outs.sort_by_key(|o| o.idx);
+    for out in &outs {
+        // Reductions merge in any order.
+        for (arr, buf, op) in &out.red {
+            let shared = frame.array(*arr).expect("bound").buf.clone();
+            merge_reduction(&shared, buf, *op);
+        }
+        // DLV: chunk order, written elements only.
+        for (arr, buf, slv) in &out.privs {
+            if *slv {
+                continue;
+            }
+            if let Some(written) = out.writes.get(arr) {
+                let shared = frame.array(*arr).expect("bound").buf.clone();
+                for &idx in written {
+                    shared.set(idx, buf.get(idx));
+                }
+            }
+        }
+    }
+    // SLV: the chunk containing the last iteration writes back wholesale.
+    if let Some(last) = outs.last() {
+        for (arr, buf, slv) in &last.privs {
+            if *slv {
+                let shared = frame.array(*arr).expect("bound").buf.clone();
+                for idx in 0..shared.len() {
+                    shared.set(idx, buf.get(idx));
+                }
+            }
+        }
+        for (s, v) in &last.last_scalar_values {
+            frame.set_scalar(*s, *v);
+        }
+    }
+    // Scalar reductions: initial + Σ deltas.
+    for s in scalar_reds {
+        let init = frame.scalar(*s).unwrap_or(Value::Real(0.0));
+        let mut acc = init.as_f64();
+        let mut acc_i = init.as_i64();
+        for out in &outs {
+            for (t, v) in &out.scalars {
+                if t == s {
+                    acc += v.as_f64();
+                    acc_i += v.as_i64();
+                }
+            }
+        }
+        let v = match sub.ty_of(*s) {
+            Ty::Int => Value::Int(acc_i),
+            Ty::Real => Value::Real(acc),
+        };
+        frame.set_scalar(*s, v);
+    }
+    Ok(total_cost.into_inner())
+}
+
+fn clone_buf(buf: &Arc<ArrayBuf>) -> Arc<ArrayBuf> {
+    let snap = buf.snapshot();
+    match buf.ty() {
+        Ty::Int => {
+            let vals: Vec<i64> = snap.iter().map(|v| v.as_i64()).collect();
+            ArrayBuf::from_i64(&vals)
+        }
+        Ty::Real => {
+            let vals: Vec<f64> = snap.iter().map(|v| v.as_f64()).collect();
+            ArrayBuf::from_f64(&vals)
+        }
+    }
+}
+
+fn identity_buf(buf: &Arc<ArrayBuf>, op: BinOp) -> Arc<ArrayBuf> {
+    let id = match op {
+        BinOp::Mul => 1.0,
+        BinOp::Lt => f64::INFINITY,      // MIN reduction
+        BinOp::Gt => f64::NEG_INFINITY,  // MAX reduction
+        _ => 0.0,
+    };
+    match buf.ty() {
+        Ty::Int => {
+            let vals: Vec<i64> = vec![id as i64; buf.len()];
+            ArrayBuf::from_i64(&vals)
+        }
+        Ty::Real => {
+            let vals: Vec<f64> = vec![id; buf.len()];
+            ArrayBuf::from_f64(&vals)
+        }
+    }
+}
+
+fn merge_reduction(shared: &Arc<ArrayBuf>, private: &Arc<ArrayBuf>, op: BinOp) {
+    for idx in 0..shared.len() {
+        let a = shared.get(idx).as_f64();
+        let b = private.get(idx).as_f64();
+        let merged = match op {
+            BinOp::Mul => a * b,
+            BinOp::Lt => a.min(b),
+            BinOp::Gt => a.max(b),
+            _ => a + b,
+        };
+        shared.set(idx, Value::Real(merged));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_analysis::{analyze_loop, AnalysisConfig};
+    use lip_ir::parse_program;
+    use lip_symbolic::sym;
+
+    fn full_setup(src: &str, label: &str) -> (Machine, lip_ir::Subroutine, Stmt, LoopAnalysis) {
+        let prog = parse_program(src).expect("parses");
+        let sub = prog.units[0].clone();
+        let target = sub.find_loop(label).expect("loop").clone();
+        let analysis =
+            analyze_loop(&prog, sub.name, label, &AnalysisConfig::default()).expect("analyzed");
+        (Machine::new(prog), sub, target, analysis)
+    }
+
+    #[test]
+    fn static_parallel_matches_sequential() {
+        let src = "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(*), B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = B(i) * 2.0 + 1.0
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let n = 1000usize;
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n as i64);
+        frame.alloc_real(sym("A"), n);
+        let b = frame.alloc_real(sym("B"), n);
+        for i in 0..n {
+            b.set(i, Value::Real(i as f64));
+        }
+        let stats =
+            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        assert_eq!(stats.outcome, ExecOutcome::StaticParallel);
+        let a = frame.array(sym("A")).expect("A");
+        for i in 0..n {
+            assert_eq!(a.get_f64(i), (i as f64) * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn predicate_pass_then_parallel() {
+        // A(i) = A(i+M): parallel iff M >= N.
+        let src = "
+SUBROUTINE t(A, N, M)
+  DIMENSION A(*)
+  INTEGER i, N, M
+  DO l1 i = 1, N
+    A(i) = A(i + M) + 1.0
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let n = 500i64;
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n).set_int(sym("M"), n);
+        let a = frame.alloc_real(sym("A"), 2 * n as usize);
+        for i in 0..(2 * n) as usize {
+            a.set(i, Value::Real(i as f64));
+        }
+        let stats =
+            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        assert!(matches!(stats.outcome, ExecOutcome::PredicatePassed { .. }));
+        let av = frame.array(sym("A")).expect("A");
+        assert_eq!(av.get_f64(0), (n as f64) + 1.0);
+        assert!(stats.test_units > 0);
+
+        // Failing predicate: runs sequentially, still correct.
+        let mut frame2 = Store::new();
+        frame2.set_int(sym("N"), n).set_int(sym("M"), 1);
+        let a2 = frame2.alloc_real(sym("A"), (n + 1) as usize);
+        for i in 0..=(n as usize) {
+            a2.set(i, Value::Real(0.0));
+        }
+        a2.set(n as usize, Value::Real(7.0));
+        let stats2 =
+            run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
+        assert_eq!(stats2.outcome, ExecOutcome::Sequential);
+        // Sequential anti-dependence semantics: each A(i) reads the OLD
+        // A(i+1), so only A(N) sees the seeded 7.0.
+        let av2 = frame2.array(sym("A")).expect("A");
+        assert_eq!(av2.get_f64(0), 1.0);
+        assert_eq!(av2.get_f64((n - 1) as usize), 8.0);
+    }
+
+    #[test]
+    fn buffered_reduction_is_exact() {
+        // Non-injective index array: the cascade fails, buffers merge.
+        let src = "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(100)
+  INTEGER B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = A(B(i)) + 1.0
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let n = 1000usize;
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n as i64);
+        frame.alloc_real(sym("A"), 100);
+        let b = frame.alloc_int(sym("B"), n);
+        for i in 0..n {
+            b.set(i, Value::Int((i % 10 + 1) as i64)); // heavy collisions
+        }
+        let stats =
+            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        // Regardless of path, the histogram must be exact.
+        let a = frame.array(sym("A")).expect("A");
+        for k in 0..10 {
+            assert_eq!(a.get_f64(k), 100.0, "bucket {k} (outcome {:?})", stats.outcome);
+        }
+    }
+
+    #[test]
+    fn scalar_reduction_merges() {
+        let src = "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  s = 10.0
+  DO l1 i = 1, N
+    s = s + A(i)
+  ENDDO
+END
+";
+        let prog = parse_program(src).expect("parses");
+        let sub = prog.units[0].clone();
+        let target = sub.find_loop("l1").expect("loop").clone();
+        let analysis = analyze_loop(&prog, sub.name, "l1", &AnalysisConfig::default())
+            .expect("analyzed");
+        let machine = Machine::new(prog);
+        let n = 100usize;
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n as i64);
+        frame.set_scalar(sym("s"), Value::Real(10.0));
+        let a = frame.alloc_real(sym("A"), n);
+        for i in 0..n {
+            a.set(i, Value::Real(1.0));
+        }
+        run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        assert_eq!(frame.scalar(sym("s")).map(Value::as_f64), Some(110.0));
+    }
+
+    #[test]
+    fn privatized_array_with_last_value() {
+        // T is written [1,M] then read each iteration: PRIV; its final
+        // content must be iteration N's (static last value).
+        let src = "
+SUBROUTINE t(A, T, N, M)
+  DIMENSION A(*), T(*)
+  INTEGER i, j, N, M
+  DO l1 i = 1, N
+    DO j = 1, M
+      T(j) = i + j
+    ENDDO
+    DO j = 1, M
+      A(i) = A(i) + T(j)
+    ENDDO
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let (n, m) = (64i64, 8i64);
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n).set_int(sym("M"), m);
+        frame.alloc_real(sym("A"), n as usize);
+        frame.alloc_real(sym("T"), m as usize);
+        let stats =
+            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        assert_ne!(stats.outcome, ExecOutcome::Sequential);
+        // A(i) = Σ_j (i + j); T's final = last iteration's values.
+        let a = frame.array(sym("A")).expect("A");
+        for i in 1..=n {
+            let expected: f64 = (1..=m).map(|j| (i + j) as f64).sum();
+            assert_eq!(a.get_f64((i - 1) as usize), expected, "A({i})");
+        }
+        let t = frame.array(sym("T")).expect("T");
+        for j in 1..=m {
+            assert_eq!(t.get_f64((j - 1) as usize), (n + j) as f64, "T({j})");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The parallel execution substrate (paper §5 "putting everything
+//! together").
+//!
+//! Given a [`lip_analysis::LoopAnalysis`], the [`exec`] module runs the
+//! loop: it evaluates the predicate cascade against live program state,
+//! precomputes CIV traces via a loop slice ([`civ`]), then executes the
+//! iterations — in parallel over real threads ([`pool`]) with
+//! privatization, last-value restoration and reduction merging, falling
+//! back to LRPD thread-level speculation ([`lrpd`]) or sequential
+//! execution when every test fails.
+//!
+//! The [`sim`] module provides the deterministic cost-model simulator
+//! (virtual `P` processors over interpreter work units) that regenerates
+//! the paper's 4/8/16-processor figures on any host; the real-thread
+//! path cross-checks its shape at the host's core count.
+
+pub mod civ;
+pub mod exec;
+pub mod inspector;
+pub mod lrpd;
+pub mod pool;
+pub mod sim;
+
+pub use civ::{compute_civ_traces, extract_slice};
+pub use exec::{run_loop, ExecOutcome, ExecPlan, RunStats};
+pub use inspector::{inspect, inspect_execute, InspectVerdict};
+pub use lrpd::{lrpd_execute, LrpdOutcome};
+pub use pool::parallel_chunks;
+pub use sim::{makespan, per_iteration_costs, simulate_loop, SimConfig, SimResult};

@@ -1,0 +1,256 @@
+//! LRPD-style thread-level speculation (the paper's last-resort test,
+//! citing Rauchwerger & Padua [25]).
+//!
+//! The loop runs speculatively in parallel while *shadow arrays* record,
+//! per element, which iteration last wrote it and whether any other
+//! iteration read it. A cross-iteration conflict (write/write or
+//! read-write between distinct iterations) marks the speculation failed;
+//! the arrays are then restored from a backup and the loop re-runs
+//! sequentially.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+use lip_ir::{AccessTracer, ExecState, Machine, RunError, Stmt, Store, Subroutine, Value};
+use lip_symbolic::Sym;
+use parking_lot::Mutex;
+
+use crate::pool::parallel_chunks;
+
+/// Per-array shadow state.
+struct Shadow {
+    /// Last writing iteration per element (-1 = none).
+    writer: Vec<AtomicI64>,
+    /// Any reading iteration per element (-1 = none; only one witness is
+    /// needed to detect a cross-iteration read/write pair).
+    reader: Vec<AtomicI64>,
+}
+
+/// Shared speculation state: shadows plus the conflict flag.
+struct SpecState {
+    shadows: HashMap<Sym, Shadow>,
+    conflict: AtomicBool,
+}
+
+/// The tracer bound to one speculative iteration.
+struct IterTracer {
+    state: Arc<SpecState>,
+    iter: i64,
+}
+
+impl AccessTracer for IterTracer {
+    fn read(&self, arr: Sym, idx: usize) {
+        let Some(sh) = self.state.shadows.get(&arr) else {
+            return;
+        };
+        let Some(w) = sh.writer.get(idx) else { return };
+        let prev_writer = w.load(Ordering::Relaxed);
+        if prev_writer >= 0 && prev_writer != self.iter {
+            self.state.conflict.store(true, Ordering::Relaxed);
+        }
+        sh.reader[idx].store(self.iter, Ordering::Relaxed);
+    }
+
+    fn write(&self, arr: Sym, idx: usize) {
+        let Some(sh) = self.state.shadows.get(&arr) else {
+            return;
+        };
+        let Some(w) = sh.writer.get(idx) else { return };
+        let prev_writer = w.swap(self.iter, Ordering::Relaxed);
+        if prev_writer >= 0 && prev_writer != self.iter {
+            self.state.conflict.store(true, Ordering::Relaxed);
+        }
+        let r = sh.reader[idx].load(Ordering::Relaxed);
+        if r >= 0 && r != self.iter {
+            self.state.conflict.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Result of a speculative run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrpdOutcome {
+    /// Speculation committed: the loop ran in parallel.
+    Committed,
+    /// A conflict was detected; the loop re-ran sequentially after
+    /// restoring the backup.
+    Aborted,
+}
+
+/// Speculatively executes the DO loop `target` (of `sub`) in parallel
+/// over `nthreads`, monitoring `arrays` for cross-iteration conflicts.
+///
+/// On conflict, restores the monitored arrays and re-runs sequentially.
+/// Returns the outcome and the accumulated work units (speculation +
+/// possible sequential re-run).
+///
+/// # Errors
+///
+/// Propagates interpreter errors (from either the speculative or the
+/// sequential run).
+pub fn lrpd_execute(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &Store,
+    arrays: &[Sym],
+    nthreads: usize,
+) -> Result<(LrpdOutcome, u64), RunError> {
+    let Stmt::Do {
+        var, lo, hi, body, ..
+    } = target
+    else {
+        return Err(RunError::StepLimit);
+    };
+    let mut state = ExecState::default();
+    let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
+    let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
+
+    // Backup + shadow allocation.
+    let mut backups: Vec<(Sym, Vec<Value>)> = Vec::new();
+    let mut shadows = HashMap::new();
+    for a in arrays {
+        if let Some(view) = frame.array(*a) {
+            backups.push((*a, view.buf.snapshot()));
+            let len = view.buf.len();
+            shadows.insert(
+                *a,
+                Shadow {
+                    writer: (0..len).map(|_| AtomicI64::new(-1)).collect(),
+                    reader: (0..len).map(|_| AtomicI64::new(-1)).collect(),
+                },
+            );
+        }
+    }
+    let spec = Arc::new(SpecState {
+        shadows,
+        conflict: AtomicBool::new(false),
+    });
+
+    // Speculative parallel execution.
+    let cost = Mutex::new(state.cost);
+    parallel_chunks(nthreads, lo_v, hi_v, |_, c_lo, c_hi| {
+        let mut local = frame.clone();
+        let mut st = ExecState::default();
+        for i in c_lo..=c_hi {
+            if spec.conflict.load(Ordering::Relaxed) {
+                break;
+            }
+            let tracer = Arc::new(IterTracer {
+                state: spec.clone(),
+                iter: i,
+            });
+            let traced = machine.with_tracer(tracer);
+            local.set_scalar(*var, Value::Int(i));
+            traced.exec_block(sub, &mut local, body, &mut st)?;
+        }
+        *cost.lock() += st.cost;
+        Ok::<(), RunError>(())
+    })?;
+    let mut total_cost = cost.into_inner();
+
+    if spec.conflict.load(Ordering::Relaxed) {
+        // Restore and re-run sequentially.
+        for (a, snap) in &backups {
+            if let Some(view) = frame.array(*a) {
+                view.buf.restore(snap);
+            }
+        }
+        let mut seq_frame = frame.clone();
+        let mut st = ExecState::default();
+        machine.exec_stmt(sub, &mut seq_frame, target, &mut st)?;
+        total_cost += st.cost;
+        return Ok((LrpdOutcome::Aborted, total_cost));
+    }
+    Ok((LrpdOutcome::Committed, total_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_ir::parse_program;
+    use lip_symbolic::sym;
+
+    fn setup(src: &str) -> (Machine, Subroutine, Stmt) {
+        let prog = parse_program(src).expect("parses");
+        let sub = prog.units[0].clone();
+        let target = sub.find_loop("l1").expect("loop").clone();
+        (Machine::new(prog), sub, target)
+    }
+
+    #[test]
+    fn independent_loop_commits() {
+        let (machine, sub, target) = setup(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = i * 2
+  ENDDO
+END
+",
+        );
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 64);
+        frame.alloc_real(sym("A"), 64);
+        let (outcome, _) =
+            lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")], 2).expect("runs");
+        assert_eq!(outcome, LrpdOutcome::Committed);
+        let a = frame.array(sym("A")).expect("A");
+        assert_eq!(a.get_f64(9), 20.0);
+        assert_eq!(a.get_f64(63), 128.0);
+    }
+
+    #[test]
+    fn conflicting_loop_aborts_and_recovers() {
+        // A(1) accumulates: every iteration writes the same element.
+        let (machine, sub, target) = setup(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(1) = A(1) + i
+  ENDDO
+END
+",
+        );
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 100);
+        frame.alloc_real(sym("A"), 4);
+        let (outcome, _) =
+            lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")], 2).expect("runs");
+        assert_eq!(outcome, LrpdOutcome::Aborted);
+        // The sequential re-run must produce the exact sum.
+        let a = frame.array(sym("A")).expect("A");
+        assert_eq!(a.get_f64(0), 5050.0);
+    }
+
+    #[test]
+    fn indirect_accesses_commit_when_injective() {
+        let (machine, sub, target) = setup(
+            "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(*)
+  INTEGER B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = A(B(i)) + 1.0
+  ENDDO
+END
+",
+        );
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 32);
+        frame.alloc_real(sym("A"), 64);
+        let b = frame.alloc_int(sym("B"), 32);
+        for i in 0..32 {
+            b.set(i, Value::Int((i as i64) * 2 + 1)); // injective
+        }
+        let (outcome, _) =
+            lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")], 2).expect("runs");
+        assert_eq!(outcome, LrpdOutcome::Committed);
+    }
+}

@@ -1,0 +1,333 @@
+//! The deterministic cost-model simulator.
+//!
+//! The paper's evaluation machines (quad-core Xeon, 8×dual-core POWER5)
+//! are unavailable; per DESIGN.md, timing figures are regenerated on a
+//! *virtual* `P`-processor machine over the interpreter's deterministic
+//! work units: sequential time is the summed unit cost, parallel time is
+//! the makespan of the block schedule plus a per-region spawn overhead,
+//! and runtime tests charge their own units (and/or-reduced across
+//! processors, as the paper's generated code evaluates O(N) predicates
+//! in parallel). This preserves exactly the *shape* claims the paper
+//! makes — speedups, scalability, overhead percentages, and the
+//! granularity-induced slowdowns of tiny loops.
+
+use lip_ir::{ExecState, Machine, RunError, Stmt, Store, Subroutine, Value};
+
+use crate::pool::chunk_bounds;
+
+/// Virtual machine parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct SimConfig {
+    /// Number of virtual processors.
+    pub procs: usize,
+    /// Work units charged per parallel-region spawn (thread fork/join).
+    pub spawn_overhead: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            procs: 4,
+            spawn_overhead: 4_000,
+        }
+    }
+}
+
+/// The simulated timing of one loop execution.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SimResult {
+    /// Sequential work units of the loop body.
+    pub seq_units: u64,
+    /// Parallel makespan (block schedule + spawn overhead), excluding
+    /// tests.
+    pub par_units: u64,
+    /// Runtime-test units (already divided across processors where the
+    /// test is a parallel and/or-reduction).
+    pub test_units: u64,
+}
+
+impl SimResult {
+    /// Parallel time including tests.
+    pub fn par_total(&self) -> u64 {
+        self.par_units + self.test_units
+    }
+
+    /// Test overhead as a fraction of the parallel runtime (the paper's
+    /// RTov column).
+    pub fn rt_overhead(&self) -> f64 {
+        if self.par_total() == 0 {
+            0.0
+        } else {
+            self.test_units as f64 / self.par_total() as f64
+        }
+    }
+
+    /// Speedup of the parallel execution over sequential.
+    pub fn speedup(&self) -> f64 {
+        if self.par_total() == 0 {
+            1.0
+        } else {
+            self.seq_units as f64 / self.par_total() as f64
+        }
+    }
+}
+
+/// Executes the DO loop once sequentially (mutating `frame`, so program
+/// state stays correct for whatever follows), recording per-iteration
+/// unit costs, and derives the simulated parallel makespan on
+/// `cfg.procs` processors. `test_seq_units` is the sequential cost of
+/// the runtime tests (cascade stages evaluated + CIV slices); it is
+/// parallelized as an and-reduction when `parallel_test` is set.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn simulate_loop(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &mut Store,
+    cfg: SimConfig,
+    test_seq_units: u64,
+    parallel_test: bool,
+    run_parallel: bool,
+) -> Result<SimResult, RunError> {
+    let per_iter = match target {
+        Stmt::Do {
+            var, lo, hi, body, ..
+        } => {
+            let mut state = ExecState::default();
+            let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
+            let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
+            let mut costs = Vec::new();
+            let mut i = lo_v;
+            while i <= hi_v {
+                frame.set_scalar(*var, Value::Int(i));
+                let before = state.cost;
+                machine.exec_block(sub, frame, body, &mut state)?;
+                costs.push(state.cost - before);
+                i += 1;
+            }
+            costs
+        }
+        Stmt::While { cond, body, .. } => {
+            let mut state = ExecState::default();
+            let mut costs = Vec::new();
+            loop {
+                let c = machine.eval(sub, frame, cond, &mut state)?;
+                if !c.truthy() {
+                    break;
+                }
+                let before = state.cost;
+                machine.exec_block(sub, frame, body, &mut state)?;
+                costs.push(state.cost - before);
+                if costs.len() > 100_000_000 {
+                    return Err(RunError::StepLimit);
+                }
+            }
+            costs
+        }
+        other => {
+            let mut state = ExecState::default();
+            machine.exec_stmt(sub, frame, other, &mut state)?;
+            vec![state.cost]
+        }
+    };
+
+    let seq_units: u64 = per_iter.iter().sum();
+    let test_units = if parallel_test && test_seq_units > 0 {
+        test_seq_units / cfg.procs as u64 + cfg.spawn_overhead
+    } else {
+        test_seq_units
+    };
+    let par_units = if run_parallel && !per_iter.is_empty() {
+        makespan(&per_iter, cfg.procs) + cfg.spawn_overhead
+    } else {
+        seq_units
+    };
+    Ok(SimResult {
+        seq_units,
+        par_units,
+        test_units,
+    })
+}
+
+/// Executes the loop once sequentially (mutating `frame`) and returns
+/// the per-iteration unit costs — the raw material for computing
+/// makespans at several processor counts without re-running.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn per_iteration_costs(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &mut Store,
+) -> Result<Vec<u64>, RunError> {
+    match target {
+        Stmt::Do {
+            var, lo, hi, body, ..
+        } => {
+            let mut state = ExecState::default();
+            let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
+            let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
+            let mut costs = Vec::new();
+            let mut i = lo_v;
+            while i <= hi_v {
+                frame.set_scalar(*var, Value::Int(i));
+                let before = state.cost;
+                machine.exec_block(sub, frame, body, &mut state)?;
+                costs.push(state.cost - before);
+                i += 1;
+            }
+            Ok(costs)
+        }
+        Stmt::While { cond, body, .. } => {
+            let mut state = ExecState::default();
+            let mut costs = Vec::new();
+            loop {
+                let c = machine.eval(sub, frame, cond, &mut state)?;
+                if !c.truthy() {
+                    break;
+                }
+                let before = state.cost;
+                machine.exec_block(sub, frame, body, &mut state)?;
+                costs.push(state.cost - before);
+                if costs.len() > 100_000_000 {
+                    return Err(RunError::StepLimit);
+                }
+            }
+            Ok(costs)
+        }
+        other => {
+            let mut state = ExecState::default();
+            machine.exec_stmt(sub, frame, other, &mut state)?;
+            Ok(vec![state.cost])
+        }
+    }
+}
+
+/// Block-scheduled makespan of the per-iteration costs on `procs`
+/// processors (same chunking as the real executor).
+pub fn makespan(per_iter: &[u64], procs: usize) -> u64 {
+    if per_iter.is_empty() {
+        return 0;
+    }
+    let n = per_iter.len() as i64;
+    chunk_bounds(procs, 1, n)
+        .into_iter()
+        .map(|(lo, hi)| {
+            per_iter[(lo - 1) as usize..=(hi - 1) as usize]
+                .iter()
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_ir::parse_program;
+    use lip_symbolic::sym;
+
+    #[test]
+    fn makespan_balances_uniform_work() {
+        let costs = vec![10u64; 100];
+        assert_eq!(makespan(&costs, 4), 250);
+        assert_eq!(makespan(&costs, 1), 1000);
+        // One fat iteration dominates.
+        let mut skewed = vec![1u64; 99];
+        skewed.push(1000);
+        assert!(makespan(&skewed, 4) >= 1000);
+    }
+
+    #[test]
+    fn simulation_produces_speedup_for_big_loops() {
+        let prog = parse_program(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = A(i) * 1.5 + 2.0
+  ENDDO
+END
+",
+        )
+        .expect("parses");
+        let sub = prog.units[0].clone();
+        let target = sub.find_loop("l1").expect("loop").clone();
+        let machine = Machine::new(prog);
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 20_000);
+        frame.alloc_real(sym("A"), 20_000);
+        let r = simulate_loop(
+            &machine,
+            &sub,
+            &target,
+            &mut frame,
+            SimConfig {
+                procs: 4,
+                spawn_overhead: 1_000,
+            },
+            0,
+            false,
+            true,
+        )
+        .expect("simulates");
+        let s = r.speedup();
+        assert!(s > 3.0 && s <= 4.0, "speedup {s}");
+    }
+
+    #[test]
+    fn tiny_loops_slow_down() {
+        // The flo52/ocean effect: granularity too small to amortize the
+        // spawn overhead.
+        let prog = parse_program(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = 1.0
+  ENDDO
+END
+",
+        )
+        .expect("parses");
+        let sub = prog.units[0].clone();
+        let target = sub.find_loop("l1").expect("loop").clone();
+        let machine = Machine::new(prog);
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 16);
+        frame.alloc_real(sym("A"), 16);
+        let r = simulate_loop(
+            &machine,
+            &sub,
+            &target,
+            &mut frame,
+            SimConfig {
+                procs: 4,
+                spawn_overhead: 4_000,
+            },
+            0,
+            false,
+            true,
+        )
+        .expect("simulates");
+        assert!(r.speedup() < 1.0, "speedup {}", r.speedup());
+    }
+
+    #[test]
+    fn rt_overhead_accounting() {
+        let r = SimResult {
+            seq_units: 100_000,
+            par_units: 25_000,
+            test_units: 250,
+        };
+        assert!(r.rt_overhead() < 0.01);
+        assert!(r.speedup() > 3.9);
+    }
+}

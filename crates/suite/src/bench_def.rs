@@ -1,0 +1,388 @@
+//! The 26-benchmark evaluation substrate (paper Tables 1–3).
+//!
+//! Each benchmark is modeled by the representative loops its table row
+//! reports, instantiated from the kernel shapes of [`crate::kernels`]
+//! with the row's classification as the *expected* outcome, its LSC as
+//! the loop weight, and the row's SC as the Amdahl bound for the
+//! whole-benchmark timing model.
+
+use crate::kernels::{self, KernelShape};
+
+/// Benchmark suite grouping (the paper's three tables).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SuiteKind {
+    /// Table 1 / Figure 10.
+    PerfectClub,
+    /// Table 2 / Figure 11.
+    Spec92,
+    /// Table 3 / Figures 12–13.
+    Spec2006,
+}
+
+/// One representative loop of a benchmark.
+#[derive(Copy, Clone)]
+pub struct LoopDef {
+    /// The kernel shape that reproduces the loop's access pattern.
+    pub shape: &'static KernelShape,
+    /// Problem size multiplier (relative to the benchmark base size).
+    pub size: usize,
+    /// The loop's share of sequential coverage (the LSC column).
+    pub weight: f64,
+    /// The paper's classification for this loop.
+    pub expected: &'static str,
+}
+
+/// A benchmark definition.
+pub struct BenchDef {
+    /// Benchmark name (lowercase, as in the paper).
+    pub name: &'static str,
+    /// Which table/figure it belongs to.
+    pub suite: SuiteKind,
+    /// Sequential coverage (SC column, fraction).
+    pub sc: f64,
+    /// Representative loops.
+    pub loops: &'static [LoopDef],
+    /// Paper-reported techniques (free text for the tables).
+    pub techniques: &'static str,
+}
+
+macro_rules! ld {
+    ($shape:expr, $size:expr, $weight:expr, $exp:expr) => {
+        LoopDef {
+            shape: &$shape,
+            size: $size,
+            weight: $weight,
+            expected: $exp,
+        }
+    };
+}
+
+/// The PERFECT-CLUB suite (Table 1).
+pub static PERFECT_CLUB: &[BenchDef] = &[
+    BenchDef {
+        name: "flo52",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.95,
+        techniques: "PRIV,SRED,SLV,RRED",
+        loops: &[
+            ld!(kernels::PRIVATE_SCRATCH, 600, 0.195, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 3000, 0.096, "STATIC-PAR"),
+            ld!(kernels::TINY_LOOP, 24, 0.003, "OI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "bdna",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.94,
+        techniques: "PRIV,S/RRED,CIVagg",
+        loops: &[
+            ld!(kernels::STENCIL, 6000, 0.595, "STATIC-PAR"),
+            ld!(kernels::CIV_CONDITIONAL, 3000, 0.315, "CIVagg"),
+        ],
+    },
+    BenchDef {
+        name: "arc2d",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.97,
+        techniques: "PRIV,SLV,MON",
+        loops: &[
+            ld!(kernels::PRIVATE_SCRATCH, 500, 0.163, "STATIC-PAR"),
+            ld!(kernels::OFFSET_CROSSOVER, 2500, 0.107, "FI O(1)"),
+            ld!(kernels::OFFSET_CROSSOVER, 2200, 0.090, "FI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "dyfesm",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.97,
+        techniques: "PRIV,EXT-RRED,HOIST-USR,MON",
+        loops: &[
+            ld!(kernels::EXT_REDUCTION, 1800, 0.439, "FI HOIST-USR / OI O(N)"),
+            ld!(kernels::MONOTONE_WINDOWS, 200, 0.273, "OI O(N)"),
+            ld!(kernels::SOLVH, 60, 0.142, "F/OI O(1)/O(N)"),
+        ],
+    },
+    BenchDef {
+        name: "mdg",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.99,
+        techniques: "PRIV,RRED",
+        loops: &[
+            ld!(kernels::STENCIL, 9000, 0.92, "STATIC-PAR"),
+            ld!(kernels::STATIC_REDUCTION, 900, 0.070, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "trfd",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.99,
+        techniques: "PRIV,SLV,MON",
+        loops: &[
+            ld!(kernels::STENCIL, 6400, 0.637, "STATIC-PAR"),
+            ld!(kernels::OFFSET_CROSSOVER, 3100, 0.309, "FI O(1)"),
+            ld!(kernels::MONOTONE_WINDOWS, 120, 0.039, "OI O(N)"),
+        ],
+    },
+    BenchDef {
+        name: "track",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.97,
+        techniques: "PRIV,CIVagg,CIV-COMP,TLS",
+        loops: &[
+            ld!(kernels::CIV_WHILE, 5000, 0.492, "CIV-COMP"),
+            ld!(kernels::CIV_WHILE, 4800, 0.466, "CIV-COMP"),
+            ld!(kernels::TLS_FEEDBACK, 150, 0.012, "TLS"),
+        ],
+    },
+    BenchDef {
+        name: "spec77",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.76,
+        techniques: "PRIV,SRED,SLV,TLS",
+        loops: &[
+            ld!(kernels::STENCIL, 5700, 0.571, "STATIC-PAR"),
+            ld!(kernels::TLS_FEEDBACK, 1600, 0.165, "TLS"),
+            ld!(kernels::OFFSET_CROSSOVER, 260, 0.024, "FI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "ocean",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.65,
+        techniques: "PRIV,SLV,MON",
+        loops: &[
+            ld!(kernels::OFFSET_CROSSOVER, 4500, 0.454, "FI O(1)"),
+            ld!(kernels::STENCIL, 520, 0.052, "STATIC-PAR"),
+            ld!(kernels::TINY_LOOP, 20, 0.002, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "qcd",
+        suite: SuiteKind::PerfectClub,
+        sc: 0.99,
+        techniques: "PRIV",
+        loops: &[
+            ld!(kernels::SEQ_RECURRENCE, 3200, 0.319, "STATIC-SEQ"),
+            ld!(kernels::SEQ_RECURRENCE, 3100, 0.316, "STATIC-SEQ"),
+            ld!(kernels::TINY_LOOP, 100, 0.010, "OI O(1)"),
+        ],
+    },
+];
+
+/// The SPEC89/92 suite (Table 2).
+pub static SPEC92: &[BenchDef] = &[
+    BenchDef {
+        name: "matrix300",
+        suite: SuiteKind::Spec92,
+        sc: 1.0,
+        techniques: "PRIV,RRED",
+        loops: &[
+            ld!(kernels::STENCIL, 3000, 0.302, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 3000, 0.300, "STATIC-PAR"),
+            ld!(kernels::INDEX_REDUCTION, 1280, 0.128, "OI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "swm256",
+        suite: SuiteKind::Spec92,
+        sc: 0.99,
+        techniques: "PRIV,SRED",
+        loops: &[
+            ld!(kernels::STENCIL, 4000, 0.406, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 3000, 0.297, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 2800, 0.278, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "ora",
+        suite: SuiteKind::Spec92,
+        sc: 1.0,
+        techniques: "PRIV,SLV,SRED",
+        loops: &[ld!(kernels::STATIC_REDUCTION, 10000, 0.999, "STATIC-PAR")],
+    },
+    BenchDef {
+        name: "nasa7",
+        suite: SuiteKind::Spec92,
+        sc: 0.90,
+        techniques: "PRIV,SLV,SRED,CIVagg",
+        loops: &[
+            ld!(kernels::OFFSET_CROSSOVER, 2100, 0.211, "FI O(1)"),
+            ld!(kernels::CIV_CONDITIONAL, 1300, 0.132, "SLV O(N) CIV-COMP"),
+            ld!(kernels::OFFSET_CROSSOVER, 940, 0.094, "FI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "tomcatv",
+        suite: SuiteKind::Spec92,
+        sc: 1.0,
+        techniques: "PRIV,SLV,SRED",
+        loops: &[
+            ld!(kernels::STENCIL, 3800, 0.378, "STATIC-PAR"),
+            ld!(kernels::TINY_LOOP, 40, 0.003, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 1100, 0.109, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "mdljdp2",
+        suite: SuiteKind::Spec92,
+        sc: 0.87,
+        techniques: "PRIV,S/RRED",
+        loops: &[
+            ld!(kernels::STENCIL, 8000, 0.824, "STATIC-PAR"),
+            ld!(kernels::TINY_LOOP, 60, 0.016, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "hydro2d",
+        suite: SuiteKind::Spec92,
+        sc: 0.92,
+        techniques: "PRIV",
+        loops: &[
+            ld!(kernels::STENCIL, 1800, 0.176, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 1400, 0.142, "STATIC-PAR"),
+            ld!(kernels::TINY_LOOP, 75, 0.075, "STATIC-PAR"),
+        ],
+    },
+];
+
+/// The SPEC2000/2006 suite (Table 3).
+pub static SPEC2006: &[BenchDef] = &[
+    BenchDef {
+        name: "wupwise",
+        suite: SuiteKind::Spec2006,
+        sc: 0.93,
+        techniques: "PRIV,RRED,SLV",
+        loops: &[
+            ld!(kernels::OFFSET_CROSSOVER, 2600, 0.258, "F/OI O(1)"),
+            ld!(kernels::OFFSET_CROSSOVER, 2600, 0.259, "F/OI O(1)"),
+            ld!(kernels::OFFSET_CROSSOVER, 2100, 0.207, "F/OI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "apsi",
+        suite: SuiteKind::Spec2006,
+        sc: 0.99,
+        techniques: "HOIST-USR,PRIV,SRED,SLV",
+        loops: &[
+            ld!(kernels::HOIST_INDIRECT, 1800, 0.176, "FI HOIST-USR"),
+            ld!(kernels::HOIST_INDIRECT, 1000, 0.104, "FI HOIST-USR"),
+            ld!(kernels::STENCIL, 1100, 0.110, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "applu",
+        suite: SuiteKind::Spec2006,
+        sc: 0.98,
+        techniques: "PRIV,S/RRED,SLV",
+        loops: &[
+            ld!(kernels::SEQ_RECURRENCE, 2800, 0.284, "STATIC-SEQ"),
+            ld!(kernels::SEQ_RECURRENCE, 2800, 0.281, "STATIC-SEQ"),
+            ld!(kernels::STENCIL, 1400, 0.141, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "mgrid",
+        suite: SuiteKind::Spec2006,
+        sc: 1.0,
+        techniques: "PRIV",
+        loops: &[
+            ld!(kernels::STENCIL, 5100, 0.515, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 2900, 0.289, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "swim",
+        suite: SuiteKind::Spec2006,
+        sc: 1.0,
+        techniques: "PRIV,SRED",
+        loops: &[
+            ld!(kernels::STENCIL, 4500, 0.448, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 2000, 0.205, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 1800, 0.180, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "bwaves",
+        suite: SuiteKind::Spec2006,
+        sc: 1.0,
+        techniques: "PRIV,SLV,SRED",
+        loops: &[
+            ld!(kernels::STENCIL, 7500, 0.751, "STATIC-PAR"),
+            ld!(kernels::STENCIL, 580, 0.058, "STATIC-PAR"),
+        ],
+    },
+    BenchDef {
+        name: "zeusmp",
+        suite: SuiteKind::Spec2006,
+        sc: 0.99,
+        techniques: "PRIV,SLV,UMEG",
+        loops: &[
+            ld!(kernels::STENCIL, 1000, 0.103, "STATIC-PAR"),
+            ld!(kernels::GATED_BRANCHES, 760, 0.076, "F/OI O(1) UMEG"),
+            ld!(kernels::GATED_BRANCHES, 240, 0.024, "OI O(1)"),
+        ],
+    },
+    BenchDef {
+        name: "gromacs",
+        suite: SuiteKind::Spec2006,
+        sc: 0.90,
+        techniques: "PRIV,RRED,BOUNDS-COMP",
+        loops: &[
+            ld!(kernels::INDEX_REDUCTION, 8500, 0.848, "BOUNDS-COMP"),
+            ld!(kernels::INDEX_REDUCTION, 220, 0.022, "BOUNDS-COMP"),
+        ],
+    },
+    BenchDef {
+        name: "calculix",
+        suite: SuiteKind::Spec2006,
+        sc: 0.74,
+        techniques: "SRED,PRIV,UMEG,BOUNDS-COMP",
+        loops: &[ld!(kernels::INDEX_REDUCTION, 7400, 0.737, "BOUNDS-COMP F/OI O(N)/O(1)")],
+    },
+    BenchDef {
+        name: "gamess",
+        suite: SuiteKind::Spec2006,
+        sc: 0.32,
+        techniques: "PRIV,RRED",
+        loops: &[
+            ld!(kernels::STATIC_REDUCTION, 180, 0.18, "STATIC-PAR"),
+            ld!(kernels::STATIC_REDUCTION, 140, 0.140, "STATIC-PAR"),
+        ],
+    },
+];
+
+/// All benchmarks across the three suites.
+pub fn all_benchmarks() -> Vec<&'static BenchDef> {
+    PERFECT_CLUB
+        .iter()
+        .chain(SPEC92.iter())
+        .chain(SPEC2006.iter())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_counts_match_paper_tables() {
+        assert_eq!(PERFECT_CLUB.len(), 10);
+        assert_eq!(SPEC92.len(), 7);
+        assert_eq!(SPEC2006.len(), 10);
+        // 26 measured + gamess (analyzed, not measured in figures).
+        assert_eq!(all_benchmarks().len(), 27);
+    }
+
+    #[test]
+    fn weights_do_not_exceed_coverage() {
+        for b in all_benchmarks() {
+            let total: f64 = b.loops.iter().map(|l| l.weight).sum();
+            assert!(
+                total <= b.sc + 1e-9,
+                "{}: loop weights {total} exceed SC {}",
+                b.name,
+                b.sc
+            );
+        }
+    }
+}

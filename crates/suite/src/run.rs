@@ -1,0 +1,443 @@
+//! Whole-benchmark measurement over the cost-model simulator.
+//!
+//! For each representative loop: analyze (hybrid + baseline), run the
+//! runtime tests against the prepared workload, measure per-iteration
+//! costs once, and derive parallel makespans for any processor count.
+//! Whole-benchmark times add the unmeasured remainder `(1−SC)` as
+//! sequential work (Amdahl), scaled from the measured loops.
+
+use lip_analysis::{analyze_loop, baseline_parallel, AnalysisConfig, LoopClass};
+use lip_ir::{Stmt, StoreCtx};
+use lip_runtime::civ::compute_civ_traces;
+use lip_runtime::sim::{makespan, per_iteration_costs};
+use lip_symbolic::sym;
+
+use crate::bench_def::BenchDef;
+use crate::kernels::KernelShape;
+
+/// Rough size of the reference set an exact USR evaluation touches
+/// (drives the HOIST-USR cost model).
+fn all_refs_estimate(u: &lip_usr::Usr, ctx: &dyn lip_symbolic::EvalCtx) -> u64 {
+    lip_usr::eval::eval_usr(u, ctx, 10_000_000)
+        .map(|s| s.len() as u64 * 4)
+        .unwrap_or(0)
+}
+
+/// Measurement of one representative loop.
+#[derive(Clone, Debug)]
+pub struct LoopMeasurement {
+    /// Kernel shape name.
+    pub shape: &'static str,
+    /// Loop label.
+    pub label: String,
+    /// The hybrid classification.
+    pub class: LoopClass,
+    /// Rendered technique set.
+    pub techniques: String,
+    /// Whether the runtime cascade passed on the workload (true also
+    /// for static classifications).
+    pub parallel: bool,
+    /// Whether the ifort/xlf-style baseline parallelizes it.
+    pub baseline_parallel: bool,
+    /// Per-iteration work units.
+    pub per_iter: Vec<u64>,
+    /// Runtime-test units (cascade + CIV slice), sequential.
+    pub test_units: u64,
+    /// The paper's expected classification string.
+    pub expected: &'static str,
+    /// LSC weight.
+    pub weight: f64,
+}
+
+impl LoopMeasurement {
+    /// Sequential units of this loop.
+    pub fn seq_units(&self) -> u64 {
+        self.per_iter.iter().sum()
+    }
+
+    /// Simulated parallel units on `procs` processors (including the
+    /// parallelized runtime test and spawn overhead).
+    /// Test units charged on the critical path: O(1) tests run inline;
+    /// large (O(N)) tests are and/or-reduced across processors with one
+    /// extra spawn (paper §5).
+    pub fn charged_test_units(&self, procs: usize, spawn: u64) -> u64 {
+        if self.test_units == 0 {
+            0
+        } else if self.test_units <= 4 * spawn {
+            self.test_units
+        } else {
+            self.test_units / procs as u64 + spawn
+        }
+    }
+
+    /// Simulated parallel units on `procs` processors (including the
+    /// runtime test and spawn overhead).
+    pub fn par_units(&self, procs: usize, spawn: u64) -> u64 {
+        let test = self.charged_test_units(procs, spawn);
+        if self.parallel {
+            makespan(&self.per_iter, procs) + spawn + test
+        } else {
+            self.seq_units() + test
+        }
+    }
+}
+
+/// Measures one loop of a benchmark.
+pub fn measure_loop(
+    shape: &'static KernelShape,
+    size: usize,
+    weight: f64,
+    expected: &'static str,
+) -> LoopMeasurement {
+    let mut p = shape.prepared(size);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("subroutine").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+
+    let analysis = analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default())
+        .expect("analysis");
+    let base = baseline_parallel(&sub, &target);
+
+    // Runtime tests on the live workload.
+    let mut test_units = 0u64;
+    if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
+        let niters = matches!(target, Stmt::While { .. })
+            .then(|| sym(&format!("{}@niters", analysis.label)));
+        test_units += compute_civ_traces(
+            &p.machine,
+            &sub,
+            &target,
+            &analysis.civs,
+            &mut p.frame,
+            niters,
+        )
+        .expect("civ slice");
+    }
+    let mut tls_speculated = false;
+    let parallel = match &analysis.class {
+        LoopClass::StaticParallel => true,
+        LoopClass::StaticSequential => false,
+        LoopClass::Predicated { .. } => {
+            let ctx = StoreCtx(&p.frame);
+            let mut passed = false;
+            for stage in &analysis.cascade.stages {
+                test_units += stage.pred.eval_cost(&ctx);
+                if stage.pred.eval(&ctx, 100_000_000) == Some(true) {
+                    passed = true;
+                    break;
+                }
+            }
+            if !passed {
+                // The paper's last resort: exact (hoisted) USR
+                // evaluation, then TLS (§5). Cost ≈ the touched
+                // reference count; amortized across invocations when
+                // hoistable (memoized, per §7's apsi discussion).
+                if let Some(u) = &analysis.ind_usr {
+                    match lip_usr::eval_usr(u, &ctx, 100_000_000) {
+                        Some(s) if s.is_empty() => {
+                            let refs = all_refs_estimate(u, &ctx);
+                            test_units += refs / 4;
+                            passed = true;
+                        }
+                        Some(_) => {}
+                        None => {
+                            // Not evaluable: thread-level speculation.
+                            // LRPD commits on independent workloads at
+                            // the cost of shadowing every reference.
+                            tls_speculated = true;
+                            passed = true;
+                        }
+                    }
+                }
+            }
+            passed
+        }
+        // Fallbacks (HOIST-USR / TLS) extract maximal parallelism at a
+        // cost proportional to the loop's references (paper §7): model
+        // as parallel with a test as expensive as one sequential pass.
+        LoopClass::NeedsFallback(_) => true,
+    };
+
+    let per_iter =
+        per_iteration_costs(&p.machine, &sub, &target, &mut p.frame).expect("measure");
+    if tls_speculated {
+        test_units += per_iter.iter().sum::<u64>() / 4;
+    }
+    if let LoopClass::NeedsFallback(kind) = &analysis.class {
+        // TLS shadows every reference (expensive); hoisted USR
+        // evaluation amortizes across loop invocations (paper: apsi's
+        // RUN loops are hoisted and memoized).
+        let seq: u64 = per_iter.iter().sum();
+        test_units += match kind {
+            lip_analysis::FallbackKind::Tls => seq / 4,
+            lip_analysis::FallbackKind::HoistUsr => seq / 20,
+        };
+    }
+
+    let techniques = analysis
+        .techniques
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    LoopMeasurement {
+        shape: shape.name,
+        label: analysis.label.clone(),
+        class: analysis.class.clone(),
+        techniques,
+        parallel,
+        baseline_parallel: base,
+        per_iter,
+        test_units,
+        expected,
+        weight,
+    }
+}
+
+/// Whole-benchmark timing model.
+#[derive(Clone, Debug)]
+pub struct BenchTiming {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Per-loop measurements.
+    pub loops: Vec<LoopMeasurement>,
+    /// Sequential coverage (Amdahl bound).
+    pub sc: f64,
+}
+
+impl BenchTiming {
+    /// Total sequential units including the unmeasured remainder.
+    pub fn seq_units(&self) -> u64 {
+        let measured: u64 = self.loops.iter().map(|l| l.seq_units()).sum();
+        let weight: f64 = self.loops.iter().map(|l| l.weight).sum::<f64>().max(1e-9);
+        // Scale to the whole program, then add the serial remainder.
+        (measured as f64 / weight).round() as u64
+    }
+
+    /// Units outside the analyzed loops (serial remainder).
+    fn remainder_units(&self) -> u64 {
+        let total = self.seq_units() as f64;
+        (total * (1.0 - self.sc).max(0.0)).round() as u64
+    }
+
+    /// Covered-but-unmeasured units (behave like the measured loops).
+    fn covered_scale(&self) -> f64 {
+        let weight: f64 = self.loops.iter().map(|l| l.weight).sum::<f64>().max(1e-9);
+        self.sc / weight
+    }
+
+    /// Simulated parallel time of the whole benchmark under our system.
+    pub fn par_units(&self, procs: usize, spawn: u64) -> u64 {
+        let par_measured: u64 = self.loops.iter().map(|l| l.par_units(procs, spawn)).sum();
+        (par_measured as f64 * self.covered_scale()).round() as u64 + self.remainder_units()
+    }
+
+    /// Simulated parallel time under the affine static baseline.
+    pub fn baseline_units(&self, procs: usize, spawn: u64) -> u64 {
+        let par_measured: u64 = self
+            .loops
+            .iter()
+            .map(|l| {
+                if l.baseline_parallel {
+                    makespan(&l.per_iter, procs) + spawn
+                } else {
+                    l.seq_units()
+                }
+            })
+            .sum();
+        (par_measured as f64 * self.covered_scale()).round() as u64 + self.remainder_units()
+    }
+
+    /// Runtime-test overhead as a fraction of parallel time (RTov).
+    pub fn rt_overhead(&self, procs: usize, spawn: u64) -> f64 {
+        let tests: u64 = self
+            .loops
+            .iter()
+            .map(|l| l.charged_test_units(procs, spawn))
+            .sum();
+        let par = self.par_units(procs, spawn);
+        if par == 0 {
+            0.0
+        } else {
+            (tests as f64 * self.covered_scale()) / par as f64
+        }
+    }
+
+    /// Coverage needing runtime tests (SCrt).
+    pub fn sc_rt(&self) -> f64 {
+        self.loops
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.class,
+                    LoopClass::Predicated { .. } | LoopClass::NeedsFallback(_)
+                ) || l.test_units > 0
+            })
+            .map(|l| l.weight)
+            .sum()
+    }
+}
+
+/// Measures a whole benchmark.
+pub fn measure_benchmark(def: &BenchDef) -> BenchTiming {
+    let loops = def
+        .loops
+        .iter()
+        .map(|l| measure_loop(l.shape, l.size, l.weight, l.expected))
+        .collect();
+    BenchTiming {
+        name: def.name,
+        loops,
+        sc: def.sc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_def;
+
+    #[test]
+    fn dyfesm_solvh_matches_paper_classification() {
+        let m = measure_loop(&crate::kernels::SOLVH, 40, 0.142, "F/OI O(1)/O(N)");
+        // The paper reports runtime flow/output tests for SOLVH_do20.
+        assert!(
+            matches!(m.class, LoopClass::Predicated { .. })
+                || matches!(m.class, LoopClass::NeedsFallback(_)),
+            "got {:?}",
+            m.class
+        );
+        // The baseline cannot touch it (calls, symbolic sections).
+        assert!(!m.baseline_parallel);
+    }
+
+    #[test]
+    fn stencils_are_static_parallel_for_both() {
+        let m = measure_loop(&crate::kernels::STENCIL, 200, 0.5, "STATIC-PAR");
+        assert_eq!(m.class, LoopClass::StaticParallel);
+        assert!(m.parallel);
+        assert!(m.baseline_parallel);
+        assert_eq!(m.test_units, 0);
+    }
+
+    #[test]
+    fn offset_crossover_needs_runtime_and_passes() {
+        let m = measure_loop(&crate::kernels::OFFSET_CROSSOVER, 256, 0.4, "FI O(1)");
+        assert!(matches!(m.class, LoopClass::Predicated { .. }));
+        assert!(m.parallel, "cascade should pass on the workload");
+        assert!(!m.baseline_parallel);
+        assert!(m.test_units > 0);
+    }
+
+    #[test]
+    fn sequential_recurrence_stays_sequential() {
+        let m = measure_loop(&crate::kernels::SEQ_RECURRENCE, 128, 0.3, "STATIC-SEQ");
+        assert!(!m.parallel);
+        assert!(!m.baseline_parallel);
+    }
+
+    #[test]
+    fn benchmark_speedups_have_paper_shape() {
+        // swim: fully static-parallel — near-linear speedup; the
+        // baseline matches (its loops are affine).
+        let swim = bench_def::SPEC2006
+            .iter()
+            .find(|b| b.name == "swim")
+            .expect("swim");
+        let t = measure_benchmark(swim);
+        let seq = t.seq_units() as f64;
+        let p8 = t.par_units(8, 2000) as f64;
+        assert!(seq / p8 > 4.0, "swim 8-proc speedup {}", seq / p8);
+
+        // ocean: SC = 0.65 caps the speedup hard (Amdahl), and the
+        // factorization must beat the baseline (FTRVMT needs the O(1)
+        // predicate the baseline lacks).
+        let ocean = bench_def::PERFECT_CLUB
+            .iter()
+            .find(|b| b.name == "ocean")
+            .expect("ocean");
+        let t = measure_benchmark(ocean);
+        let seq = t.seq_units() as f64;
+        let ours = t.par_units(4, 2000) as f64;
+        let base = t.baseline_units(4, 2000) as f64;
+        assert!(seq / ours < 2.0, "ocean speedup {}", seq / ours);
+        assert!(ours < base, "factorization {ours} vs baseline {base}");
+    }
+
+    #[test]
+    fn rt_overhead_is_small_for_predicated_benchmarks() {
+        let trfd = bench_def::PERFECT_CLUB
+            .iter()
+            .find(|b| b.name == "trfd")
+            .expect("trfd");
+        let t = measure_benchmark(trfd);
+        let rtov = t.rt_overhead(4, 2000);
+        assert!(rtov < 0.08, "trfd RTov {rtov}");
+    }
+}
+
+#[cfg(test)]
+mod shape_report {
+    use super::*;
+
+    /// Diagnostic: prints the classification of every kernel shape
+    /// (run with `--nocapture` to inspect).
+    #[test]
+    fn report_all_shapes() {
+        for shape in crate::kernels::all_shapes() {
+            let m = measure_loop(shape, 64, 0.3, "-");
+            println!(
+                "{:<18} class={:?} parallel={} baseline={} test_units={} seq={}",
+                shape.name,
+                m.class,
+                m.parallel,
+                m.baseline_parallel,
+                m.test_units,
+                m.seq_units()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod solvh_debug {
+    use super::*;
+    use lip_analysis::ArrayPlan;
+    use lip_symbolic::sym;
+
+    #[test]
+    fn solvh_cascade_details() {
+        let shape = &crate::kernels::SOLVH;
+        let p = shape.prepared(16);
+        let prog = p.machine.program().clone();
+        let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+        let analysis =
+            analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default()).expect("a");
+        let ctx = StoreCtx(&p.frame);
+        for (k, st) in analysis.cascade.stages.iter().enumerate() {
+            println!(
+                "stage {k} (cx {}): eval={:?} ({} leaves)",
+                st.complexity,
+                st.pred.eval(&ctx, 1_000_000),
+                st.pred.leaf_count()
+            );
+        }
+        if let Some(u) = &analysis.ind_usr {
+            let r = lip_usr::eval_usr(u, &ctx, 1_000_000);
+            println!("exact eval: {:?}", r.map(|s| s.len()));
+        } else {
+            println!("no ind_usr");
+        }
+        for (a, plan) in &analysis.arrays {
+            let kind = match plan {
+                ArrayPlan::ReadOnly => "read-only",
+                ArrayPlan::Independent => "independent",
+                ArrayPlan::Predicated(_) => "predicated",
+                ArrayPlan::Privatized { .. } => "privatized",
+                ArrayPlan::Reduction { .. } => "reduction",
+                ArrayPlan::Fallback(_) => "fallback",
+            };
+            println!("array {a}: {kind}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Concrete evaluation contexts for symbolic expressions and predicates.
+
+use std::collections::HashMap;
+
+use crate::sym::Sym;
+
+/// Provides concrete values for scalars and array elements during runtime
+/// predicate/USR evaluation.
+///
+/// Array subscripts use the source program's (Fortran-style) index space;
+/// the context owns the mapping to storage.
+pub trait EvalCtx {
+    /// The value of scalar `s`, if bound.
+    fn scalar(&self, s: Sym) -> Option<i64>;
+    /// The value of `arr(idx)`, if bound and in range.
+    fn elem(&self, arr: Sym, idx: i64) -> Option<i64>;
+}
+
+/// A simple map-backed evaluation context.
+///
+/// # Example
+///
+/// ```
+/// use lip_symbolic::{sym, MapCtx, EvalCtx};
+/// let mut ctx = MapCtx::new();
+/// ctx.set_scalar(sym("N"), 10);
+/// ctx.set_array(sym("IA"), 1, vec![5, 6, 7]);
+/// assert_eq!(ctx.scalar(sym("N")), Some(10));
+/// assert_eq!(ctx.elem(sym("IA"), 3), Some(7));
+/// assert_eq!(ctx.elem(sym("IA"), 0), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MapCtx {
+    scalars: HashMap<Sym, i64>,
+    /// Arrays stored with their lowest valid index (Fortran arrays start at
+    /// 1 by default but the analysis also materializes 0-based windows).
+    arrays: HashMap<Sym, (i64, Vec<i64>)>,
+}
+
+impl MapCtx {
+    /// Creates an empty context.
+    pub fn new() -> MapCtx {
+        MapCtx::default()
+    }
+
+    /// Binds scalar `s` to `v`.
+    pub fn set_scalar(&mut self, s: Sym, v: i64) -> &mut Self {
+        self.scalars.insert(s, v);
+        self
+    }
+
+    /// Binds array `arr` with lowest index `lo` to `data`.
+    pub fn set_array(&mut self, arr: Sym, lo: i64, data: Vec<i64>) -> &mut Self {
+        self.arrays.insert(arr, (lo, data));
+        self
+    }
+
+    /// Read-only view of a bound array, if present.
+    pub fn array(&self, arr: Sym) -> Option<(i64, &[i64])> {
+        self.arrays.get(&arr).map(|(lo, d)| (*lo, d.as_slice()))
+    }
+}
+
+impl EvalCtx for MapCtx {
+    fn scalar(&self, s: Sym) -> Option<i64> {
+        self.scalars.get(&s).copied()
+    }
+
+    fn elem(&self, arr: Sym, idx: i64) -> Option<i64> {
+        let (lo, data) = self.arrays.get(&arr)?;
+        let off = idx.checked_sub(*lo)?;
+        if off < 0 {
+            return None;
+        }
+        data.get(usize::try_from(off).ok()?).copied()
+    }
+}
+
+/// A context layering one scalar binding over a parent context.
+///
+/// Used when evaluating quantified predicates (`∧_{i=lo}^{hi}`) and
+/// recurrence USR nodes, where the bound variable shadows the parent.
+pub struct ScopedCtx<'a> {
+    parent: &'a dyn EvalCtx,
+    var: Sym,
+    value: i64,
+}
+
+impl<'a> ScopedCtx<'a> {
+    /// Creates a scope binding `var` to `value` over `parent`.
+    pub fn new(parent: &'a dyn EvalCtx, var: Sym, value: i64) -> ScopedCtx<'a> {
+        ScopedCtx { parent, var, value }
+    }
+}
+
+impl EvalCtx for ScopedCtx<'_> {
+    fn scalar(&self, s: Sym) -> Option<i64> {
+        if s == self.var {
+            Some(self.value)
+        } else {
+            self.parent.scalar(s)
+        }
+    }
+
+    fn elem(&self, arr: Sym, idx: i64) -> Option<i64> {
+        self.parent.elem(arr, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+
+    #[test]
+    fn scoped_shadows_parent() {
+        let mut base = MapCtx::new();
+        base.set_scalar(sym("i"), 1).set_scalar(sym("N"), 9);
+        let scoped = ScopedCtx::new(&base, sym("i"), 5);
+        assert_eq!(scoped.scalar(sym("i")), Some(5));
+        assert_eq!(scoped.scalar(sym("N")), Some(9));
+    }
+
+    #[test]
+    fn array_window_respects_lower_bound() {
+        let mut ctx = MapCtx::new();
+        ctx.set_array(sym("A"), 0, vec![1, 2]);
+        assert_eq!(ctx.elem(sym("A"), 0), Some(1));
+        assert_eq!(ctx.elem(sym("A"), 2), None);
+        assert_eq!(ctx.elem(sym("A"), -1), None);
+    }
+}

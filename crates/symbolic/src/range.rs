@@ -1,0 +1,297 @@
+//! Symbolic range environments.
+//!
+//! A [`RangeEnv`] records, for each interesting symbol (mostly loop
+//! indexes), a symbolic lower and upper bound, together with a set of
+//! *assumed facts* (predicates known to hold, e.g. `N ≥ 1` from a loop's
+//! trip-count guard). Ranges feed the Fourier–Motzkin elimination of
+//! [`crate::fm`] and the static decision procedure [`RangeEnv::decide`].
+
+use std::collections::HashMap;
+
+use crate::boolexpr::BoolExpr;
+use crate::expr::SymExpr;
+use crate::sym::Sym;
+
+/// Symbolic bounds for one variable.
+#[derive(Clone, Debug, Default)]
+pub struct VarRange {
+    /// Inclusive lower bound, if known.
+    pub lo: Option<SymExpr>,
+    /// Inclusive upper bound, if known.
+    pub hi: Option<SymExpr>,
+}
+
+/// A set of variable ranges plus assumed facts.
+#[derive(Clone, Debug, Default)]
+pub struct RangeEnv {
+    ranges: HashMap<Sym, VarRange>,
+    facts: Vec<BoolExpr>,
+}
+
+impl RangeEnv {
+    /// Creates an empty environment.
+    pub fn new() -> RangeEnv {
+        RangeEnv::default()
+    }
+
+    /// Adds an inclusive range `lo ≤ s ≤ hi` (builder style).
+    pub fn with_range(mut self, s: Sym, lo: SymExpr, hi: SymExpr) -> RangeEnv {
+        self.set_range(s, lo, hi);
+        self
+    }
+
+    /// Adds an assumed fact (builder style).
+    pub fn with_fact(mut self, fact: BoolExpr) -> RangeEnv {
+        self.assume(fact);
+        self
+    }
+
+    /// Adds an inclusive range `lo ≤ s ≤ hi`.
+    pub fn set_range(&mut self, s: Sym, lo: SymExpr, hi: SymExpr) {
+        self.ranges.insert(
+            s,
+            VarRange {
+                lo: Some(lo),
+                hi: Some(hi),
+            },
+        );
+    }
+
+    /// Records `fact` as known-true. Conjunctions are split so each
+    /// conjunct can be matched independently.
+    pub fn assume(&mut self, fact: BoolExpr) {
+        match fact {
+            BoolExpr::Const(_) => {}
+            BoolExpr::And(parts) => {
+                for p in parts {
+                    self.assume(p);
+                }
+            }
+            other => self.facts.push(other),
+        }
+    }
+
+    /// The recorded range of `s`, if any.
+    pub fn range(&self, s: Sym) -> Option<&VarRange> {
+        self.ranges.get(&s)
+    }
+
+    /// Symbols with both bounds known — the Fourier–Motzkin elimination
+    /// candidates.
+    pub fn bounded_syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.ranges
+            .iter()
+            .filter(|(_, r)| r.lo.is_some() && r.hi.is_some())
+            .map(|(s, _)| *s)
+    }
+
+    /// All assumed facts.
+    pub fn facts(&self) -> &[BoolExpr] {
+        &self.facts
+    }
+
+    /// Tries to decide `p` statically. Returns `Some(true)` /
+    /// `Some(false)` only when the environment *proves* the answer;
+    /// `None` when undecidable with the available information.
+    ///
+    /// The procedure is deliberately lightweight (the paper's static side
+    /// relies on ranges plus Fourier–Motzkin, not on a full solver):
+    /// constant folding happened at construction, so here we consult the
+    /// assumed facts and the derived bounds of the inequality's expression.
+    pub fn decide(&self, p: &BoolExpr) -> Option<bool> {
+        match p {
+            BoolExpr::Const(b) => Some(*b),
+            BoolExpr::And(ps) => {
+                let mut all = true;
+                for q in ps {
+                    match self.decide(q) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all = false,
+                    }
+                }
+                all.then_some(true)
+            }
+            BoolExpr::Or(ps) => {
+                let mut none = true;
+                for q in ps {
+                    match self.decide(q) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => none = false,
+                    }
+                }
+                none.then_some(false)
+            }
+            _ => {
+                if self.implied_by_facts(p) {
+                    return Some(true);
+                }
+                if self.implied_by_facts(&p.clone().negate()) {
+                    return Some(false);
+                }
+                match p {
+                    BoolExpr::Ge0(e) => self.sign_decide(e, false),
+                    BoolExpr::Gt0(e) => self.sign_decide(e, true),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Decides `e ≥ 0` (or `e > 0` when `strict`) from symbol bounds via
+    /// interval reasoning, recursing through Fourier–Motzkin-style
+    /// substitution of bounded symbols.
+    fn sign_decide(&self, e: &SymExpr, strict: bool) -> Option<bool> {
+        if let Some(lo) = self.lower_bound(e, 0) {
+            if lo > 0 || (!strict && lo == 0) {
+                return Some(true);
+            }
+        }
+        if let Some(hi) = self.upper_bound(e, 0) {
+            if hi < 0 || (strict && hi == 0) {
+                return Some(false);
+            }
+        }
+        None
+    }
+
+    /// A constant lower bound of `e`, if derivable by substituting bounded
+    /// symbols (depth-limited).
+    pub fn lower_bound(&self, e: &SymExpr, depth: u32) -> Option<i64> {
+        if let Some(c) = e.as_const() {
+            return Some(c);
+        }
+        if depth > 8 {
+            return None;
+        }
+        // Pick a bounded symbol occurring linearly and substitute the bound
+        // that minimizes the expression.
+        for s in e.syms() {
+            let Some(r) = self.ranges.get(&s) else {
+                continue;
+            };
+            let Some((a, b)) = e.split_linear(s) else {
+                continue;
+            };
+            if a.is_zero() {
+                continue;
+            }
+            // e = a*s + b. For a constant-sign `a`, substitute lo or hi.
+            let candidate = match (a.as_const(), &r.lo, &r.hi) {
+                (Some(c), Some(lo), _) if c > 0 => Some(&a * lo + &b),
+                (Some(c), _, Some(hi)) if c < 0 => Some(&a * hi + &b),
+                _ => None,
+            };
+            if let Some(next) = candidate {
+                if let Some(v) = self.lower_bound(&next, depth + 1) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// A constant upper bound of `e`, if derivable.
+    pub fn upper_bound(&self, e: &SymExpr, depth: u32) -> Option<i64> {
+        self.lower_bound(&-e.clone(), depth).map(|v| -v)
+    }
+
+    /// Whether some recorded fact syntactically implies `p`.
+    ///
+    /// Handles: exact match; `f ≥ 0 ⇒ p ≥ 0` when `p - f` has a
+    /// non-negative constant difference; the analogous strict cases; and
+    /// equality/disequality matches.
+    fn implied_by_facts(&self, p: &BoolExpr) -> bool {
+        self.facts.iter().any(|f| implies(f, p))
+    }
+}
+
+/// Syntactic single-fact implication `f ⇒ p`.
+pub fn implies(f: &BoolExpr, p: &BoolExpr) -> bool {
+    if f == p {
+        return true;
+    }
+    match (f, p) {
+        // f: ef ≥ 0, p: ep ≥ 0 — holds if ep = ef + c with c ≥ 0.
+        (BoolExpr::Ge0(ef), BoolExpr::Ge0(ep)) => (ep - ef).as_const().is_some_and(|c| c >= 0),
+        // f: ef > 0, p: ep ≥ 0 — holds if ep = ef + c with c ≥ -1.
+        (BoolExpr::Gt0(ef), BoolExpr::Ge0(ep)) => (ep - ef).as_const().is_some_and(|c| c >= -1),
+        (BoolExpr::Gt0(ef), BoolExpr::Gt0(ep)) => (ep - ef).as_const().is_some_and(|c| c >= 0),
+        (BoolExpr::Ge0(ef), BoolExpr::Gt0(ep)) => (ep - ef).as_const().is_some_and(|c| c >= 1),
+        // Equality implies both non-strict inequalities on the same expr.
+        (BoolExpr::Eq0(ef), BoolExpr::Ge0(ep)) => {
+            (ep - ef).as_const().is_some_and(|c| c >= 0)
+                || (ep + ef).as_const().is_some_and(|c| c >= 0)
+        }
+        // Strict inequality implies disequality.
+        (BoolExpr::Gt0(ef), BoolExpr::Ne0(ep)) => ef == ep || (&-ef.clone()) == ep,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+
+    fn v(name: &str) -> SymExpr {
+        SymExpr::var(sym(name))
+    }
+
+    #[test]
+    fn bounds_decide_inequalities() {
+        // 1 <= i <= 10 proves i + 5 > 0 and refutes i - 11 >= 0.
+        let env = RangeEnv::new().with_range(sym("i"), SymExpr::konst(1), SymExpr::konst(10));
+        let p = BoolExpr::gt0(v("i") + SymExpr::konst(5));
+        assert_eq!(env.decide(&p), Some(true));
+        let q = BoolExpr::ge0(v("i") - SymExpr::konst(11));
+        assert_eq!(env.decide(&q), Some(false));
+        let r = BoolExpr::ge0(v("i") - SymExpr::konst(5));
+        assert_eq!(env.decide(&r), None);
+    }
+
+    #[test]
+    fn nested_symbolic_bounds() {
+        // 1 <= i <= N, 1 <= N <= 100 proves i <= 100 i.e. 100 - i >= 0.
+        let env = RangeEnv::new()
+            .with_range(sym("i"), SymExpr::konst(1), v("N"))
+            .with_range(sym("N"), SymExpr::konst(1), SymExpr::konst(100));
+        let p = BoolExpr::ge0(SymExpr::konst(100) - v("i"));
+        assert_eq!(env.decide(&p), Some(true));
+    }
+
+    #[test]
+    fn facts_imply() {
+        // Fact N >= 1 proves N >= 0 and N + 3 > 0.
+        let env = RangeEnv::new().with_fact(BoolExpr::ge0(v("N") - SymExpr::konst(1)));
+        assert_eq!(env.decide(&BoolExpr::ge0(v("N"))), Some(true));
+        assert_eq!(
+            env.decide(&BoolExpr::gt0(v("N") + SymExpr::konst(3))),
+            Some(true)
+        );
+        // And refutes the negation N < 0, i.e. decide(-N > 0) = false.
+        assert_eq!(env.decide(&BoolExpr::gt0(-v("N"))), Some(false));
+    }
+
+    #[test]
+    fn conjunction_decision() {
+        let env = RangeEnv::new().with_range(sym("i"), SymExpr::konst(1), SymExpr::konst(10));
+        let both = BoolExpr::and(vec![
+            BoolExpr::gt0(v("i")),
+            BoolExpr::ge0(SymExpr::konst(10) - v("i")),
+        ]);
+        assert_eq!(env.decide(&both), Some(true));
+    }
+
+    #[test]
+    fn negative_coefficient_bounds() {
+        // 1 <= i <= N with N <= 50: upper bound of -2i is -2.
+        let env = RangeEnv::new()
+            .with_range(sym("i"), SymExpr::konst(1), v("N"))
+            .with_range(sym("N"), SymExpr::konst(1), SymExpr::konst(50));
+        let e = v("i").scale(-2);
+        assert_eq!(env.upper_bound(&e, 0), Some(-2));
+        assert_eq!(env.lower_bound(&e, 0), Some(-100));
+    }
+}

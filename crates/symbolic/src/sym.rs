@@ -1,0 +1,124 @@
+//! Interned program symbols.
+//!
+//! Symbols are cheap `Copy` handles into a process-global interner. Two
+//! symbols compare equal iff their names are equal, and ordering follows the
+//! interning order (stable within a process, which is all the analysis
+//! needs: deterministic canonical forms for [`crate::SymExpr`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// An interned program symbol (scalar variable, array name, loop index, …).
+///
+/// # Example
+///
+/// ```
+/// use lip_symbolic::sym;
+/// let a = sym("NS");
+/// let b = sym("NS");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "NS");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+        })
+    })
+}
+
+/// Interns `name` and returns its symbol handle.
+pub fn sym(name: &str) -> Sym {
+    {
+        let guard = interner().read();
+        if let Some(&id) = guard.map.get(name) {
+            return Sym(id);
+        }
+    }
+    let mut guard = interner().write();
+    if let Some(&id) = guard.map.get(name) {
+        return Sym(id);
+    }
+    let id = u32::try_from(guard.names.len()).expect("symbol interner overflow");
+    guard.names.push(name.to_owned());
+    guard.map.insert(name.to_owned(), id);
+    Sym(id)
+}
+
+impl Sym {
+    /// Returns the symbol's name.
+    ///
+    /// This clones the interned string; symbols are meant to be compared and
+    /// hashed, with names only materialized for diagnostics.
+    pub fn name(self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// A fresh symbol guaranteed not to collide with any previously interned
+    /// name, derived from `base` (used for renaming recurrence variables).
+    pub fn fresh(base: &str) -> Sym {
+        let guard = interner().read();
+        let mut n = guard.names.len();
+        drop(guard);
+        loop {
+            let candidate = format!("{base}${n}");
+            if !interner().read().map.contains_key(&candidate) {
+                return sym(&candidate);
+            }
+            n += 1;
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(sym("x"), sym("x"));
+        assert_ne!(sym("x"), sym("y"));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(sym("SOLVH_do20").name(), "SOLVH_do20");
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Sym::fresh("k");
+        let b = Sym::fresh("k");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_shows_name() {
+        assert_eq!(format!("{}", sym("NP")), "NP");
+    }
+}

@@ -1,0 +1,29 @@
+//! # lip — Logical Inference techniques for loop Parallelization
+//!
+//! A Rust reproduction of Oancea & Rauchwerger, *Logical Inference
+//! Techniques for Loop Parallelization* (PLDI 2012): a hybrid
+//! static/dynamic automatic loop parallelizer built on the USR set
+//! language, a USR→PDAG predicate translation (`factor`), and a cascade of
+//! increasingly expensive sufficient-independence runtime tests.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`symbolic`] — symbolic expressions, predicates, Fourier–Motzkin,
+//! * [`lmad`] — linear memory access descriptors,
+//! * [`usr`] — the USR set-expression language and summaries,
+//! * [`core`] — PDAG predicates and the factorization algorithm,
+//! * [`ir`] — the mini-Fortran frontend (parser, IR, interpreter),
+//! * [`analysis`] — summary construction and loop classification,
+//! * [`runtime`] — parallel executor, runtime tests, cost-model simulator,
+//! * [`suite`] — the PERFECT-CLUB / SPEC benchmark kernels.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use lip_analysis as analysis;
+pub use lip_core as core;
+pub use lip_ir as ir;
+pub use lip_lmad as lmad;
+pub use lip_runtime as runtime;
+pub use lip_suite as suite;
+pub use lip_symbolic as symbolic;
+pub use lip_usr as usr;

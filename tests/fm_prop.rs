@@ -1,0 +1,82 @@
+//! Property tests for the symbolic Fourier–Motzkin elimination (paper
+//! Figure 6(b)): the reduced predicate must be *sufficient* — whenever
+//! it holds on concrete values, the original inequality holds for every
+//! value of the eliminated symbol in its range.
+
+use lip::symbolic::{reduce_ge0, reduce_gt0, sym, MapCtx, RangeEnv, SymExpr};
+use proptest::prelude::*;
+
+fn k(c: i64) -> SymExpr {
+    SymExpr::konst(c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Linear case: a·i + b·M + c > 0 with i ∈ [1, n].
+    #[test]
+    fn reduce_gt0_sufficient_linear(
+        a in -5i64..5,
+        b in -5i64..5,
+        c in -30i64..30,
+        m in -10i64..10,
+        n in 1i64..12,
+    ) {
+        let i = sym("fm_i");
+        let expr = SymExpr::var(i).scale(a) + SymExpr::var(sym("fm_M")).scale(b) + k(c);
+        let env = RangeEnv::new().with_range(i, k(1), SymExpr::var(sym("fm_n")));
+        let reduced = reduce_gt0(&expr, &env);
+        prop_assert!(!reduced.contains_sym(i), "i must be eliminated: {reduced}");
+
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("fm_M"), m).set_scalar(sym("fm_n"), n);
+        if reduced.eval(&ctx) == Some(true) {
+            for iv in 1..=n {
+                let v = a * iv + b * m + c;
+                prop_assert!(v > 0, "claimed >0 for all i but i={iv} gives {v}");
+            }
+        }
+    }
+
+    /// Quadratic case: a·i² + b·i + c ≥ 0 with i ∈ [1, n] — the
+    /// recursion on the smaller-degree coefficient must stay sound.
+    #[test]
+    fn reduce_ge0_sufficient_quadratic(
+        a in -3i64..4,
+        b in -6i64..6,
+        c in -20i64..40,
+        n in 1i64..10,
+    ) {
+        let i = sym("fmq_i");
+        let iv_expr = SymExpr::var(i);
+        let expr = (&iv_expr * &iv_expr).scale(a) + iv_expr.scale(b) + k(c);
+        let env = RangeEnv::new().with_range(i, k(1), SymExpr::var(sym("fmq_n")));
+        let reduced = reduce_ge0(&expr, &env);
+        prop_assert!(!reduced.contains_sym(i));
+
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("fmq_n"), n);
+        if reduced.eval(&ctx) == Some(true) {
+            for iv in 1..=n {
+                let v = a * iv * iv + b * iv + c;
+                prop_assert!(v >= 0, "claimed >=0 for all i but i={iv} gives {v}");
+            }
+        }
+    }
+
+    /// Completeness on the easy direction: when the coefficient sign is
+    /// known, the reduction must not be vacuously false for satisfiable
+    /// instances (e.g. the CORREC_DO711 shape with ample slack).
+    #[test]
+    fn reduce_gt0_not_vacuous(slack in 1i64..50, n in 1i64..20) {
+        // expr = slack + n - i > 0 for i in [1, n]: always true, and the
+        // reduction (substituting i := n) must recognize it.
+        let i = sym("fmv_i");
+        let expr = k(slack) + SymExpr::var(sym("fmv_n")) - SymExpr::var(i);
+        let env = RangeEnv::new().with_range(i, k(1), SymExpr::var(sym("fmv_n")));
+        let reduced = reduce_gt0(&expr, &env);
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("fmv_n"), n);
+        prop_assert_eq!(reduced.eval(&ctx), Some(true));
+    }
+}

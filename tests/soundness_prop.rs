@@ -1,0 +1,134 @@
+//! Property-based soundness tests: every predicate the system emits is
+//! a *sufficient* condition — whenever it evaluates true on concrete
+//! data, the underlying set relation must actually hold. The reference
+//! semantics is exact enumeration ([`lip::lmad`]'s `enumerate` and
+//! [`lip::usr::eval_usr`]).
+
+use lip::core::Factorizer;
+use lip::lmad::{disjoint_lmads, included_lmads, Lmad, LmadSet};
+use lip::symbolic::{sym, MapCtx, SymExpr};
+use lip::usr::{eval_usr, output_independence, Usr};
+use proptest::prelude::*;
+
+fn k(c: i64) -> SymExpr {
+    SymExpr::konst(c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// disjoint_lmads is sound on arbitrary strided 1-D pairs.
+    #[test]
+    fn disjoint_1d_sound(
+        o1 in -20i64..20, s1 in 1i64..6, c1 in 1i64..12,
+        o2 in -20i64..20, s2 in 1i64..6, c2 in 1i64..12,
+    ) {
+        let a = Lmad::strided(k(o1), k(s1), k(c1));
+        let b = Lmad::strided(k(o2), k(s2), k(c2));
+        let pred = disjoint_lmads(&LmadSet::single(a.clone()), &LmadSet::single(b.clone()));
+        let ctx = MapCtx::new();
+        if pred.eval(&ctx) == Some(true) {
+            let sa = a.enumerate(&ctx, 10_000).unwrap();
+            let sb = b.enumerate(&ctx, 10_000).unwrap();
+            prop_assert!(sa.is_disjoint(&sb), "{a} vs {b}");
+        }
+    }
+
+    /// included_lmads is sound on arbitrary strided 1-D pairs.
+    #[test]
+    fn included_1d_sound(
+        o1 in -20i64..20, s1 in 1i64..6, c1 in 1i64..12,
+        o2 in -20i64..20, s2 in 1i64..6, c2 in 1i64..12,
+    ) {
+        let a = Lmad::strided(k(o1), k(s1), k(c1));
+        let b = Lmad::strided(k(o2), k(s2), k(c2));
+        let pred = included_lmads(&LmadSet::single(a.clone()), &LmadSet::single(b.clone()));
+        let ctx = MapCtx::new();
+        if pred.eval(&ctx) == Some(true) {
+            let sa = a.enumerate(&ctx, 10_000).unwrap();
+            let sb = b.enumerate(&ctx, 10_000).unwrap();
+            prop_assert!(sa.is_subset(&sb), "{a} vs {b}");
+        }
+    }
+
+    /// Multi-dimensional disjointness (flatten/unify/project heuristic)
+    /// is sound.
+    #[test]
+    fn disjoint_2d_sound(
+        o1 in 0i64..16, st1 in 1i64..5, sp1 in 0i64..12,
+        w1 in 4i64..10, wn1 in 0i64..30,
+        o2 in 0i64..16, st2 in 1i64..5, sp2 in 0i64..12,
+        w2 in 4i64..10, wn2 in 0i64..30,
+    ) {
+        let a = Lmad::from_dims(
+            vec![
+                lip::lmad::Dim { stride: k(st1), span: k(sp1) },
+                lip::lmad::Dim { stride: k(w1), span: k(wn1) },
+            ],
+            k(o1),
+        );
+        let b = Lmad::from_dims(
+            vec![
+                lip::lmad::Dim { stride: k(st2), span: k(sp2) },
+                lip::lmad::Dim { stride: k(w2), span: k(wn2) },
+            ],
+            k(o2),
+        );
+        let pred = disjoint_lmads(&LmadSet::single(a.clone()), &LmadSet::single(b.clone()));
+        let ctx = MapCtx::new();
+        if pred.eval(&ctx) == Some(true) {
+            let sa = a.enumerate(&ctx, 100_000).unwrap();
+            let sb = b.enumerate(&ctx, 100_000).unwrap();
+            prop_assert!(sa.is_disjoint(&sb), "{a} vs {b}");
+        }
+    }
+
+    /// The factorized OIND predicate over an index-array window is
+    /// sound: when it passes on concrete data, the exact USR is empty.
+    #[test]
+    fn factored_oind_sound(
+        bases in proptest::collection::vec(0i64..60, 2..10),
+        width in 1i64..5,
+    ) {
+        let n = bases.len() as i64;
+        let wf = Usr::leaf(LmadSet::single(Lmad::interval(
+            SymExpr::elem(sym("Bp"), SymExpr::var(sym("ip"))),
+            SymExpr::elem(sym("Bp"), SymExpr::var(sym("ip"))) + k(width - 1),
+        )));
+        let oind = output_independence(sym("ip"), &k(1), &SymExpr::var(sym("Np")), &wf);
+        let mut f = Factorizer::with_defaults();
+        let pred = f.factor(&oind);
+        let mut ctx = MapCtx::new();
+        ctx.set_scalar(sym("Np"), n).set_scalar(sym("L"), width);
+        ctx.set_array(sym("Bp"), 1, bases.clone());
+        if pred.eval(&ctx, 1_000_000) == Some(true) {
+            let exact = eval_usr(&oind, &ctx, 1_000_000).unwrap();
+            prop_assert!(
+                exact.is_empty(),
+                "predicate passed but overlaps exist: bases {bases:?} width {width}"
+            );
+        }
+    }
+
+    /// USR algebra laws hold under exact evaluation: reshaping never
+    /// changes the denoted set.
+    #[test]
+    fn reshape_preserves_semantics(
+        a_lo in 0i64..20, a_hi in 0i64..20,
+        b_lo in 0i64..20, b_hi in 0i64..20,
+        c_lo in 0i64..20, c_hi in 0i64..20,
+    ) {
+        let iv = |lo: i64, hi: i64| {
+            Usr::leaf(LmadSet::single(Lmad::interval(k(lo), k(hi))))
+        };
+        let u = Usr::subtract(
+            Usr::subtract(iv(a_lo, a_hi), iv(b_lo, b_hi)),
+            iv(c_lo, c_hi),
+        );
+        let r = lip::usr::reshape(&u, lip::usr::ReshapeConfig::default());
+        let ctx = MapCtx::new();
+        let before = eval_usr(&u, &ctx, 10_000).unwrap();
+        let after = eval_usr(&r, &ctx, 10_000).unwrap();
+        prop_assert_eq!(before, after);
+    }
+}
