@@ -107,8 +107,7 @@ fn collect_accesses(
                             return false;
                         }
                     }
-                    let Some(lin) =
-                        crate::symbridge::linearize_subscripts(sub, env, *arr, idx)
+                    let Some(lin) = crate::symbridge::linearize_subscripts(sub, env, *arr, idx)
                     else {
                         return false;
                     };
@@ -164,8 +163,7 @@ fn collect_expr(
                     return false;
                 }
             }
-            let Some(lin) = crate::symbridge::linearize_subscripts(sub, env, *arr, idx)
-            else {
+            let Some(lin) = crate::symbridge::linearize_subscripts(sub, env, *arr, idx) else {
                 return false;
             };
             match affine_split(*arr, &lin, var, false) {

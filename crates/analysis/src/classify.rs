@@ -15,9 +15,7 @@ use std::fmt;
 use lip_core::{build_cascade, complexity, ArrayExtent, Cascade, FactorConfig, Factorizer, Pdag};
 use lip_ir::{Program, Stmt, Subroutine};
 use lip_symbolic::{BoolExpr, RangeEnv, Sym, SymExpr};
-use lip_usr::{
-    flow_independence, output_independence, reshape, slv_equation, ReshapeConfig, Usr,
-};
+use lip_usr::{flow_independence, output_independence, reshape, slv_equation, ReshapeConfig, Usr};
 
 use crate::baseline::affine_definitely_dependent;
 use crate::summarize::{IterationSummary, ScalarKind, Summarizer};
@@ -183,7 +181,7 @@ pub struct LoopAnalysis {
 }
 
 /// Options controlling the analysis (ablation switches).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct AnalysisConfig {
     /// USR reshaping (Figure 8) on/off.
     pub reshape: ReshapeConfig,
@@ -191,16 +189,6 @@ pub struct AnalysisConfig {
     pub factor: FactorConfig,
     /// Extra facts known about the inputs (e.g. `N ≥ 1`).
     pub facts: Vec<BoolExpr>,
-}
-
-impl Default for AnalysisConfig {
-    fn default() -> AnalysisConfig {
-        AnalysisConfig {
-            reshape: ReshapeConfig::default(),
-            factor: FactorConfig::default(),
-            facts: Vec::new(),
-        }
-    }
 }
 
 /// Analyzes the loop labelled `label` in subroutine `sub_name`.
@@ -319,13 +307,11 @@ fn env_at_loop(summarizer: &mut Summarizer, sub: &Subroutine, label: &str) -> Op
                     ..
                 } => {
                     // Search branches with the current env.
-                    match walk(summarizer, sub, then_body, label, env.clone()) {
-                        Ok(found) => return Ok(found),
-                        Err(_) => {}
+                    if let Ok(found) = walk(summarizer, sub, then_body, label, env.clone()) {
+                        return Ok(found);
                     }
-                    match walk(summarizer, sub, else_body, label, env.clone()) {
-                        Ok(found) => return Ok(found),
-                        Err(_) => {}
+                    if let Ok(found) = walk(summarizer, sub, else_body, label, env.clone()) {
+                        return Ok(found);
                     }
                 }
                 Stmt::Do { body, .. } | Stmt::While { body, .. } => {
@@ -440,10 +426,8 @@ fn classify(
         }
 
         // Extended reduction: WF + reduction RW, no exposed reads.
-        let extended = facts.red_op.is_some()
-            && !s.rw.is_empty()
-            && !s.wf.is_empty()
-            && s.ro.is_empty();
+        let extended =
+            facts.red_op.is_some() && !s.rw.is_empty() && !s.wf.is_empty() && s.ro.is_empty();
 
         // Flow/anti independence.
         let find = reshaped(
@@ -679,8 +663,10 @@ fn mark_monotonicity(cascade: &Cascade, techniques: &mut BTreeSet<Technique>) {
 fn runtime_evaluable(p: &Pdag) -> bool {
     p.free_syms().iter().all(|s| {
         let n = s.name();
-        !(n.contains("@u") || n.contains("cond@") || n.contains("@idx") || n
-            .contains("@arg")
+        !(n.contains("@u")
+            || n.contains("cond@")
+            || n.contains("@idx")
+            || n.contains("@arg")
             || n.contains("@sec")
             || n.contains("@opaque")
             || n.contains("@ridx"))
@@ -695,8 +681,10 @@ fn pick_fallback(usr: &Usr, prior: Option<FallbackKind>) -> FallbackKind {
     }
     let evaluable = usr.free_syms().iter().all(|s| {
         let n = s.name();
-        !(n.contains("@u") || n.contains("cond@") || n.contains("@idx") || n
-            .contains("@arg")
+        !(n.contains("@u")
+            || n.contains("cond@")
+            || n.contains("@idx")
+            || n.contains("@arg")
             || n.contains("@sec")
             || n.contains("@opaque")
             || n.contains("@ridx"))
@@ -809,11 +797,12 @@ END
             "t",
             "l1",
         );
-        assert!(a.techniques.contains(&Technique::Priv), "{:?}", a.techniques);
-        assert!(matches!(
-            a.arrays[&sym("T")],
-            ArrayPlan::Privatized { .. }
-        ));
+        assert!(
+            a.techniques.contains(&Technique::Priv),
+            "{:?}",
+            a.techniques
+        );
+        assert!(matches!(a.arrays[&sym("T")], ArrayPlan::Privatized { .. }));
     }
 
     #[test]

@@ -22,9 +22,7 @@ use lip_lmad::{Lmad, LmadSet};
 use lip_symbolic::{Atom, BoolExpr, Sym, SymExpr};
 use lip_usr::{CallSiteId, Summary, Usr, UsrNode};
 
-use crate::symbridge::{
-    cond_to_bool, declared_size, expr_to_sym, linearize_subscripts, SymEnv,
-};
+use crate::symbridge::{cond_to_bool, declared_size, expr_to_sym, linearize_subscripts, SymEnv};
 
 /// Per-array facts accumulated by the summarizer.
 #[derive(Clone, Debug)]
@@ -396,10 +394,7 @@ impl<'p> Summarizer<'p> {
                 Some(ScalarKind::Civ) => {
                     // Value after the loop = trace(hi+1).
                     if let Some((_, trace)) = civs.iter().find(|(c, _)| c == s) {
-                        env.bind(
-                            *s,
-                            SymExpr::elem(*trace, &hi_s + &SymExpr::konst(1)),
-                        );
+                        env.bind(*s, SymExpr::elem(*trace, &hi_s + &SymExpr::konst(1)));
                     } else {
                         env.bind_opaque(*s);
                     }
@@ -430,10 +425,7 @@ impl<'p> Summarizer<'p> {
         // slice-computed trip count (CIV-COMP): every assigned scalar is
         // a CIV by construction.
         self.call_counter += 1;
-        let itvar = Sym::fresh(&format!(
-            "{}@it",
-            label.unwrap_or("while")
-        ));
+        let itvar = Sym::fresh(&format!("{}@it", label.unwrap_or("while")));
         let niters = lip_symbolic::sym(&format!(
             "{}@niters{}",
             label.unwrap_or("while"),
@@ -512,14 +504,11 @@ impl<'p> Summarizer<'p> {
                     Expr::Elem(name, idx) => {
                         let shift = linearize_subscripts(caller, &env, *name, idx)
                             .map(|lin| lin - SymExpr::konst(1))
-                            .unwrap_or_else(|| {
-                                SymExpr::var(Sym::fresh(&format!("{name}@sec")))
-                            });
+                            .unwrap_or_else(|| SymExpr::var(Sym::fresh(&format!("{name}@sec"))));
                         map.arrays.insert(*formal, (*name, shift));
                     }
                     _ => {
-                        map.arrays
-                            .insert(*formal, (*formal, SymExpr::zero()));
+                        map.arrays.insert(*formal, (*formal, SymExpr::zero()));
                     }
                 }
             } else {
@@ -577,9 +566,9 @@ impl<'p> Summarizer<'p> {
                 if caller.is_array(*name) {
                     let set = match declared_size(caller, env, *name) {
                         Some(sz) => LmadSet::single(Lmad::interval(SymExpr::konst(1), sz)),
-                        None => LmadSet::single(Lmad::point(SymExpr::var(Sym::fresh(
-                            &format!("{name}@opaque"),
-                        )))),
+                        None => LmadSet::single(Lmad::point(SymExpr::var(Sym::fresh(&format!(
+                            "{name}@opaque"
+                        ))))),
                     };
                     let mut s = Summary::read_write(set);
                     s = s.at_call(site);
@@ -695,12 +684,8 @@ fn map_usr(u: &Usr, map: &CallMap, shift: &SymExpr) -> Usr {
             Usr::leaf(LmadSet::from_vec(mapped))
         }
         UsrNode::Union(a, b) => Usr::union(map_usr(a, map, shift), map_usr(b, map, shift)),
-        UsrNode::Intersect(a, b) => {
-            Usr::intersect(map_usr(a, map, shift), map_usr(b, map, shift))
-        }
-        UsrNode::Subtract(a, b) => {
-            Usr::subtract(map_usr(a, map, shift), map_usr(b, map, shift))
-        }
+        UsrNode::Intersect(a, b) => Usr::intersect(map_usr(a, map, shift), map_usr(b, map, shift)),
+        UsrNode::Subtract(a, b) => Usr::subtract(map_usr(a, map, shift), map_usr(b, map, shift)),
         UsrNode::Gate(p, body) => Usr::gate(map_bool(p, map), map_usr(body, map, shift)),
         UsrNode::Call(site, body) => Usr::call(*site, map_usr(body, map, shift)),
         UsrNode::RecTotal { var, lo, hi, body } => Usr::rec_total(
@@ -745,13 +730,8 @@ fn reduction_shape(
     };
     match rhs {
         Expr::Bin(op @ (BinOp::Add | BinOp::Mul), x, y) => {
-            if self_ref(x) && !y.mentions(arr) {
-                Some(*op)
-            } else if self_ref(y) && !x.mentions(arr) {
-                Some(*op)
-            } else {
-                None
-            }
+            let commutes = (self_ref(x) && !y.mentions(arr)) || (self_ref(y) && !x.mentions(arr));
+            commutes.then_some(*op)
         }
         Expr::Bin(BinOp::Sub, x, y) => {
             if self_ref(x) && !y.mentions(arr) {
@@ -766,13 +746,9 @@ fn reduction_shape(
             } else {
                 BinOp::Gt
             };
-            if self_ref(&args[0]) && !args[1].mentions(arr) {
-                Some(op)
-            } else if self_ref(&args[1]) && !args[0].mentions(arr) {
-                Some(op)
-            } else {
-                None
-            }
+            let commutes = (self_ref(&args[0]) && !args[1].mentions(arr))
+                || (self_ref(&args[1]) && !args[0].mentions(arr));
+            commutes.then_some(op)
         }
         _ => None,
     }
@@ -998,9 +974,7 @@ fn is_increment(rhs: &Expr, s: Sym) -> bool {
             (matches!(&**a, Expr::Var(v) if *v == s) && !b.mentions(s))
                 || (matches!(&**b, Expr::Var(v) if *v == s) && !a.mentions(s))
         }
-        Expr::Bin(BinOp::Sub, a, b) => {
-            matches!(&**a, Expr::Var(v) if *v == s) && !b.mentions(s)
-        }
+        Expr::Bin(BinOp::Sub, a, b) => matches!(&**a, Expr::Var(v) if *v == s) && !b.mentions(s),
         _ => false,
     }
 }
@@ -1065,12 +1039,10 @@ fn stmt_uses(st: &Stmt, s: Sym) -> bool {
         } => {
             expr_uses(lo)
                 || expr_uses(hi)
-                || step.as_ref().is_some_and(|e| expr_uses(e))
+                || step.as_ref().is_some_and(&expr_uses)
                 || body.iter().any(|x| stmt_uses(x, s))
         }
-        Stmt::While { cond, body, .. } => {
-            expr_uses(cond) || body.iter().any(|x| stmt_uses(x, s))
-        }
+        Stmt::While { cond, body, .. } => expr_uses(cond) || body.iter().any(|x| stmt_uses(x, s)),
         Stmt::Call { args, .. } => args.iter().any(expr_uses),
         Stmt::Read { .. } => false,
     }

@@ -92,7 +92,7 @@ impl SymEnv {
         self.counter = self.counter.max(other.counter);
         for t in &other.traces {
             if !self.traces.contains(t) {
-                self.traces.push(t.clone());
+                self.traces.push(*t);
             }
         }
     }
@@ -150,9 +150,7 @@ pub fn expr_to_sym(sub: &Subroutine, env: &SymEnv, e: &Expr) -> Option<SymExpr> 
             Some(SymExpr::max(a, b))
         }
         // INT(x) truncates a real: not polynomial (Dble is lossless).
-        Expr::Intrin(Intrinsic::Dble, args) if args.len() == 1 => {
-            expr_to_sym(sub, env, &args[0])
-        }
+        Expr::Intrin(Intrinsic::Dble, args) if args.len() == 1 => expr_to_sym(sub, env, &args[0]),
         Expr::Intrin(_, _) => None,
     }
 }
@@ -277,10 +275,7 @@ END
         // HE(1, id) with extents (32, *): lin = 1 + 32*(id-1).
         let sub = simple_sub();
         let env = SymEnv::new();
-        let e = Expr::Elem(
-            sym("HE"),
-            vec![Expr::Int(1), Expr::Var(sym("id"))],
-        );
+        let e = Expr::Elem(sym("HE"), vec![Expr::Int(1), Expr::Var(sym("id"))]);
         let got = expr_to_sym(&sub, &env, &e).expect("converts");
         let id = SymExpr::var(sym("id"));
         let expected = SymExpr::elem(
@@ -295,8 +290,7 @@ END
         // id = IB(i) + k - 1, then HE offset uses the bound value.
         let sub = simple_sub();
         let mut env = SymEnv::new();
-        let id_val = SymExpr::elem(sym("IB"), SymExpr::var(sym("i")))
-            + SymExpr::var(sym("k"))
+        let id_val = SymExpr::elem(sym("IB"), SymExpr::var(sym("i"))) + SymExpr::var(sym("k"))
             - SymExpr::konst(1);
         env.bind(sym("id"), id_val.clone());
         let got = expr_to_sym(&sub, &env, &Expr::Var(sym("id"))).expect("converts");
@@ -313,10 +307,7 @@ END
             Box::new(Expr::Int(1)),
         );
         let b = cond_to_bool(&sub, &mut env, &c);
-        assert_eq!(
-            b,
-            BoolExpr::ne(SymExpr::var(sym("SYM")), SymExpr::konst(1))
-        );
+        assert_eq!(b, BoolExpr::ne(SymExpr::var(sym("SYM")), SymExpr::konst(1)));
         // An unconvertible (real-valued) condition still yields a gate.
         let r = Expr::Bin(
             BinOp::Gt,

@@ -33,9 +33,8 @@ fn bench_factorization(c: &mut Criterion) {
     c.bench_function("cascade_build", |b| {
         let mut f = Factorizer::with_defaults();
         let p = f.factor(&oind);
-        let env = RangeEnv::new().with_fact(BoolExpr::ge0(
-            SymExpr::var(sym("N")) - SymExpr::konst(1),
-        ));
+        let env =
+            RangeEnv::new().with_fact(BoolExpr::ge0(SymExpr::var(sym("N")) - SymExpr::konst(1)));
         b.iter(|| std::hint::black_box(build_cascade(&p, &env)))
     });
 }

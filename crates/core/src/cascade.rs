@@ -163,11 +163,7 @@ impl Cascade {
 
     /// Evaluates the cascade under `ctx`: returns the index of the first
     /// succeeding stage, or `None` if all stages fail or are undecidable.
-    pub fn first_success(
-        &self,
-        ctx: &dyn lip_symbolic::EvalCtx,
-        iter_limit: u64,
-    ) -> Option<usize> {
+    pub fn first_success(&self, ctx: &dyn lip_symbolic::EvalCtx, iter_limit: u64) -> Option<usize> {
         self.stages
             .iter()
             .position(|s| s.pred.eval(ctx, iter_limit) == Some(true))
@@ -250,9 +246,7 @@ mod tests {
         // giving the O(1) CORREC_DO711 predicate.
         let ix1 = SymExpr::elem(sym("IX"), k(1));
         let ix2 = SymExpr::elem(sym("IX"), k(2));
-        let body = Pdag::leaf(BoolExpr::gt0(
-            &ix1 + &k(1) - &ix2 - &v("i"),
-        ));
+        let body = Pdag::leaf(BoolExpr::gt0(&ix1 + &k(1) - &ix2 - &v("i")));
         let p = Pdag::forall(sym("i"), k(1), v("NOP"), body);
         let o1 = separate_o1(&p, &RangeEnv::new());
         assert_eq!(complexity(&o1), 0);
@@ -293,12 +287,7 @@ mod tests {
         // An O(1)-able invariant ∨ a per-iteration test.
         let inv = Pdag::leaf(BoolExpr::lt(v("NP").scale(8), v("NS") + k(6)));
         let per_iter = Pdag::leaf(BoolExpr::gt0(SymExpr::elem(sym("B"), v("i"))));
-        let p = Pdag::forall(
-            sym("i"),
-            k(1),
-            v("N"),
-            Pdag::or(vec![inv, per_iter]),
-        );
+        let p = Pdag::forall(sym("i"), k(1), v("N"), Pdag::or(vec![inv, per_iter]));
         let c = build_cascade(&p, &RangeEnv::new());
         assert!(!c.stages.is_empty());
         for w in c.stages.windows(2) {

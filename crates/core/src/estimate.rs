@@ -70,16 +70,12 @@ pub fn overestimate(u: &Usr) -> Option<OverEstimate> {
         UsrNode::Gate(p, body) => {
             let e = overestimate(body)?;
             Some(OverEstimate {
-                empty_if: Pdag::or(vec![
-                    Pdag::leaf(p.clone().negate()),
-                    e.empty_if,
-                ]),
+                empty_if: Pdag::or(vec![Pdag::leaf(p.clone().negate()), e.empty_if]),
                 set: e.set,
             })
         }
         UsrNode::Call(_, body) => overestimate(body),
-        UsrNode::RecTotal { var, lo, hi, body }
-        | UsrNode::RecPartial { var, lo, hi, body } => {
+        UsrNode::RecTotal { var, lo, hi, body } | UsrNode::RecPartial { var, lo, hi, body } => {
             let e = overestimate(body)?;
             let range_empty = Pdag::leaf(BoolExpr::lt(hi.clone(), lo.clone()));
             // Exact aggregation first.
@@ -118,13 +114,7 @@ pub fn overestimate(u: &Usr) -> Option<OverEstimate> {
 /// minimize), provided `var` occurs linearly with a constant-sign
 /// coefficient. Returns `None` when the direction cannot be determined
 /// (e.g. `var` inside an index-array subscript).
-fn extremize(
-    e: &SymExpr,
-    var: Sym,
-    lo: &SymExpr,
-    hi: &SymExpr,
-    maximize: bool,
-) -> Option<SymExpr> {
+fn extremize(e: &SymExpr, var: Sym, lo: &SymExpr, hi: &SymExpr, maximize: bool) -> Option<SymExpr> {
     if !e.contains_sym(var) {
         return Some(e.clone());
     }

@@ -104,10 +104,7 @@ impl Factorizer {
         match s.node() {
             UsrNode::Empty => Pdag::t(),
             UsrNode::Leaf(set) => Pdag::leaf(set.empty_pred()),
-            UsrNode::Gate(q, s1) => Pdag::or(vec![
-                Pdag::leaf(q.clone().negate()),
-                self.factor(s1),
-            ]),
+            UsrNode::Gate(q, s1) => Pdag::or(vec![Pdag::leaf(q.clone().negate()), self.factor(s1)]),
             UsrNode::Union(a, b) => {
                 let fa = self.factor(a);
                 let fb = self.factor(b);
@@ -208,10 +205,7 @@ impl Factorizer {
     fn included_h(&mut self, s: &Usr, u: &Usr) -> Pdag {
         // P1: case on U (the including side).
         let p1 = match u.node() {
-            UsrNode::Gate(q, u1) => Pdag::and(vec![
-                Pdag::leaf(q.clone()),
-                self.included(s, u1),
-            ]),
+            UsrNode::Gate(q, u1) => Pdag::and(vec![Pdag::leaf(q.clone()), self.included(s, u1)]),
             UsrNode::Union(a, b) => {
                 let ia = self.included(s, a);
                 let ib = self.included(s, b);
@@ -234,9 +228,7 @@ impl Factorizer {
                 Some(ext) => Pdag::or(
                     set.lmads()
                         .iter()
-                        .map(|l| {
-                            Pdag::leaf(lip_lmad::fills_array(l, &ext.base, &ext.size))
-                        })
+                        .map(|l| Pdag::leaf(lip_lmad::fills_array(l, &ext.base, &ext.size)))
                         .collect(),
                 ),
                 None => Pdag::f(),
@@ -245,10 +237,9 @@ impl Factorizer {
         };
         // P2: case on S (the included side).
         let p2 = match s.node() {
-            UsrNode::Gate(q, s1) => Pdag::or(vec![
-                Pdag::leaf(q.clone().negate()),
-                self.included(s1, u),
-            ]),
+            UsrNode::Gate(q, s1) => {
+                Pdag::or(vec![Pdag::leaf(q.clone().negate()), self.included(s1, u)])
+            }
             UsrNode::Union(a, b) => {
                 let ia = self.included(a, u);
                 let ib = self.included(b, u);
@@ -261,8 +252,7 @@ impl Factorizer {
                 Pdag::or(vec![ia, ib])
             }
             // ∪_i body_i ⊆ U ⇔ ∀ i: body_i ⊆ U (exact).
-            UsrNode::RecTotal { var, lo, hi, body }
-            | UsrNode::RecPartial { var, lo, hi, body } => {
+            UsrNode::RecTotal { var, lo, hi, body } | UsrNode::RecPartial { var, lo, hi, body } => {
                 let (var, body) = self.unshadow(*var, body, u);
                 let inner = self.included(&body, u);
                 Pdag::or(vec![
@@ -303,10 +293,9 @@ impl Factorizer {
     /// `DISJOINT_H(U, S)` of Figure 5(a): structural rules on `U`.
     fn disjoint_h(&mut self, u: &Usr, s: &Usr) -> Pdag {
         match u.node() {
-            UsrNode::Gate(q, u1) => Pdag::or(vec![
-                Pdag::leaf(q.clone().negate()),
-                self.disjoint(u1, s),
-            ]),
+            UsrNode::Gate(q, u1) => {
+                Pdag::or(vec![Pdag::leaf(q.clone().negate()), self.disjoint(u1, s)])
+            }
             UsrNode::Union(a, b) => {
                 let da = self.disjoint(a, s);
                 let db = self.disjoint(b, s);
@@ -325,8 +314,7 @@ impl Factorizer {
                 Pdag::or(vec![da, db])
             }
             // (∪_i body_i) ∩ S = ∅ ⇔ ∀ i: body_i ∩ S = ∅ (exact).
-            UsrNode::RecTotal { var, lo, hi, body }
-            | UsrNode::RecPartial { var, lo, hi, body } => {
+            UsrNode::RecTotal { var, lo, hi, body } | UsrNode::RecPartial { var, lo, hi, body } => {
                 let (var, body) = self.unshadow(*var, body, s);
                 let inner = self.disjoint(&body, s);
                 Pdag::or(vec![
@@ -334,9 +322,7 @@ impl Factorizer {
                     Pdag::forall(var, lo.clone(), hi.clone(), inner),
                 ])
             }
-            UsrNode::Call(site, body) => {
-                Pdag::at_call(*site, self.disjoint(body, s))
-            }
+            UsrNode::Call(site, body) => Pdag::at_call(*site, self.disjoint(body, s)),
             _ => Pdag::f(),
         }
     }
@@ -480,10 +466,7 @@ mod tests {
     fn figure4_xe_example() {
         let g1 = BoolExpr::ne(v("SYM"), k(1));
         let g2 = g1.clone().negate();
-        let s1 = Usr::subtract(
-            iv(k(0), v("NS") - k(1)),
-            iv(k(0), v("NP").scale(16) - k(1)),
-        );
+        let s1 = Usr::subtract(iv(k(0), v("NS") - k(1)), iv(k(0), v("NP").scale(16) - k(1)));
         let s2 = iv(k(0), v("NS") - k(1));
         let a = Usr::gate(g1.clone(), s1);
         let b = Usr::gate(g2.clone(), s2);

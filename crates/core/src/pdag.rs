@@ -351,10 +351,7 @@ mod tests {
     fn and_or_flatten_and_dedupe() {
         let a = Pdag::leaf(BoolExpr::gt0(v("x")));
         let b = Pdag::leaf(BoolExpr::gt0(v("y")));
-        let nested = Pdag::and(vec![
-            a.clone(),
-            Pdag::and(vec![b.clone(), a.clone()]),
-        ]);
+        let nested = Pdag::and(vec![a.clone(), Pdag::and(vec![b.clone(), a.clone()])]);
         match nested {
             Pdag::And(ps) => assert_eq!(ps.len(), 2),
             other => panic!("expected And, got {other}"),

@@ -25,9 +25,10 @@ pub fn simplify(p: &Pdag, env: &RangeEnv) -> Pdag {
         // Compound boolean leaves unfold into PDAG structure so that
         // hoisting and propagation see through them; atomic leaves are
         // decided against the environment.
-        Pdag::Leaf(BoolExpr::And(bs)) => {
-            simplify(&Pdag::and(bs.iter().cloned().map(Pdag::leaf).collect()), env)
-        }
+        Pdag::Leaf(BoolExpr::And(bs)) => simplify(
+            &Pdag::and(bs.iter().cloned().map(Pdag::leaf).collect()),
+            env,
+        ),
         Pdag::Leaf(BoolExpr::Or(bs)) => {
             simplify(&Pdag::or(bs.iter().cloned().map(Pdag::leaf).collect()), env)
         }
@@ -130,8 +131,7 @@ fn unit_propagate(parts: Vec<Pdag>, conjunction: bool) -> Vec<Pdag> {
     if units.is_empty() {
         return parts;
     }
-    let complements: Vec<BoolExpr> =
-        units.iter().map(|u| u.clone().negate()).collect();
+    let complements: Vec<BoolExpr> = units.iter().map(|u| u.clone().negate()).collect();
     parts
         .into_iter()
         .map(|p| match (&p, conjunction) {
@@ -243,10 +243,7 @@ mod tests {
             Pdag::leaf(BoolExpr::le(v("NS"), v("NP").scale(16))),
         ]);
         let s = simplify(&p, &env);
-        assert_eq!(
-            s,
-            Pdag::leaf(BoolExpr::le(v("NS"), v("NP").scale(16)))
-        );
+        assert_eq!(s, Pdag::leaf(BoolExpr::le(v("NS"), v("NP").scale(16))));
     }
 
     #[test]
@@ -261,7 +258,9 @@ mod tests {
         match &s {
             Pdag::Or(parts) => {
                 assert!(
-                    parts.iter().any(|q| matches!(q, Pdag::Leaf(b) if *b == pleaf)),
+                    parts
+                        .iter()
+                        .any(|q| matches!(q, Pdag::Leaf(b) if *b == pleaf)),
                     "invariant leaf must be hoisted: {s}"
                 );
                 assert!(

@@ -148,6 +148,7 @@ pub enum Expr {
 
 impl Expr {
     /// `a + b` convenience.
+    #[allow(clippy::should_implement_trait)] // associated constructor, not `self + rhs`
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
     }

@@ -411,7 +411,12 @@ pub struct Machine {
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Machine(units={}, traced={})", self.prog.units.len(), self.tracer.is_some())
+        write!(
+            f,
+            "Machine(units={}, traced={})",
+            self.prog.units.len(),
+            self.tracer.is_some()
+        )
     }
 }
 
@@ -477,8 +482,7 @@ impl Machine {
         state: &mut ExecState,
     ) -> Result<(), RunError> {
         for d in &sub.decls {
-            if d.dims.is_empty() || sub.params.contains(&d.name) || frame.array(d.name).is_some()
-            {
+            if d.dims.is_empty() || sub.params.contains(&d.name) || frame.array(d.name).is_some() {
                 continue;
             }
             let mut extents = Vec::new();
@@ -659,9 +663,7 @@ impl Machine {
                     inner.bind_array(*formal, reshaped);
                 }
                 Expr::Var(name) => {
-                    let v = frame
-                        .scalar(*name)
-                        .ok_or(RunError::UnboundScalar(*name))?;
+                    let v = frame.scalar(*name).ok_or(RunError::UnboundScalar(*name))?;
                     inner.set_scalar(*formal, v);
                     copy_out.push((*formal, *name));
                 }
@@ -1034,10 +1036,7 @@ END
         .expect("parses");
         let machine = Machine::new(prog);
         let mut store = Store::new();
-        assert_eq!(
-            machine.run(&mut store),
-            Err(RunError::BadIndex(sym("A")))
-        );
+        assert_eq!(machine.run(&mut store), Err(RunError::BadIndex(sym("A"))));
     }
 
     #[test]

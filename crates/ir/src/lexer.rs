@@ -187,8 +187,10 @@ fn lex_line(line: &str, line_no: u32, out: &mut Vec<Spanned>) -> Result<(), LexE
                         i = j + 1;
                     } else {
                         return Err(LexError {
-                            message: format!("unterminated dot-operator near '.{}'",
-                                bytes[i + 1..j].iter().collect::<String>()),
+                            message: format!(
+                                "unterminated dot-operator near '.{}'",
+                                bytes[i + 1..j].iter().collect::<String>()
+                            ),
                             line: line_no,
                         });
                     }

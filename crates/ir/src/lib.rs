@@ -38,8 +38,8 @@ pub mod interp;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{
-    BinOp, Decl, DimDecl, Expr, Intrinsic, LValue, Program, Stmt, Subroutine, Ty, UnOp,
+pub use ast::{BinOp, Decl, DimDecl, Expr, Intrinsic, LValue, Program, Stmt, Subroutine, Ty, UnOp};
+pub use interp::{
+    AccessTracer, ArrayBuf, ArrayView, ExecState, Machine, RunError, Store, StoreCtx, Value,
 };
-pub use interp::{AccessTracer, ArrayBuf, ArrayView, ExecState, Machine, RunError, Store, StoreCtx, Value};
 pub use parser::{parse_program, ParseError};

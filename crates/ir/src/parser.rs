@@ -328,14 +328,10 @@ impl Parser {
     }
 
     fn do_stmt(&mut self) -> Result<Stmt, ParseError> {
-        self.pos += 1; // DO
-        // Optional `label:` written as `DO label : ...`? We use the form
-        // `DO label: i = ...` where label is an identifier followed by
-        // ':'. Our lexer has no ':' token, so labels use the form
-        // `DO_label` attached via a pragma-like identifier: instead we
-        // support `DO label i = 1, N` when two identifiers appear before
-        // '='? Ambiguous. Keep it simple: `DO i = 1, N` has exactly one
-        // identifier before '='; if two appear, the first is the label.
+        // Consume `DO`. Labels: `DO i = 1, N` has exactly one identifier
+        // before `=`; if two appear, the first is the label (our lexer
+        // has no `:` token, so there is no `DO label:` form).
+        self.pos += 1;
         let first = self.take_ident()?;
         if first.to_uppercase() == "WHILE" {
             self.expect(&Tok::LParen)?;

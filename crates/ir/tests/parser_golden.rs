@@ -1,0 +1,238 @@
+//! Golden tests for the mini-Fortran frontend on the exact sources the
+//! `examples/` and the benchmark suite feed it: token streams from the
+//! lexer, AST shapes from the parser, and one end-to-end interpreter
+//! check, plus diagnostics (errors must carry 1-based line numbers).
+
+use lip_ir::lexer::{lex, Tok};
+use lip_ir::{parse_program, BinOp, Expr, LValue, Machine, Stmt, Store};
+use lip_symbolic::sym;
+
+/// The `examples/quickstart.rs` kernel, verbatim.
+const QUICKSTART: &str = "
+SUBROUTINE kernel(A, N, M)
+  DIMENSION A(*)
+  INTEGER i, N, M
+  DO main_loop i = 1, N
+    A(i) = A(i + M) + 1.0
+  ENDDO
+END
+";
+
+/// The `examples/civ_while_loop.rs` kernel (suite `CIV_WHILE`), verbatim.
+const CIV_WHILE: &str = "
+SUBROUTINE extend(X, N)
+  DIMENSION X(*)
+  INTEGER k, N
+  k = 1
+  DO do400 WHILE (k .LT. N)
+    X(k) = X(k) + 2.0
+    k = k + 2
+  ENDDO
+END
+";
+
+#[test]
+fn lexer_golden_quickstart_do_line() {
+    let toks = lex(QUICKSTART).expect("lexes");
+    // Isolate the `DO main_loop i = 1, N` line (line 5 of the source).
+    let line: Vec<&Tok> = toks
+        .iter()
+        .filter(|s| s.line == 5)
+        .map(|s| &s.tok)
+        .collect();
+    let expected = [
+        Tok::Ident("DO".into()),
+        Tok::Ident("main_loop".into()),
+        Tok::Ident("i".into()),
+        Tok::Assign,
+        Tok::Int(1),
+        Tok::Comma,
+        Tok::Ident("N".into()),
+        Tok::Newline,
+    ];
+    assert_eq!(line.len(), expected.len(), "tokens: {line:?}");
+    for (got, want) in line.iter().zip(expected.iter()) {
+        assert_eq!(*got, want);
+    }
+}
+
+#[test]
+fn lexer_handles_comments_case_and_dot_ops() {
+    let src = "
+C full-line comment
+  x = 1 ! trailing comment
+* another comment style
+  IF (x .Lt. 2 .AND. x .GE. 0) THEN
+  ENDIF
+";
+    let toks = lex(src).expect("lexes");
+    let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+    // Comments vanish entirely; dot-ops are uppercased without dots.
+    assert!(kinds.contains(&&Tok::DotOp("LT".into())));
+    assert!(kinds.contains(&&Tok::DotOp("AND".into())));
+    assert!(kinds.contains(&&Tok::DotOp("GE".into())));
+    assert!(!toks.iter().any(|s| s.line == 2 && s.tok != Tok::Newline));
+    assert!(!toks.iter().any(|s| s.line == 4 && s.tok != Tok::Newline));
+}
+
+#[test]
+fn lexer_double_star_and_reals() {
+    let toks = lex("y = x ** 2 + 0.25").expect("lexes");
+    let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+    assert!(kinds.contains(&&Tok::StarStar));
+    assert!(kinds.contains(&&Tok::Real(0.25)));
+    assert!(!kinds.contains(&&Tok::Star), "`**` must not lex as two `*`");
+}
+
+#[test]
+fn parser_golden_quickstart_ast() {
+    let prog = parse_program(QUICKSTART).expect("parses");
+    assert_eq!(prog.units.len(), 1);
+    let sub = &prog.units[0];
+    assert_eq!(sub.name, sym("kernel"));
+    assert_eq!(sub.params, vec![sym("A"), sym("N"), sym("M")]);
+    assert!(sub.is_array(sym("A")));
+    assert!(!sub.is_array(sym("i")));
+
+    assert_eq!(sub.body.len(), 1, "body is the single DO loop");
+    let Stmt::Do {
+        label,
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = &sub.body[0]
+    else {
+        panic!("expected DO, got {:?}", sub.body[0]);
+    };
+    assert_eq!(label.as_deref(), Some("main_loop"));
+    assert_eq!(*var, sym("i"));
+    assert_eq!(*lo, Expr::Int(1));
+    assert_eq!(*hi, Expr::Var(sym("N")));
+    assert!(step.is_none());
+
+    let Stmt::Assign { lhs, rhs } = &body[0] else {
+        panic!("expected assignment body");
+    };
+    let LValue::Element(arr, idx) = lhs else {
+        panic!("expected A(i) on the lhs");
+    };
+    assert_eq!(*arr, sym("A"));
+    assert_eq!(idx.as_slice(), &[Expr::Var(sym("i"))]);
+    let Expr::Bin(BinOp::Add, read, _one) = rhs else {
+        panic!("expected A(i+M) + 1.0, got {rhs:?}");
+    };
+    let Expr::Elem(rarr, ridx) = read.as_ref() else {
+        panic!("expected element read, got {read:?}");
+    };
+    assert_eq!(*rarr, sym("A"));
+    assert_eq!(
+        ridx.as_slice(),
+        &[Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Var(sym("i"))),
+            Box::new(Expr::Var(sym("M"))),
+        )]
+    );
+}
+
+#[test]
+fn parser_golden_civ_while_ast() {
+    let prog = parse_program(CIV_WHILE).expect("parses");
+    let sub = &prog.units[0];
+    assert_eq!(sub.name, sym("extend"));
+    // k = 1 precedes the DO WHILE.
+    assert!(matches!(&sub.body[0], Stmt::Assign { lhs: LValue::Scalar(s), .. } if *s == sym("k")));
+    let Stmt::While { label, cond, body } = &sub.body[1] else {
+        panic!("expected DO WHILE, got {:?}", sub.body[1]);
+    };
+    assert_eq!(label.as_deref(), Some("do400"));
+    assert!(
+        matches!(cond, Expr::Bin(BinOp::Lt, a, b)
+            if **a == Expr::Var(sym("k")) && **b == Expr::Var(sym("N"))),
+        "cond: {cond:?}"
+    );
+    assert_eq!(body.len(), 2);
+    // find_loop locates it by label.
+    assert!(sub.find_loop("do400").is_some());
+    assert!(sub.find_loop("missing").is_none());
+}
+
+#[test]
+fn parser_call_read_and_branches() {
+    let src = "
+SUBROUTINE main()
+  INTEGER a, b
+  READ(*,*) a, b
+  IF (a .GT. b) THEN
+    CALL helper(a)
+  ELSE
+    b = a
+  ENDIF
+END
+SUBROUTINE helper(x)
+  INTEGER x
+  x = x + 1
+END
+";
+    let prog = parse_program(src).expect("parses");
+    assert_eq!(prog.units.len(), 2);
+    let main = prog.subroutine(sym("main")).expect("main");
+    assert!(matches!(&main.body[0], Stmt::Read { targets } if targets == &[sym("a"), sym("b")]));
+    let Stmt::If {
+        then_body,
+        else_body,
+        ..
+    } = &main.body[1]
+    else {
+        panic!("expected IF");
+    };
+    assert!(matches!(&then_body[0], Stmt::Call { callee, args }
+            if *callee == sym("helper") && args.len() == 1));
+    assert_eq!(else_body.len(), 1);
+}
+
+#[test]
+fn interp_golden_quickstart_semantics() {
+    // Drive the parsed kernel end-to-end: with M = N the loop reads
+    // only the upper half, so A(i) = old A(i+N) + 1 for i in 1..=N.
+    let prog = parse_program(QUICKSTART).expect("parses");
+    let machine = Machine::new(prog.clone());
+    let sub = prog.units[0].clone();
+    let n = 8usize;
+    let mut frame = Store::new();
+    frame
+        .set_int(sym("N"), n as i64)
+        .set_int(sym("M"), n as i64);
+    let a = frame.alloc_real(sym("A"), 2 * n);
+    for i in 0..2 * n {
+        a.set(i, lip_ir::Value::Real(10.0 * i as f64));
+    }
+    let mut state = lip_ir::ExecState::default();
+    machine
+        .exec_block(&sub, &mut frame, &sub.body, &mut state)
+        .expect("runs");
+    let a = frame.array(sym("A")).expect("bound");
+    for i in 0..n {
+        assert_eq!(
+            a.buf.get_f64(i),
+            10.0 * (i + n) as f64 + 1.0,
+            "A({})",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let src = "
+SUBROUTINE broken(A)
+  DIMENSION A(*)
+  DO i = 1
+  ENDDO
+END
+";
+    let err = parse_program(src).expect_err("malformed DO must not parse");
+    assert_eq!(err.line, 4, "error should point at the DO line: {err:?}");
+}

@@ -462,8 +462,7 @@ mod tests {
         // k(M-1), offset (i-1)*N + k - 1. Then over i in 1..=N.
         let (i, j, n, m) = (sym("i"), sym("j"), sym("N"), sym("M"));
         let point = Lmad::point(
-            &(&(&v("i") - &SymExpr::konst(1)) * &v("N")) + &(&v("j") * &v("k"))
-                - SymExpr::konst(1),
+            &(&(&v("i") - &SymExpr::konst(1)) * &v("N")) + &(&v("j") * &v("k")) - SymExpr::konst(1),
         );
         let inner = point
             .aggregate(j, &SymExpr::konst(1), &SymExpr::var(m))
@@ -493,9 +492,7 @@ mod tests {
     fn aggregation_fails_when_var_in_span() {
         // Triangular access: span depends on the loop variable.
         let l = Lmad::interval(SymExpr::konst(0), v("i"));
-        assert!(l
-            .aggregate(sym("i"), &SymExpr::konst(1), &v("N"))
-            .is_none());
+        assert!(l.aggregate(sym("i"), &SymExpr::konst(1), &v("N")).is_none());
     }
 
     #[test]

@@ -47,12 +47,7 @@ pub fn disjoint_1d(a: &Lmad, b: &Lmad) -> BoolExpr {
         }
         _ => BoolExpr::f(),
     };
-    BoolExpr::or(vec![
-        a.empty_pred(),
-        b.empty_pred(),
-        intervals,
-        interleaved,
-    ])
+    BoolExpr::or(vec![a.empty_pred(), b.empty_pred(), intervals, interleaved])
 }
 
 /// Sufficient predicate for 1-D LMAD `a ⊆ b`:
@@ -196,11 +191,7 @@ pub fn disjoint_lmads(s1: &LmadSet, s2: &LmadSet) -> BoolExpr {
 pub fn included_lmads(s1: &LmadSet, s2: &LmadSet) -> BoolExpr {
     let mut parts = Vec::new();
     for a in s1.lmads() {
-        let alts: Vec<BoolExpr> = s2
-            .lmads()
-            .iter()
-            .map(|b| included_lmad(a, b))
-            .collect();
+        let alts: Vec<BoolExpr> = s2.lmads().iter().map(|b| included_lmad(a, b)).collect();
         parts.push(BoolExpr::or(alts));
     }
     BoolExpr::and(parts)

@@ -267,9 +267,10 @@ mod tests {
         assert_eq!(*p.outer.offset(), v("M").scale(2));
         assert_eq!(*p.inner.offset(), v("j") - k(1));
         // wf: 0 <= j-1 ∧ j-1 < M.
-        let env = RangeEnv::new()
-            .with_range(sym("j"), k(1), k(3))
-            .with_range(sym("M"), k(10), k(10));
+        let env =
+            RangeEnv::new()
+                .with_range(sym("j"), k(1), k(3))
+                .with_range(sym("M"), k(10), k(10));
         assert_eq!(env.decide(&p.wellformed), Some(true));
     }
 

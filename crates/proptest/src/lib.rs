@@ -1,0 +1,146 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest's API that the `lip` test suites
+//! use: integer-range and `collection::vec` strategies, `Just` and
+//! `prop_map`, the `proptest!` test-harness macro with
+//! `#![proptest_config(..)]`, and the `prop_assert*` / `prop_assume!`
+//! macros. Generation is driven by a deterministic splitmix64 RNG
+//! seeded from the test name, so failures are reproducible run-to-run.
+//! There is no shrinking: a failing case reports the concrete inputs
+//! that triggered it.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the `proptest!` tests need in scope.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares a block of property tests.
+///
+/// Supports the shape used across this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(512))]
+///     #[test]
+///     fn my_prop(a in -5i64..5, xs in proptest::collection::vec(0i64..9, 1..4)) {
+///         prop_assert!(a < 5);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut ran: u32 = 0;
+                let mut attempts: u32 = 0;
+                while ran < config.cases {
+                    attempts += 1;
+                    if attempts > config.cases.saturating_mul(20).max(1024) {
+                        panic!(
+                            "proptest `{}`: too many rejected cases ({} accepted of {} attempts)",
+                            stringify!($name), ran, attempts
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => ran += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            let inputs: ::std::string::String = [
+                                $(format!("  {} = {:?}", stringify!($arg), &$arg)),*
+                            ].join("\n");
+                            panic!(
+                                "proptest `{}` failed at case {}:\n{}\ninputs:\n{}",
+                                stringify!($name), ran, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted) unless
+/// the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

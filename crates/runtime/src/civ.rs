@@ -205,10 +205,8 @@ pub fn compute_civ_traces(
 ) -> Result<u64, RunError> {
     let mut state = ExecState::default();
     let targets: BTreeSet<Sym> = civs.iter().map(|(s, _)| *s).collect();
-    let mut traces: Vec<(Sym, Sym, Vec<i64>)> = civs
-        .iter()
-        .map(|(s, t)| (*s, *t, Vec::new()))
-        .collect();
+    let mut traces: Vec<(Sym, Sym, Vec<i64>)> =
+        civs.iter().map(|(s, t)| (*s, *t, Vec::new())).collect();
     let mut slice_frame = frame.clone();
 
     match target {
@@ -343,9 +341,8 @@ END
             c.set(i, Value::Int(*v));
         }
         let civs = vec![(sym("civ"), sym("civ@tr"))];
-        let cost =
-            compute_civ_traces(&machine, &sub, &target, &civs, &mut frame, None)
-                .expect("slice runs");
+        let cost = compute_civ_traces(&machine, &sub, &target, &civs, &mut frame, None)
+            .expect("slice runs");
         assert!(cost > 0);
         let tr = frame.array(sym("civ@tr")).expect("trace bound");
         // Entry values: 0,1,1,2,3 then post-loop 3.
@@ -382,10 +379,7 @@ END
             Some(sym("w1@niters")),
         )
         .expect("slice runs");
-        assert_eq!(
-            frame.scalar(sym("w1@niters")).map(Value::as_i64),
-            Some(5)
-        );
+        assert_eq!(frame.scalar(sym("w1@niters")).map(Value::as_i64), Some(5));
         let tr = frame.array(sym("k@tr")).expect("trace");
         assert_eq!(tr.get_i64(0), 1);
         assert_eq!(tr.get_i64(4), 9);

@@ -21,7 +21,7 @@ use lip_ir::{
     Ty, Value,
 };
 use lip_symbolic::Sym;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::civ::compute_civ_traces;
 use crate::lrpd::{lrpd_execute, LrpdOutcome};
@@ -87,8 +87,7 @@ pub fn run_loop(
     if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
         let niters = matches!(target, Stmt::While { .. })
             .then(|| lip_symbolic::sym(&format!("{}@niters", analysis.label)));
-        test_units +=
-            compute_civ_traces(machine, sub, target, &analysis.civs, frame, niters)?;
+        test_units += compute_civ_traces(machine, sub, target, &analysis.civs, frame, niters)?;
     }
 
     // While loops execute sequentially in this executor (their parallel
@@ -135,11 +134,9 @@ pub fn run_loop(
                         }
                         Some(_) => (false, ExecOutcome::Sequential),
                         None => {
-                            let arrays: Vec<Sym> =
-                                analysis.arrays.keys().copied().collect();
-                            let (out, cost) = lrpd_execute(
-                                machine, sub, target, frame, &arrays, nthreads,
-                            )?;
+                            let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
+                            let (out, cost) =
+                                lrpd_execute(machine, sub, target, frame, &arrays, nthreads)?;
                             return Ok(RunStats {
                                 outcome: ExecOutcome::Speculated(out),
                                 test_units,
@@ -153,8 +150,7 @@ pub fn run_loop(
         LoopClass::NeedsFallback(_) => {
             // Straight to speculation on the written arrays.
             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
-            let (out, cost) =
-                lrpd_execute(machine, sub, target, frame, &arrays, nthreads)?;
+            let (out, cost) = lrpd_execute(machine, sub, target, frame, &arrays, nthreads)?;
             return Ok(RunStats {
                 outcome: ExecOutcome::Speculated(out),
                 test_units,
@@ -251,7 +247,12 @@ impl AccessTracer for WriteSetTracer {
     fn read(&self, _arr: Sym, _idx: usize) {}
     fn write(&self, arr: Sym, idx: usize) {
         if self.interesting.contains(&arr) {
-            self.writes.lock().entry(arr).or_default().insert(idx);
+            self.writes
+                .lock()
+                .unwrap()
+                .entry(arr)
+                .or_default()
+                .insert(idx);
         }
     }
 }
@@ -377,7 +378,7 @@ fn run_parallel_do(
             m.exec_block(sub, &mut local, body, &mut st)?;
         }
         if let Some(t) = tracer {
-            out.writes = std::mem::take(&mut *t.writes.lock());
+            out.writes = std::mem::take(&mut *t.writes.lock().unwrap());
         }
         for s in scalar_reds {
             if let Some(v) = local.scalar(*s) {
@@ -386,13 +387,10 @@ fn run_parallel_do(
         }
         // Live-out scalars from the last chunk (sequential semantics).
         if chunk_idx == nchunks - 1 {
-            out.last_scalar_values.push((
-                var,
-                Value::Int(hi + 1),
-            ));
+            out.last_scalar_values.push((var, Value::Int(hi + 1)));
         }
-        *total_cost.lock() += st.cost;
-        outs.lock().push(out);
+        *total_cost.lock().unwrap() += st.cost;
+        outs.lock().unwrap().push(out);
         completed.fetch_add(1, AtomicOrdering::Relaxed);
         Ok::<(), RunError>(())
     })?;
@@ -401,7 +399,7 @@ fn run_parallel_do(
     }
 
     // Merge phase (sequential, deterministic order).
-    let mut outs = outs.into_inner();
+    let mut outs = outs.into_inner().unwrap();
     outs.sort_by_key(|o| o.idx);
     for out in &outs {
         // Reductions merge in any order.
@@ -455,7 +453,7 @@ fn run_parallel_do(
         };
         frame.set_scalar(*s, v);
     }
-    Ok(total_cost.into_inner())
+    Ok(total_cost.into_inner().unwrap())
 }
 
 fn clone_buf(buf: &Arc<ArrayBuf>) -> Arc<ArrayBuf> {
@@ -475,8 +473,8 @@ fn clone_buf(buf: &Arc<ArrayBuf>) -> Arc<ArrayBuf> {
 fn identity_buf(buf: &Arc<ArrayBuf>, op: BinOp) -> Arc<ArrayBuf> {
     let id = match op {
         BinOp::Mul => 1.0,
-        BinOp::Lt => f64::INFINITY,      // MIN reduction
-        BinOp::Gt => f64::NEG_INFINITY,  // MAX reduction
+        BinOp::Lt => f64::INFINITY,     // MIN reduction
+        BinOp::Gt => f64::NEG_INFINITY, // MAX reduction
         _ => 0.0,
     };
     match buf.ty() {
@@ -541,8 +539,7 @@ END
         for i in 0..n {
             b.set(i, Value::Real(i as f64));
         }
-        let stats =
-            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
         assert_eq!(stats.outcome, ExecOutcome::StaticParallel);
         let a = frame.array(sym("A")).expect("A");
         for i in 0..n {
@@ -570,8 +567,7 @@ END
         for i in 0..(2 * n) as usize {
             a.set(i, Value::Real(i as f64));
         }
-        let stats =
-            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
         assert!(matches!(stats.outcome, ExecOutcome::PredicatePassed { .. }));
         let av = frame.array(sym("A")).expect("A");
         assert_eq!(av.get_f64(0), (n as f64) + 1.0);
@@ -585,8 +581,7 @@ END
             a2.set(i, Value::Real(0.0));
         }
         a2.set(n as usize, Value::Real(7.0));
-        let stats2 =
-            run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
+        let stats2 = run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
         assert_eq!(stats2.outcome, ExecOutcome::Sequential);
         // Sequential anti-dependence semantics: each A(i) reads the OLD
         // A(i+1), so only A(N) sees the seeded 7.0.
@@ -617,12 +612,16 @@ END
         for i in 0..n {
             b.set(i, Value::Int((i % 10 + 1) as i64)); // heavy collisions
         }
-        let stats =
-            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
         // Regardless of path, the histogram must be exact.
         let a = frame.array(sym("A")).expect("A");
         for k in 0..10 {
-            assert_eq!(a.get_f64(k), 100.0, "bucket {k} (outcome {:?})", stats.outcome);
+            assert_eq!(
+                a.get_f64(k),
+                100.0,
+                "bucket {k} (outcome {:?})",
+                stats.outcome
+            );
         }
     }
 
@@ -641,8 +640,8 @@ END
         let prog = parse_program(src).expect("parses");
         let sub = prog.units[0].clone();
         let target = sub.find_loop("l1").expect("loop").clone();
-        let analysis = analyze_loop(&prog, sub.name, "l1", &AnalysisConfig::default())
-            .expect("analyzed");
+        let analysis =
+            analyze_loop(&prog, sub.name, "l1", &AnalysisConfig::default()).expect("analyzed");
         let machine = Machine::new(prog);
         let n = 100usize;
         let mut frame = Store::new();
@@ -680,8 +679,7 @@ END
         frame.set_int(sym("N"), n).set_int(sym("M"), m);
         frame.alloc_real(sym("A"), n as usize);
         frame.alloc_real(sym("T"), m as usize);
-        let stats =
-            run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
         assert_ne!(stats.outcome, ExecOutcome::Sequential);
         // A(i) = Σ_j (i + j); T's final = last iteration's values.
         let a = frame.array(sym("A")).expect("A");

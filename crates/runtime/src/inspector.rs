@@ -171,7 +171,7 @@ pub fn inspect_execute(
         InspectVerdict::Independent => {
             let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
             let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
-            let cost = parking_lot::Mutex::new(state.cost + inspect_cost);
+            let cost = std::sync::Mutex::new(state.cost + inspect_cost);
             parallel_chunks(nthreads, lo_v, hi_v, |_, c_lo, c_hi| {
                 let mut local = frame.clone();
                 let mut st = ExecState::default();
@@ -179,10 +179,10 @@ pub fn inspect_execute(
                     local.set_scalar(*var, Value::Int(i));
                     machine.exec_block(sub, &mut local, body, &mut st)?;
                 }
-                *cost.lock() += st.cost;
+                *cost.lock().unwrap() += st.cost;
                 Ok::<(), RunError>(())
             })?;
-            Ok((verdict, cost.into_inner()))
+            Ok((verdict, cost.into_inner().unwrap()))
         }
         InspectVerdict::Dependent => {
             machine.exec_stmt(sub, frame, target, &mut state)?;
@@ -265,8 +265,7 @@ END
             b.set(i, Value::Int(2 * i as i64 + 1)); // injective
         }
         let (verdict, _) =
-            inspect_execute(&machine, &sub, &target, &mut frame, &[sym("A")], 2)
-                .expect("runs");
+            inspect_execute(&machine, &sub, &target, &mut frame, &[sym("A")], 2).expect("runs");
         assert_eq!(verdict, InspectVerdict::Independent);
         let a = frame.array(sym("A")).expect("A");
         assert_eq!(a.get_f64(0), 1.0);
@@ -291,8 +290,7 @@ END
         frame.set_int(sym("N"), 50);
         frame.alloc_real(sym("A"), 4);
         let (verdict, _) =
-            inspect_execute(&machine, &sub, &target, &mut frame, &[sym("A")], 2)
-                .expect("runs");
+            inspect_execute(&machine, &sub, &target, &mut frame, &[sym("A")], 2).expect("runs");
         assert_eq!(verdict, InspectVerdict::Dependent);
         let a = frame.array(sym("A")).expect("A");
         assert_eq!(a.get_f64(0), (50 * 51 / 2) as f64);

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use lip_ir::{AccessTracer, ExecState, Machine, RunError, Stmt, Store, Subroutine, Value};
 use lip_symbolic::Sym;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::pool::parallel_chunks;
 
@@ -145,10 +145,10 @@ pub fn lrpd_execute(
             local.set_scalar(*var, Value::Int(i));
             traced.exec_block(sub, &mut local, body, &mut st)?;
         }
-        *cost.lock() += st.cost;
+        *cost.lock().unwrap() += st.cost;
         Ok::<(), RunError>(())
     })?;
-    let mut total_cost = cost.into_inner();
+    let mut total_cost = cost.into_inner().unwrap();
 
     if spec.conflict.load(Ordering::Relaxed) {
         // Restore and re-run sequentially.

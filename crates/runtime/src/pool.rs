@@ -1,4 +1,4 @@
-//! Minimal fork-join parallelism over crossbeam scoped threads.
+//! Minimal fork-join parallelism over `std::thread` scoped threads.
 
 /// Splits the inclusive iteration range `[lo, hi]` into `nthreads`
 /// contiguous chunks and runs `body(chunk_index, chunk_lo, chunk_hi)`
@@ -20,7 +20,7 @@ where
         return body(0, lo, hi);
     }
     let chunk = n.div_ceil(nthreads);
-    let results = crossbeam::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..nthreads {
             let c_lo = lo + (t * chunk) as i64;
@@ -29,14 +29,13 @@ where
                 continue;
             }
             let body = &body;
-            handles.push(scope.spawn(move |_| body(t, c_lo, c_hi)));
+            handles.push(scope.spawn(move || body(t, c_lo, c_hi)));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    });
     for r in results {
         r?;
     }
@@ -97,13 +96,18 @@ mod tests {
 
     #[test]
     fn errors_propagate() {
-        let r = parallel_chunks::<&str, _>(2, 1, 10, |_, lo, _| {
-            if lo > 5 {
-                Err("boom")
-            } else {
-                Ok(())
-            }
-        });
+        let r = parallel_chunks::<&str, _>(
+            2,
+            1,
+            10,
+            |_, lo, _| {
+                if lo > 5 {
+                    Err("boom")
+                } else {
+                    Ok(())
+                }
+            },
+        );
         assert_eq!(r, Err("boom"));
     }
 }

@@ -82,6 +82,7 @@ impl SimResult {
 /// # Errors
 ///
 /// Propagates interpreter failures.
+#[allow(clippy::too_many_arguments)] // mirrors the codegen template's parameter list
 pub fn simulate_loop(
     machine: &Machine,
     sub: &Subroutine,

@@ -97,7 +97,12 @@ pub static PERFECT_CLUB: &[BenchDef] = &[
         sc: 0.97,
         techniques: "PRIV,EXT-RRED,HOIST-USR,MON",
         loops: &[
-            ld!(kernels::EXT_REDUCTION, 1800, 0.439, "FI HOIST-USR / OI O(N)"),
+            ld!(
+                kernels::EXT_REDUCTION,
+                1800,
+                0.439,
+                "FI HOIST-USR / OI O(N)"
+            ),
             ld!(kernels::MONOTONE_WINDOWS, 200, 0.273, "OI O(N)"),
             ld!(kernels::SOLVH, 60, 0.142, "F/OI O(1)/O(N)"),
         ],
@@ -337,7 +342,12 @@ pub static SPEC2006: &[BenchDef] = &[
         suite: SuiteKind::Spec2006,
         sc: 0.74,
         techniques: "SRED,PRIV,UMEG,BOUNDS-COMP",
-        loops: &[ld!(kernels::INDEX_REDUCTION, 7400, 0.737, "BOUNDS-COMP F/OI O(N)/O(1)")],
+        loops: &[ld!(
+            kernels::INDEX_REDUCTION,
+            7400,
+            0.737,
+            "BOUNDS-COMP F/OI O(N)/O(1)"
+        )],
     },
     BenchDef {
         name: "gamess",

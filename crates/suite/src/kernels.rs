@@ -67,7 +67,7 @@ fn fill_int(buf: &ArrayBuf, f: impl Fn(usize) -> i64) {
 }
 
 /// 1. Affine stencil sweep — STATIC-PAR everywhere (swim, mgrid,
-/// swm256, tomcatv, hydro2d, mdljdp2, bwaves, ora, mdg interf …).
+///    swm256, tomcatv, hydro2d, mdljdp2, bwaves, ora, mdg interf …).
 pub const STENCIL: KernelShape = KernelShape {
     name: "stencil",
     source: "
@@ -95,7 +95,7 @@ END
 };
 
 /// 2. The paper's Figure 1: interprocedural gated coverage with array
-/// reshaping — dyfesm SOLVH_do20, F/OI O(1)/O(N).
+///    reshaping — dyfesm SOLVH_do20, F/OI O(1)/O(N).
 pub const SOLVH: KernelShape = KernelShape {
     name: "solvh",
     source: "
@@ -158,7 +158,8 @@ END
         let ia = frame.alloc_int(sym("IA"), n);
         let ib = frame.alloc_int(sym("IB"), n);
         fill_int(&ia, |_| 2);
-        fill_int(&ib, |i| 2 * i as i64 + 1); // non-overlapping sections
+        // Non-overlapping sections.
+        fill_int(&ib, |i| 2 * i as i64 + 1);
         // HE is declared (32, *) in solvh: bind matching extents.
         let he = ArrayBuf::new_real(32 * (2 * n + 2));
         frame.bind_array(
@@ -175,7 +176,7 @@ END
 };
 
 /// 3. Symbolic offset crossover — FI O(1) (ocean FTRVMT_do109, arc2d
-/// FILERX, wupwise MULDEO/MULDOE, trfd OLDA_do300, spec77 SICDKD).
+///    FILERX, wupwise MULDEO/MULDOE, trfd OLDA_do300, spec77 SICDKD).
 pub const OFFSET_CROSSOVER: KernelShape = KernelShape {
     name: "offset_crossover",
     source: "
@@ -192,7 +193,9 @@ END
     prepare: |n| {
         let machine = machine_of(OFFSET_CROSSOVER.source);
         let mut frame = Store::new();
-        frame.set_int(sym("N"), n as i64).set_int(sym("M"), n as i64);
+        frame
+            .set_int(sym("N"), n as i64)
+            .set_int(sym("M"), n as i64);
         let a = frame.alloc_real(sym("A"), 2 * n);
         fill_real(&a, |i| i as f64);
         (frame, machine)
@@ -200,7 +203,7 @@ END
 };
 
 /// 4. Monotone index windows — OI O(N) via the §3.3 monotonicity rule
-/// (trfd INTGRL_do140, dyfesm SOLXDD, bdna segments).
+///    (trfd INTGRL_do140, dyfesm SOLXDD, bdna segments).
 pub const MONOTONE_WINDOWS: KernelShape = KernelShape {
     name: "monotone_windows",
     source: "
@@ -230,7 +233,7 @@ END
 };
 
 /// 5. Index-array reduction with unknown bounds — RRED + BOUNDS-COMP
-/// (gromacs INL1130, calculix MAFILLSM_do7, nasa7 pieces).
+///    (gromacs INL1130, calculix MAFILLSM_do7, nasa7 pieces).
 pub const INDEX_REDUCTION: KernelShape = KernelShape {
     name: "index_reduction",
     source: "
@@ -259,7 +262,7 @@ END
 };
 
 /// 6. Union of mutually exclusive gates — the zeusmp TRANX2_do2100
-/// shape (UMEG + F/OI O(1)).
+///    shape (UMEG + F/OI O(1)).
 pub const GATED_BRANCHES: KernelShape = KernelShape {
     name: "gated_branches",
     source: "
@@ -291,7 +294,7 @@ END
 };
 
 /// 7. Conditionally incremented induction variable — CIVagg (bdna
-/// ACTFOR_do240 / CORREC_do401).
+///    ACTFOR_do240 / CORREC_do401).
 pub const CIV_CONDITIONAL: KernelShape = KernelShape {
     name: "civ_conditional",
     source: "
@@ -323,7 +326,7 @@ END
 };
 
 /// 8. A while loop driven by a CIV — CIV-COMP (track EXTEND_do400 /
-/// FPTRAK_do300).
+///    FPTRAK_do300).
 pub const CIV_WHILE: KernelShape = KernelShape {
     name: "civ_while",
     source: "
@@ -350,7 +353,7 @@ END
 };
 
 /// 9. Privatizable scratch array with static last value — PRIV+SLV
-/// (flo52 PSMOO/DFLUX/EFLUX, arc2d STEPFX, apsi DVDTZ …).
+///    (flo52 PSMOO/DFLUX/EFLUX, arc2d STEPFX, apsi DVDTZ …).
 pub const PRIVATE_SCRATCH: KernelShape = KernelShape {
     name: "private_scratch",
     source: "
@@ -382,7 +385,7 @@ END
 };
 
 /// 10. A first-order recurrence — STATIC-SEQ (qcd UPDATE_do1/2, applu
-/// BLTS/BUTS).
+///     BLTS/BUTS).
 pub const SEQ_RECURRENCE: KernelShape = KernelShape {
     name: "seq_recurrence",
     source: "
@@ -407,7 +410,7 @@ END
 };
 
 /// 11. Input-dependent indirection where predicates fail but the whole
-/// reference set is runtime-computable — HOIST-USR (apsi RUN_do20/30).
+///     reference set is runtime-computable — HOIST-USR (apsi RUN_do20/30).
 pub const HOIST_INDIRECT: KernelShape = KernelShape {
     name: "hoist_indirect",
     source: "
@@ -436,7 +439,7 @@ END
 };
 
 /// 12. Data-dependent scalar feedback no predicate can disambiguate —
-/// TLS (track NLFILT_do300, spec77 GWATER_do190).
+///     TLS (track NLFILT_do300, spec77 GWATER_do190).
 pub const TLS_FEEDBACK: KernelShape = KernelShape {
     name: "tls_feedback",
     source: "
@@ -490,7 +493,7 @@ END
 };
 
 /// 14. Statically recognized whole-array sum — SRED (mdg POTENG,
-/// matrix300 pieces, gamess DIRFCK).
+///     matrix300 pieces, gamess DIRFCK).
 pub const STATIC_REDUCTION: KernelShape = KernelShape {
     name: "static_reduction",
     source: "
@@ -518,7 +521,7 @@ END
 };
 
 /// 15. A tiny-granularity parallel loop (the flo52/ocean slowdown
-/// effect: parallel but not worth spawning at small N).
+///     effect: parallel but not worth spawning at small N).
 pub const TINY_LOOP: KernelShape = KernelShape {
     name: "tiny_loop",
     source: "

@@ -94,8 +94,8 @@ pub fn measure_loop(
     let sub = prog.subroutine(sym(p.sub)).expect("subroutine").clone();
     let target = sub.find_loop(p.label).expect("loop").clone();
 
-    let analysis = analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default())
-        .expect("analysis");
+    let analysis =
+        analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default()).expect("analysis");
     let base = baseline_parallel(&sub, &target);
 
     // Runtime tests on the live workload.
@@ -158,8 +158,7 @@ pub fn measure_loop(
         LoopClass::NeedsFallback(_) => true,
     };
 
-    let per_iter =
-        per_iteration_costs(&p.machine, &sub, &target, &mut p.frame).expect("measure");
+    let per_iter = per_iteration_costs(&p.machine, &sub, &target, &mut p.frame).expect("measure");
     if tls_speculated {
         test_units += per_iter.iter().sum::<u64>() / 4;
     }

@@ -622,8 +622,7 @@ mod tests {
         // (i*i + 2) with i := N+1.
         let e = v("i") * v("i") + SymExpr::konst(2);
         let r = e.subst(sym("i"), &(v("N") + SymExpr::konst(1)));
-        let expected =
-            v("N") * v("N") + v("N").scale(2) + SymExpr::konst(3);
+        let expected = v("N") * v("N") + v("N").scale(2) + SymExpr::konst(3);
         assert_eq!(r, expected);
     }
 
@@ -659,10 +658,7 @@ mod tests {
             Some(7)
         );
         // Commutative canonicalization.
-        assert_eq!(
-            SymExpr::min(v("a"), v("b")),
-            SymExpr::min(v("b"), v("a"))
-        );
+        assert_eq!(SymExpr::min(v("a"), v("b")), SymExpr::min(v("b"), v("a")));
     }
 
     #[test]

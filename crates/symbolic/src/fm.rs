@@ -125,8 +125,7 @@ mod tests {
     #[test]
     fn proves_constant_after_elimination() {
         // i >= 1 (i.e. i > 0 after strictification) with i in [1, 10].
-        let env =
-            RangeEnv::new().with_range(sym("i"), SymExpr::konst(1), SymExpr::konst(10));
+        let env = RangeEnv::new().with_range(sym("i"), SymExpr::konst(1), SymExpr::konst(10));
         assert!(prove_gt0(&v("i"), &env));
         assert!(prove_ge0(&(v("i") - SymExpr::konst(1)), &env));
         assert!(!prove_gt0(&(v("i") - SymExpr::konst(1)), &env));
@@ -155,8 +154,7 @@ mod tests {
         // N*i - 5 with i in [1, 10] and N unbounded: coefficient N has
         // unknown sign, so both disjuncts remain.
         let expr = v("N") * v("i") - SymExpr::konst(5);
-        let env =
-            RangeEnv::new().with_range(sym("i"), SymExpr::konst(1), SymExpr::konst(10));
+        let env = RangeEnv::new().with_range(sym("i"), SymExpr::konst(1), SymExpr::konst(10));
         let p = reduce_gt0(&expr, &env);
         match p {
             BoolExpr::Or(parts) => assert_eq!(parts.len(), 2),

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// An interned program symbol (scalar variable, array name, loop index, …).
 ///
@@ -43,12 +43,12 @@ fn interner() -> &'static RwLock<Interner> {
 /// Interns `name` and returns its symbol handle.
 pub fn sym(name: &str) -> Sym {
     {
-        let guard = interner().read();
+        let guard = interner().read().unwrap();
         if let Some(&id) = guard.map.get(name) {
             return Sym(id);
         }
     }
-    let mut guard = interner().write();
+    let mut guard = interner().write().unwrap();
     if let Some(&id) = guard.map.get(name) {
         return Sym(id);
     }
@@ -64,18 +64,18 @@ impl Sym {
     /// This clones the interned string; symbols are meant to be compared and
     /// hashed, with names only materialized for diagnostics.
     pub fn name(self) -> String {
-        interner().read().names[self.0 as usize].clone()
+        interner().read().unwrap().names[self.0 as usize].clone()
     }
 
     /// A fresh symbol guaranteed not to collide with any previously interned
     /// name, derived from `base` (used for renaming recurrence variables).
     pub fn fresh(base: &str) -> Sym {
-        let guard = interner().read();
+        let guard = interner().read().unwrap();
         let mut n = guard.names.len();
         drop(guard);
         loop {
             let candidate = format!("{base}${n}");
-            if !interner().read().map.contains_key(&candidate) {
+            if !interner().read().unwrap().map.contains_key(&candidate) {
                 return sym(&candidate);
             }
             n += 1;

@@ -47,8 +47,7 @@ pub fn eval_usr(u: &Usr, ctx: &dyn EvalCtx, limit: usize) -> Option<BTreeSet<i64
             }
         }
         UsrNode::Call(_, body) => eval_usr(body, ctx, limit),
-        UsrNode::RecTotal { var, lo, hi, body }
-        | UsrNode::RecPartial { var, lo, hi, body } => {
+        UsrNode::RecTotal { var, lo, hi, body } | UsrNode::RecPartial { var, lo, hi, body } => {
             let lo = lo.eval(ctx)?;
             let hi = hi.eval(ctx)?;
             let mut out = BTreeSet::new();

@@ -127,9 +127,7 @@ impl Usr {
 
     /// N-ary union.
     pub fn union_all<I: IntoIterator<Item = Usr>>(parts: I) -> Usr {
-        parts
-            .into_iter()
-            .fold(Usr::empty(), Usr::union)
+        parts.into_iter().fold(Usr::empty(), Usr::union)
     }
 
     /// `a ∩ b` with zero/idempotence simplification.
@@ -188,10 +186,7 @@ impl Usr {
         }
         if let UsrNode::Gate(p, inner) = &*body.0 {
             if !p.contains_sym(var) {
-                return Usr::gate(
-                    p.clone(),
-                    Usr::rec_total(var, lo, hi, inner.clone()),
-                );
+                return Usr::gate(p.clone(), Usr::rec_total(var, lo, hi, inner.clone()));
             }
         }
         if let UsrNode::Leaf(set) = &*body.0 {
@@ -260,11 +255,8 @@ impl Usr {
             }
             UsrNode::Gate(p, body) => p.contains_sym(s) || body.contains_sym(s),
             UsrNode::Call(_, body) => body.contains_sym(s),
-            UsrNode::RecTotal { var, lo, hi, body }
-            | UsrNode::RecPartial { var, lo, hi, body } => {
-                lo.contains_sym(s)
-                    || hi.contains_sym(s)
-                    || (*var != s && body.contains_sym(s))
+            UsrNode::RecTotal { var, lo, hi, body } | UsrNode::RecPartial { var, lo, hi, body } => {
+                lo.contains_sym(s) || hi.contains_sym(s) || (*var != s && body.contains_sym(s))
             }
         }
     }
@@ -289,8 +281,7 @@ impl Usr {
                 body.collect_free(out);
             }
             UsrNode::Call(_, body) => body.collect_free(out),
-            UsrNode::RecTotal { var, lo, hi, body }
-            | UsrNode::RecPartial { var, lo, hi, body } => {
+            UsrNode::RecTotal { var, lo, hi, body } | UsrNode::RecPartial { var, lo, hi, body } => {
                 out.extend(lo.syms());
                 out.extend(hi.syms());
                 let mut inner = BTreeSet::new();
@@ -440,9 +431,7 @@ mod tests {
     #[test]
     fn rec_total_aggregates_leaf() {
         // ∪_{i=1..N} {32(i-1)} = [32]v[32(N-1)]+0 gated on 1<=N.
-        let body = Usr::leaf(LmadSet::single(Lmad::point(
-            (v("i") - k(1)).scale(32),
-        )));
+        let body = Usr::leaf(LmadSet::single(Lmad::point((v("i") - k(1)).scale(32))));
         let agg = Usr::rec_total(sym("i"), k(1), v("N"), body);
         match agg.node() {
             UsrNode::Gate(p, inner) => {
@@ -487,10 +476,7 @@ mod tests {
 
     #[test]
     fn subst_into_gate_and_leaf() {
-        let u = Usr::gate(
-            BoolExpr::gt0(v("i")),
-            iv(v("i"), v("i") + k(3)),
-        );
+        let u = Usr::gate(BoolExpr::gt0(v("i")), iv(v("i"), v("i") + k(3)));
         let r = u.subst(sym("i"), &k(2));
         match r.node() {
             UsrNode::Leaf(s) => {
@@ -526,10 +512,7 @@ mod tests {
     fn size_counts_dag_nodes_once() {
         let shared = iv(k(0), v("N"));
         // The leaf union merges exactly, so the left side is one leaf.
-        let u = Usr::intersect(
-            Usr::union(shared.clone(), iv(k(1), k(2))),
-            shared.clone(),
-        );
+        let u = Usr::intersect(Usr::union(shared.clone(), iv(k(1), k(2))), shared.clone());
         // intersect + merged-union leaf + shared = 3.
         assert_eq!(u.size(), 3);
     }

@@ -76,10 +76,7 @@ fn rewrite(u: &Usr, cfg: ReshapeConfig) -> Usr {
             let (a, b) = (rewrite(a, cfg), rewrite(b, cfg));
             if cfg.reassociate_subtraction {
                 if let UsrNode::Subtract(x, y) = a.node() {
-                    return rewrite(
-                        &Usr::subtract(x.clone(), Usr::union(y.clone(), b)),
-                        cfg,
-                    );
+                    return rewrite(&Usr::subtract(x.clone(), Usr::union(y.clone(), b)), cfg);
                 }
             }
             if cfg.umeg {
@@ -155,11 +152,7 @@ fn umeg_binary(op: UmegOp, x: &Usr, y: &Usr) -> Option<Usr> {
         return None;
     }
     let branch = |side: &[(BoolExpr, Usr)], g: &BoolExpr| -> Usr {
-        Usr::union_all(
-            side.iter()
-                .filter(|(h, _)| h == g)
-                .map(|(_, s)| s.clone()),
-        )
+        Usr::union_all(side.iter().filter(|(h, _)| h == g).map(|(_, s)| s.clone()))
     };
     let mut parts = Vec::new();
     for g in &gates {

@@ -197,9 +197,7 @@ impl Summary {
     /// RW = ∪_i (ROi ∪ RWi) − (WF ∪ RO)
     /// ```
     pub fn aggregate_loop(&self, var: Sym, lo: &SymExpr, hi: &SymExpr) -> Summary {
-        let rec = |body: &Usr| -> Usr {
-            Usr::rec_total(var, lo.clone(), hi.clone(), body.clone())
-        };
+        let rec = |body: &Usr| -> Usr { Usr::rec_total(var, lo.clone(), hi.clone(), body.clone()) };
         // Fast path: pure write-first loops (the common DOALL shape).
         if self.ro.is_empty() && self.rw.is_empty() {
             return Summary {
@@ -250,23 +248,15 @@ fn translate_usr(u: &Usr, delta: &SymExpr) -> Usr {
         UsrNode::Intersect(a, b) => {
             Usr::intersect(translate_usr(a, delta), translate_usr(b, delta))
         }
-        UsrNode::Subtract(a, b) => {
-            Usr::subtract(translate_usr(a, delta), translate_usr(b, delta))
-        }
+        UsrNode::Subtract(a, b) => Usr::subtract(translate_usr(a, delta), translate_usr(b, delta)),
         UsrNode::Gate(p, body) => Usr::gate(p.clone(), translate_usr(body, delta)),
         UsrNode::Call(site, body) => Usr::call(*site, translate_usr(body, delta)),
-        UsrNode::RecTotal { var, lo, hi, body } => Usr::rec_total(
-            *var,
-            lo.clone(),
-            hi.clone(),
-            translate_usr(body, delta),
-        ),
-        UsrNode::RecPartial { var, lo, hi, body } => Usr::rec_partial(
-            *var,
-            lo.clone(),
-            hi.clone(),
-            translate_usr(body, delta),
-        ),
+        UsrNode::RecTotal { var, lo, hi, body } => {
+            Usr::rec_total(*var, lo.clone(), hi.clone(), translate_usr(body, delta))
+        }
+        UsrNode::RecPartial { var, lo, hi, body } => {
+            Usr::rec_partial(*var, lo.clone(), hi.clone(), translate_usr(body, delta))
+        }
     }
 }
 

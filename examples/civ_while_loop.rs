@@ -20,8 +20,8 @@ fn main() {
     let prog = prepared.machine.program().clone();
     let sub = prog.subroutine(sym("actfor")).expect("sub").clone();
     let target = sub.find_loop("do240").expect("loop").clone();
-    let analysis = analyze_loop(&prog, sub.name, "do240", &AnalysisConfig::default())
-        .expect("analyzable");
+    let analysis =
+        analyze_loop(&prog, sub.name, "do240", &AnalysisConfig::default()).expect("analyzable");
     println!("classification: {:?}", analysis.class);
     assert!(analysis.techniques.contains(&Technique::CivAgg));
     println!(
@@ -45,8 +45,7 @@ fn main() {
     for i in 0..n {
         c.set(i, Value::Int(i64::from(i % 3 == 0)));
     }
-    let stats =
-        run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+    let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
     println!(
         "outcome {:?}; CIV slice + cascade cost {} units vs loop {} units",
         stats.outcome, stats.test_units, stats.loop_units

@@ -30,8 +30,7 @@ END
     // 1. Hybrid analysis: summaries -> independence USRs -> factorized
     //    predicate cascade.
     let analysis =
-        analyze_loop(&prog, sub.name, "main_loop", &AnalysisConfig::default())
-            .expect("analyzable");
+        analyze_loop(&prog, sub.name, "main_loop", &AnalysisConfig::default()).expect("analyzable");
     println!("classification: {:?}", analysis.class);
     for (i, stage) in analysis.cascade.stages.iter().enumerate() {
         println!("  stage {i} (O(N^{})): {}", stage.complexity, stage.pred);
@@ -41,13 +40,14 @@ END
     let machine = Machine::new(prog.clone());
     let n = 10_000usize;
     let mut frame = Store::new();
-    frame.set_int(sym("N"), n as i64).set_int(sym("M"), n as i64);
+    frame
+        .set_int(sym("N"), n as i64)
+        .set_int(sym("M"), n as i64);
     let a = frame.alloc_real(sym("A"), 2 * n);
     for i in 0..2 * n {
         a.set(i, Value::Real(i as f64));
     }
-    let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2)
-        .expect("runs");
+    let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
     println!(
         "M = N: outcome {:?}, test units {}, loop units {}",
         stats.outcome, stats.test_units, stats.loop_units
@@ -62,7 +62,6 @@ END
     for i in 0..=n {
         a2.set(i, Value::Real(0.0));
     }
-    let stats2 = run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2)
-        .expect("runs");
+    let stats2 = run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
     println!("M = 1: outcome {:?}", stats2.outcome);
 }

@@ -41,7 +41,10 @@ fn main() {
 
     let cascade = build_cascade(&pred, &env);
     for (i, stage) in cascade.stages.iter().enumerate() {
-        println!("cascade stage {i}: O(N^{}) {}", stage.complexity, stage.pred);
+        println!(
+            "cascade stage {i}: O(N^{}) {}",
+            stage.complexity, stage.pred
+        );
     }
 
     // Runtime evaluation matches the paper: holds for SYM != 1 and
@@ -50,10 +53,7 @@ fn main() {
     ctx.set_scalar(sym("SYM"), 0)
         .set_scalar(sym("NS"), 16)
         .set_scalar(sym("NP"), 2);
-    println!(
-        "SYM=0, NS=16, NP=2  ->  {:?}",
-        simplified.eval(&ctx, 1000)
-    );
+    println!("SYM=0, NS=16, NP=2  ->  {:?}", simplified.eval(&ctx, 1000));
     ctx.set_scalar(sym("SYM"), 1);
     println!("SYM=1              ->  {:?}", simplified.eval(&ctx, 1000));
 
@@ -70,6 +70,10 @@ fn main() {
     println!(
         "SOLVH_do20: {:?}, techniques {:?}",
         analysis.class,
-        analysis.techniques.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        analysis
+            .techniques
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
     );
 }

@@ -14,8 +14,8 @@ fn parity_check(src: &str, sub_name: &str, label: &str, setup: impl Fn(&mut Stor
     let prog = parse_program(src).expect("parses");
     let sub = prog.subroutine(sym(sub_name)).expect("sub").clone();
     let target = sub.find_loop(label).expect("loop").clone();
-    let analysis = analyze_loop(&prog, sub.name, label, &AnalysisConfig::default())
-        .expect("analyzable");
+    let analysis =
+        analyze_loop(&prog, sub.name, label, &AnalysisConfig::default()).expect("analyzable");
     let machine = Machine::new(prog);
 
     let mut seq_frame = Store::new();
@@ -154,7 +154,8 @@ fn sequential_recurrence_stays_correct() {
 #[test]
 fn expected_classifications_match_paper_rows() {
     // Spot checks of the table classifications the suite encodes.
-    let cases: Vec<(&lip::suite::KernelShape, fn(&LoopClass) -> bool)> = vec![
+    type Case = (&'static lip::suite::KernelShape, fn(&LoopClass) -> bool);
+    let cases: Vec<Case> = vec![
         (&lip::suite::STENCIL, |c| *c == LoopClass::StaticParallel),
         (&lip::suite::SEQ_RECURRENCE, |c| {
             *c == LoopClass::StaticSequential
@@ -169,13 +170,8 @@ fn expected_classifications_match_paper_rows() {
     for (shape, ok) in cases {
         let p = shape.prepared(32);
         let prog = p.machine.program().clone();
-        let analysis = analyze_loop(
-            &prog,
-            sym(p.sub),
-            p.label,
-            &AnalysisConfig::default(),
-        )
-        .expect("analyzable");
+        let analysis = analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default())
+            .expect("analyzable");
         assert!(ok(&analysis.class), "{}: {:?}", shape.name, analysis.class);
     }
 }
@@ -185,13 +181,8 @@ fn o1_predicate_has_constant_cost() {
     // The FTRVMT-style test must not scale with N (paper: RTov ≈ 0%).
     let p = lip::suite::OFFSET_CROSSOVER.prepared(64);
     let prog = p.machine.program().clone();
-    let analysis = analyze_loop(
-        &prog,
-        sym(p.sub),
-        p.label,
-        &AnalysisConfig::default(),
-    )
-    .expect("analyzable");
+    let analysis =
+        analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default()).expect("analyzable");
     let ctx = lip::ir::StoreCtx(&p.frame);
     let first = &analysis.cascade.stages[0];
     assert_eq!(first.complexity, 0);
@@ -205,18 +196,13 @@ fn lrpd_fallback_commits_on_benign_data() {
     let prog = p.machine.program().clone();
     let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
     let target = sub.find_loop(p.label).expect("loop").clone();
-    let analysis = analyze_loop(
-        &prog,
-        sym(p.sub),
-        p.label,
-        &AnalysisConfig::default(),
-    )
-    .expect("analyzable");
+    let analysis =
+        analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default()).expect("analyzable");
     let mut frame = p.frame.clone();
-    let stats = run_loop(&p.machine, &sub, &target, &analysis, &mut frame, 2)
-        .expect("runs");
+    let stats = run_loop(&p.machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
     match stats.outcome {
-        ExecOutcome::Speculated(_) | ExecOutcome::Sequential
+        ExecOutcome::Speculated(_)
+        | ExecOutcome::Sequential
         | ExecOutcome::PredicatePassed { .. } => {}
         other => panic!("unexpected outcome {other:?}"),
     }
@@ -231,12 +217,7 @@ fn techniques_cover_paper_vocabulary() {
     for shape in lip::suite::all_shapes() {
         let p = shape.prepared(24);
         let prog = p.machine.program().clone();
-        if let Some(a) = analyze_loop(
-            &prog,
-            sym(p.sub),
-            p.label,
-            &AnalysisConfig::default(),
-        ) {
+        if let Some(a) = analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default()) {
             seen.extend(a.techniques.iter().copied());
         }
     }
