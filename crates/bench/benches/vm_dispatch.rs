@@ -1,0 +1,52 @@
+//! Interpreter-vs-VM dispatch on the hot suite kernels.
+//!
+//! Each kernel's target loop executes end-to-end (bounds evaluation +
+//! every iteration) through the tree-walk interpreter and through the
+//! compiled bytecode VM; compilation happens once outside the timed
+//! region, mirroring how the executor amortizes it across a loop's
+//! iterations. Both backends produce identical work-unit counts — the
+//! wall-clock ratio is pure dispatch overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lip_bench::vm_hot_kernels;
+use lip_ir::ExecState;
+use lip_symbolic::sym;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_dispatch");
+    for (shape, n) in vm_hot_kernels() {
+        let mut p = shape.prepared(n);
+        let prog = p.machine.program().clone();
+        let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+        let target = sub.find_loop(p.label).expect("loop").clone();
+
+        group.bench_with_input(BenchmarkId::new(shape.name, "treewalk"), &(), |b, ()| {
+            b.iter(|| {
+                let mut st = ExecState::default();
+                p.machine
+                    .exec_stmt(&sub, &mut p.frame, &target, &mut st)
+                    .expect("interp");
+                black_box(st.cost)
+            })
+        });
+
+        let q = shape.prepared(n);
+        let mut compiled = lip_vm::compile_program(&prog).expect("compiles");
+        let block = lip_vm::add_block(&mut compiled, &sub, std::slice::from_ref(&target), &[])
+            .expect("block compiles");
+        let vm = lip_vm::Vm::for_machine(&compiled, &q.machine);
+        let chunk = &compiled.block(block).chunk;
+        let mut frame = lip_vm::Frame::for_chunk(chunk, &q.frame);
+        group.bench_with_input(BenchmarkId::new(shape.name, "bytecode"), &(), |b, ()| {
+            b.iter(|| {
+                let mut st = ExecState::default();
+                vm.run_block(block, &mut frame, &mut st, None).expect("vm");
+                black_box(st.cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

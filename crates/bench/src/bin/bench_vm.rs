@@ -1,0 +1,124 @@
+//! Emits `BENCH_vm.json`: wall-clock and work-unit figures for the hot
+//! suite kernels under both execution backends, so the perf trajectory
+//! stays machine-readable across PRs.
+//!
+//! ```sh
+//! cargo run --release -p lip_bench --bin bench_vm   # writes ./BENCH_vm.json
+//! LIP_BENCH_MS=20 cargo run --release -p lip_bench --bin bench_vm
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use lip_ir::ExecState;
+use lip_suite::KernelShape;
+use lip_symbolic::sym;
+
+struct Row {
+    kernel: &'static str,
+    backend: &'static str,
+    wall_ns: f64,
+    work_units: u64,
+    speedup_vs_treewalk: f64,
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("LIP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Times `run` adaptively: calibrate, then fill the sample budget.
+fn time_ns(mut run: impl FnMut() -> u64) -> (f64, u64) {
+    let calib = Instant::now();
+    let mut units = 0;
+    let mut calib_iters = 0u64;
+    while calib.elapsed() < Duration::from_millis(5) && calib_iters < 1_000 {
+        units = run();
+        calib_iters += 1;
+    }
+    let per_iter = calib.elapsed().as_secs_f64() / calib_iters as f64;
+    let n = ((sample_budget().as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+    let start = Instant::now();
+    for _ in 0..n {
+        units = run();
+    }
+    (start.elapsed().as_nanos() as f64 / n as f64, units)
+}
+
+fn measure(shape: &'static KernelShape, n: usize) -> (Row, Row) {
+    let mut p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+
+    let (tw_ns, tw_units) = time_ns(|| {
+        let mut st = ExecState::default();
+        p.machine
+            .exec_stmt(&sub, &mut p.frame, &target, &mut st)
+            .expect("interp");
+        st.cost
+    });
+
+    let q = shape.prepared(n);
+    let mut compiled = lip_vm::compile_program(&prog).expect("compiles");
+    let block = lip_vm::add_block(&mut compiled, &sub, std::slice::from_ref(&target), &[])
+        .expect("block compiles");
+    let vm = lip_vm::Vm::for_machine(&compiled, &q.machine);
+    let mut frame = lip_vm::Frame::for_chunk(&compiled.block(block).chunk, &q.frame);
+    let (vm_ns, vm_units) = time_ns(|| {
+        let mut st = ExecState::default();
+        vm.run_block(block, &mut frame, &mut st, None).expect("vm");
+        st.cost
+    });
+    assert_eq!(tw_units, vm_units, "{}: work units diverged", shape.name);
+
+    (
+        Row {
+            kernel: shape.name,
+            backend: "treewalk",
+            wall_ns: tw_ns,
+            work_units: tw_units,
+            speedup_vs_treewalk: 1.0,
+        },
+        Row {
+            kernel: shape.name,
+            backend: "bytecode",
+            wall_ns: vm_ns,
+            work_units: vm_units,
+            speedup_vs_treewalk: tw_ns / vm_ns,
+        },
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (shape, n) in lip_bench::vm_hot_kernels() {
+        let (tw, vm) = measure(shape, n);
+        println!(
+            "{:<18} treewalk {:>12.0} ns  bytecode {:>12.0} ns  speedup {:>5.2}x  ({} units)",
+            tw.kernel, tw.wall_ns, vm.wall_ns, vm.speedup_vs_treewalk, tw.work_units
+        );
+        rows.push(tw);
+        rows.push(vm);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"vm_dispatch\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"backend\": \"{}\", \"wall_ns\": {:.1}, \"work_units\": {}, \"speedup_vs_treewalk\": {:.3}}}{}",
+            r.kernel,
+            r.backend,
+            r.wall_ns,
+            r.work_units,
+            r.speedup_vs_treewalk,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    println!("wrote BENCH_vm.json ({} rows)", rows.len());
+}

@@ -5,10 +5,25 @@
 //! tables; `fig10`–`fig12` the normalized parallel timings against the
 //! static-affine baseline; `fig13` the 1–16 processor scalability.
 
-use lip_suite::{measure_benchmark, BenchDef};
+use lip_suite::{measure_benchmark, BenchDef, KernelShape};
 
 /// Spawn overhead (work units) used across all harnesses.
 pub const SPAWN: u64 = 3_000;
+
+/// The hot suite kernels (and their problem sizes) used by the
+/// interp-vs-VM dispatch measurements (`benches/vm_dispatch.rs` and
+/// the `bench_vm` binary): shapes safe to re-execute arbitrarily often
+/// on the same frame — no CIV growth, no input dependence.
+pub fn vm_hot_kernels() -> Vec<(&'static KernelShape, usize)> {
+    vec![
+        (&lip_suite::STENCIL, 1024),
+        (&lip_suite::OFFSET_CROSSOVER, 1024),
+        (&lip_suite::PRIVATE_SCRATCH, 256),
+        (&lip_suite::INDEX_REDUCTION, 512),
+        (&lip_suite::STATIC_REDUCTION, 512),
+        (&lip_suite::SEQ_RECURRENCE, 1024),
+    ]
+}
 
 /// Renders one paper-style table for a suite.
 pub fn print_table(title: &str, defs: &[BenchDef]) {

@@ -203,7 +203,9 @@ pub struct ArrayView {
 
 impl ArrayView {
     /// Column-major, 1-based linearization relative to the view.
-    fn linearize(&self, idx: &[i64]) -> Option<usize> {
+    /// Returns the absolute buffer index, or `None` when out of bounds.
+    /// Public so the bytecode VM shares the exact addressing model.
+    pub fn linearize(&self, idx: &[i64]) -> Option<usize> {
         let mut lin: i64 = 0;
         let mut stride: i64 = 1;
         for (k, &i) in idx.iter().enumerate() {
@@ -314,6 +316,11 @@ impl Store {
     pub fn arrays(&self) -> impl Iterator<Item = (Sym, &ArrayView)> {
         self.arrays.iter().map(|(s, v)| (*s, v))
     }
+
+    /// Iterates over bound scalars (differential testing, writeback).
+    pub fn scalars(&self) -> impl Iterator<Item = (Sym, Value)> + '_ {
+        self.scalars.iter().map(|(s, v)| (*s, *v))
+    }
 }
 
 /// An [`EvalCtx`] over a [`Store`], used to evaluate runtime predicates
@@ -381,8 +388,11 @@ impl ExecState {
         ExecState { cost: 0, budget }
     }
 
+    /// Adds `units` work units, failing with [`RunError::StepLimit`]
+    /// once the budget (if any) is exhausted. Public so the bytecode VM
+    /// shares the interpreter's cost/budget accounting.
     #[inline]
-    fn charge(&mut self, units: u64) -> Result<(), RunError> {
+    pub fn charge(&mut self, units: u64) -> Result<(), RunError> {
         self.cost += units;
         if self.budget > 0 && self.cost > self.budget {
             return Err(RunError::StepLimit);
@@ -436,6 +446,12 @@ impl Machine {
         let mut m = self.clone();
         m.tracer = Some(tracer);
         m
+    }
+
+    /// The tracer this machine reports array accesses to, if any (so
+    /// alternative execution backends honor the same instrumentation).
+    pub fn tracer(&self) -> Option<&Arc<dyn AccessTracer>> {
+        self.tracer.as_ref()
     }
 
     /// The underlying program.
@@ -753,13 +769,7 @@ impl Machine {
             }
             Expr::Un(op, a) => {
                 let v = self.eval(sub, frame, a, state)?;
-                Ok(match op {
-                    UnOp::Neg => match v {
-                        Value::Int(x) => Value::Int(-x),
-                        Value::Real(x) => Value::Real(-x),
-                    },
-                    UnOp::Not => Value::Int(i64::from(!v.truthy())),
-                })
+                Ok(apply_un(*op, v))
             }
             Expr::Bin(op, a, b) => {
                 let x = self.eval(sub, frame, a, state)?;
@@ -777,7 +787,22 @@ impl Machine {
     }
 }
 
-fn apply_bin(op: BinOp, x: Value, y: Value) -> Value {
+/// Applies a unary operator with the interpreter's value semantics
+/// (shared with the bytecode VM).
+pub fn apply_un(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(x) => Value::Int(-x),
+            Value::Real(x) => Value::Real(-x),
+        },
+        UnOp::Not => Value::Int(i64::from(!v.truthy())),
+    }
+}
+
+/// Applies a binary operator with the interpreter's value semantics:
+/// integer mode iff both operands are integers, Fortran truthiness for
+/// the logical connectives (shared with the bytecode VM).
+pub fn apply_bin(op: BinOp, x: Value, y: Value) -> Value {
     use BinOp::*;
     let int_mode = matches!((x, y), (Value::Int(_), Value::Int(_)));
     match op {
@@ -847,7 +872,10 @@ fn apply_bin(op: BinOp, x: Value, y: Value) -> Value {
     }
 }
 
-fn apply_intrinsic(intr: Intrinsic, vals: &[Value]) -> Value {
+/// Applies an intrinsic with the interpreter's value semantics (integer
+/// mode for MIN/MAX iff every argument is an integer; shared with the
+/// bytecode VM).
+pub fn apply_intrinsic(intr: Intrinsic, vals: &[Value]) -> Value {
     match intr {
         Intrinsic::Min => {
             let int_mode = vals.iter().all(|v| matches!(v, Value::Int(_)));

@@ -40,6 +40,7 @@ pub mod parser;
 
 pub use ast::{BinOp, Decl, DimDecl, Expr, Intrinsic, LValue, Program, Stmt, Subroutine, Ty, UnOp};
 pub use interp::{
-    AccessTracer, ArrayBuf, ArrayView, ExecState, Machine, RunError, Store, StoreCtx, Value,
+    apply_bin, apply_intrinsic, apply_un, AccessTracer, ArrayBuf, ArrayView, ExecState, Machine,
+    RunError, Store, StoreCtx, Value,
 };
 pub use parser::{parse_program, ParseError};

@@ -1,0 +1,194 @@
+//! Execution backend selection: tree-walk interpretation vs. compiled
+//! register bytecode.
+//!
+//! Both backends share one value/runtime model (`lip_ir`'s `Value`,
+//! `ArrayBuf`, `AccessTracer`, work-unit accounting), so they are
+//! interchangeable everywhere the executor runs loop iterations: the
+//! predicate-guarded parallel path, CIV slice precomputation, LRPD
+//! speculation and the sequential fallbacks. Outputs, traced access
+//! streams and work-unit counts are identical; only wall-clock speed
+//! differs.
+//!
+//! Selection is explicit (the `*_with` executor entry points) or via
+//! the `LIP_BACKEND` environment variable (`bytecode`/`vm` picks the
+//! VM; anything else tree-walks). Programs the bytecode compiler
+//! cannot handle fall back to tree-walk interpretation transparently.
+
+use lip_ir::{AccessTracer, ExecState, Expr, Machine, RunError, Stmt, Store, Subroutine};
+use lip_symbolic::Sym;
+use lip_vm::{BlockId, CompiledProgram, Frame, Vm};
+
+/// Which execution engine runs loop iterations.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// The `lip_ir` tree-walk interpreter (the reference semantics).
+    #[default]
+    TreeWalk,
+    /// The `lip_vm` register bytecode VM.
+    Bytecode,
+}
+
+impl Backend {
+    /// Reads `LIP_BACKEND` (`bytecode` or `vm`, case-insensitive, for
+    /// the VM; default tree-walk).
+    pub fn from_env() -> Backend {
+        match std::env::var("LIP_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("bytecode") || v.eq_ignore_ascii_case("vm") => {
+                Backend::Bytecode
+            }
+            _ => Backend::TreeWalk,
+        }
+    }
+
+    /// Whether this is the bytecode VM.
+    pub fn is_bytecode(self) -> bool {
+        self == Backend::Bytecode
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::TreeWalk => write!(f, "treewalk"),
+            Backend::Bytecode => write!(f, "bytecode"),
+        }
+    }
+}
+
+/// A loop body (or statement block) compiled for VM execution: the
+/// whole program (for CALLs out of the block) plus the block itself.
+pub(crate) struct CompiledBody {
+    pub prog: CompiledProgram,
+    pub block: BlockId,
+}
+
+impl CompiledBody {
+    /// Compiles `stmts` (in `sub`'s context) plus attached expression
+    /// fragments; `None` means "fall back to tree-walk".
+    pub fn new(
+        machine: &Machine,
+        sub: &Subroutine,
+        stmts: &[Stmt],
+        exprs: &[&Expr],
+        extra: &[Sym],
+    ) -> Option<CompiledBody> {
+        let mut prog = lip_vm::compile_program(machine.program()).ok()?;
+        let block = lip_vm::add_block_with_exprs(&mut prog, sub, stmts, exprs, extra).ok()?;
+        Some(CompiledBody { prog, block })
+    }
+
+    /// The block chunk (slot lookups, frame construction).
+    pub fn chunk(&self) -> &lip_vm::Chunk {
+        &self.prog.block(self.block).chunk
+    }
+
+    /// A frame over the block resolved from `store`.
+    pub fn frame(&self, store: &Store) -> Frame {
+        Frame::for_chunk(self.chunk(), store)
+    }
+
+    /// A VM delivering `machine`'s READ inputs.
+    pub fn vm<'p>(&'p self, machine: &'p Machine) -> Vm<'p> {
+        Vm::for_machine(&self.prog, machine)
+    }
+}
+
+/// The machine's own tracer as a trait object (VM paths must honor the
+/// same instrumentation `Machine::with_tracer` installs).
+pub(crate) fn machine_tracer(machine: &Machine) -> Option<&dyn AccessTracer> {
+    machine.tracer().map(|t| &**t as &dyn AccessTracer)
+}
+
+/// Executes one statement sequentially under the selected backend
+/// (used for sequential loop fallbacks and LRPD recovery re-runs).
+pub(crate) fn exec_stmt_seq(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &mut Store,
+    state: &mut ExecState,
+    backend: Backend,
+) -> Result<(), RunError> {
+    if backend.is_bytecode() {
+        if let Some(cb) = CompiledBody::new(machine, sub, std::slice::from_ref(target), &[], &[]) {
+            let mut f = cb.frame(frame);
+            cb.vm(machine)
+                .run_block(cb.block, &mut f, state, machine_tracer(machine))?;
+            f.writeback_scalars(cb.chunk(), frame);
+            return Ok(());
+        }
+    }
+    machine.exec_stmt(sub, frame, target, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_selection() {
+        // Not exercised via set_var (tests run multi-threaded); the
+        // parsing itself is what matters.
+        assert_eq!(Backend::default(), Backend::TreeWalk);
+        assert!(Backend::Bytecode.is_bytecode());
+        assert_eq!(Backend::Bytecode.to_string(), "bytecode");
+    }
+
+    #[test]
+    fn exec_stmt_seq_matches_interpreter() {
+        let prog = lip_ir::parse_program(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = A(i) * 2.0 + 1.0
+  ENDDO
+END
+",
+        )
+        .expect("parses");
+        let sub = prog.units[0].clone();
+        let target = sub.find_loop("l1").expect("loop").clone();
+        let machine = Machine::new(prog);
+        let mk = || {
+            let mut s = Store::new();
+            s.set_int(lip_symbolic::sym("N"), 50);
+            let a = s.alloc_real(lip_symbolic::sym("A"), 50);
+            for i in 0..50 {
+                a.set(i, lip_ir::Value::Real(i as f64));
+            }
+            s
+        };
+        let mut tw = mk();
+        let mut st_tw = ExecState::default();
+        exec_stmt_seq(
+            &machine,
+            &sub,
+            &target,
+            &mut tw,
+            &mut st_tw,
+            Backend::TreeWalk,
+        )
+        .expect("tree-walk");
+        let mut bc = mk();
+        let mut st_bc = ExecState::default();
+        exec_stmt_seq(
+            &machine,
+            &sub,
+            &target,
+            &mut bc,
+            &mut st_bc,
+            Backend::Bytecode,
+        )
+        .expect("bytecode");
+        assert_eq!(st_tw.cost, st_bc.cost);
+        let (a, b) = (
+            tw.array(lip_symbolic::sym("A")).expect("A"),
+            bc.array(lip_symbolic::sym("A")).expect("A"),
+        );
+        for i in 0..50 {
+            assert_eq!(a.get_f64(i), b.get_f64(i), "element {i}");
+        }
+    }
+}

@@ -14,6 +14,8 @@ use std::collections::BTreeSet;
 use lip_ir::{ExecState, LValue, Machine, RunError, Stmt, Store, Subroutine, Value};
 use lip_symbolic::Sym;
 
+use crate::backend::{machine_tracer, Backend, CompiledBody};
+
 /// Extracts the slice of `body` needed to compute `targets` each
 /// iteration: the transitive closure of statements assigning needed
 /// scalars, keeping enclosing control flow intact (paper §5: the
@@ -203,6 +205,163 @@ pub fn compute_civ_traces(
     frame: &mut Store,
     niters_sym: Option<Sym>,
 ) -> Result<u64, RunError> {
+    compute_civ_traces_with(
+        machine,
+        sub,
+        target,
+        civs,
+        frame,
+        niters_sym,
+        Backend::TreeWalk,
+    )
+}
+
+/// [`compute_civ_traces`] under an explicit execution backend: with
+/// [`Backend::Bytecode`] the slice is compiled once and its iterations
+/// run through the VM (identical traces and work units, faster
+/// wall-clock — the slice is the dominant runtime-test cost for the
+/// `track`-style while loops).
+///
+/// # Errors
+///
+/// Propagates interpreter/VM failures from the slice execution.
+pub fn compute_civ_traces_with(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    civs: &[(Sym, Sym)],
+    frame: &mut Store,
+    niters_sym: Option<Sym>,
+    backend: Backend,
+) -> Result<u64, RunError> {
+    if backend.is_bytecode() {
+        if let Some(r) = civ_traces_vm(machine, sub, target, civs, frame, niters_sym) {
+            return r;
+        }
+    }
+    civ_traces_treewalk(machine, sub, target, civs, frame, niters_sym)
+}
+
+/// The VM slice driver; `None` means "block didn't compile, fall back".
+fn civ_traces_vm(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    civs: &[(Sym, Sym)],
+    frame: &mut Store,
+    niters_sym: Option<Sym>,
+) -> Option<Result<u64, RunError>> {
+    let targets: BTreeSet<Sym> = civs.iter().map(|(s, _)| *s).collect();
+    let mut extra: Vec<Sym> = civs.iter().map(|(s, _)| *s).collect();
+    let mut state = ExecState::default();
+    let mut traces: Vec<(Sym, Sym, Vec<i64>)> =
+        civs.iter().map(|(s, t)| (*s, *t, Vec::new())).collect();
+    match target {
+        Stmt::Do {
+            var, lo, hi, body, ..
+        } => {
+            extra.push(*var);
+            let slice = extract_slice(body, &targets);
+            let cb = CompiledBody::new(machine, sub, &slice, &[], &extra)?;
+            let var_slot = cb.chunk().scalar_slot(*var).expect("interned");
+            let civ_slots: Vec<u16> = civs
+                .iter()
+                .map(|(s, _)| cb.chunk().scalar_slot(*s).expect("interned"))
+                .collect();
+            let mut f = cb.frame(frame);
+            let vm = cb.vm(machine);
+            let mut drive = || {
+                let lo = machine.eval(sub, frame, lo, &mut state)?.as_i64();
+                let hi = machine.eval(sub, frame, hi, &mut state)?.as_i64();
+                let mut i = lo;
+                while i <= hi {
+                    f.set_scalar(var_slot, Value::Int(i));
+                    record(&f, &civ_slots, &mut traces);
+                    vm.run_block(cb.block, &mut f, &mut state, machine_tracer(machine))?;
+                    i += 1;
+                }
+                record(&f, &civ_slots, &mut traces);
+                Ok(())
+            };
+            if let Err(e) = drive() {
+                return Some(Err(e));
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let slice = extract_slice(body, &targets);
+            let cb = CompiledBody::new(machine, sub, &slice, &[cond], &extra)?;
+            let civ_slots: Vec<u16> = civs
+                .iter()
+                .map(|(s, _)| cb.chunk().scalar_slot(*s).expect("interned"))
+                .collect();
+            let mut f = cb.frame(frame);
+            let vm = cb.vm(machine);
+            let mut n: i64 = 0;
+            let mut drive = || {
+                loop {
+                    let c = vm.eval_block_expr(
+                        cb.block,
+                        0,
+                        &mut f,
+                        &mut state,
+                        machine_tracer(machine),
+                    )?;
+                    record(&f, &civ_slots, &mut traces);
+                    if !c.truthy() {
+                        break;
+                    }
+                    n += 1;
+                    vm.run_block(cb.block, &mut f, &mut state, machine_tracer(machine))?;
+                    if n > 100_000_000 {
+                        return Err(RunError::StepLimit);
+                    }
+                }
+                Ok(())
+            };
+            if let Err(e) = drive() {
+                return Some(Err(e));
+            }
+            if let Some(ns) = niters_sym {
+                frame.set_scalar(ns, Value::Int(n));
+            }
+        }
+        // Non-loop targets still bind (empty) trace arrays, exactly as
+        // the tree-walk path does.
+        _ => {}
+    }
+    bind_traces(frame, traces);
+    Some(Ok(state.cost))
+}
+
+fn record(f: &lip_vm::Frame, slots: &[u16], traces: &mut [(Sym, Sym, Vec<i64>)]) {
+    for (slot, (_, _, vals)) in slots.iter().zip(traces.iter_mut()) {
+        vals.push(f.scalar(*slot).map(Value::as_i64).unwrap_or(0));
+    }
+}
+
+fn bind_traces(frame: &mut Store, traces: Vec<(Sym, Sym, Vec<i64>)>) {
+    for (_, trace, vals) in traces {
+        let buf = lip_ir::ArrayBuf::from_i64(&vals);
+        frame.bind_array(
+            trace,
+            lip_ir::ArrayView {
+                buf,
+                offset: 0,
+                // Trace views are 1-D, assumed-size.
+                extents: vec![i64::MAX],
+            },
+        );
+    }
+}
+
+fn civ_traces_treewalk(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    civs: &[(Sym, Sym)],
+    frame: &mut Store,
+    niters_sym: Option<Sym>,
+) -> Result<u64, RunError> {
     let mut state = ExecState::default();
     let targets: BTreeSet<Sym> = civs.iter().map(|(s, _)| *s).collect();
     let mut traces: Vec<(Sym, Sym, Vec<i64>)> =
@@ -254,22 +413,8 @@ pub fn compute_civ_traces(
         _ => {}
     }
 
-    for (_, trace, vals) in traces {
-        let buf = lip_ir::ArrayBuf::from_i64(&vals);
-        frame.bind_array(
-            trace,
-            lip_ir::ArrayView {
-                buf,
-                offset: 0,
-                extents: vec![vals_len(&[])],
-            },
-        );
-    }
+    bind_traces(frame, traces);
     Ok(state.cost)
-}
-
-fn vals_len(_: &[i64]) -> i64 {
-    i64::MAX // trace views are 1-D, assumed-size
 }
 
 #[cfg(test)]

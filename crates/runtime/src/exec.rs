@@ -23,8 +23,9 @@ use lip_ir::{
 use lip_symbolic::Sym;
 use std::sync::Mutex;
 
-use crate::civ::compute_civ_traces;
-use crate::lrpd::{lrpd_execute, LrpdOutcome};
+use crate::backend::{exec_stmt_seq, machine_tracer, Backend, CompiledBody};
+use crate::civ::compute_civ_traces_with;
+use crate::lrpd::{lrpd_execute_with, LrpdOutcome};
 use crate::pool::{chunk_bounds, parallel_chunks};
 
 /// How the loop ended up being executed.
@@ -68,7 +69,8 @@ pub enum ExecPlan {
     ReductionBuffer(BinOp),
 }
 
-/// Runs the analyzed loop against `frame`.
+/// Runs the analyzed loop against `frame`, selecting the execution
+/// backend from the `LIP_BACKEND` environment variable.
 ///
 /// # Errors
 ///
@@ -81,24 +83,66 @@ pub fn run_loop(
     frame: &mut Store,
     nthreads: usize,
 ) -> Result<RunStats, RunError> {
+    run_loop_with(
+        machine,
+        sub,
+        target,
+        analysis,
+        frame,
+        nthreads,
+        Backend::from_env(),
+    )
+}
+
+/// Runs the analyzed loop against `frame` under an explicit execution
+/// backend (threaded through the predicate cascade, CIV slicing, LRPD
+/// speculation and the parallel worker loop).
+///
+/// # Errors
+///
+/// Propagates interpreter/VM failures.
+pub fn run_loop_with(
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    target: &Stmt,
+    analysis: &LoopAnalysis,
+    frame: &mut Store,
+    nthreads: usize,
+    backend: Backend,
+) -> Result<RunStats, RunError> {
     let mut test_units = 0u64;
 
     // CIV-COMP: materialize traces + while-loop trip counts.
     if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
         let niters = matches!(target, Stmt::While { .. })
             .then(|| lip_symbolic::sym(&format!("{}@niters", analysis.label)));
-        test_units += compute_civ_traces(machine, sub, target, &analysis.civs, frame, niters)?;
+        test_units +=
+            compute_civ_traces_with(machine, sub, target, &analysis.civs, frame, niters, backend)?;
     }
 
     // While loops execute sequentially in this executor (their parallel
     // form requires iteration re-indexing); the simulator models their
-    // parallel execution from the traces.
-    let Stmt::Do {
-        var, lo, hi, body, ..
-    } = target
+    // parallel execution from the traces. The same goes for DO loops
+    // with a step other than 1: the chunked drivers below assume a
+    // unit-stride iteration space, so anything else runs sequentially
+    // (correct on both backends) rather than silently mis-iterating.
+    let unit_step = match target {
+        Stmt::Do { step: None, .. } => true,
+        Stmt::Do { step: Some(e), .. } => {
+            let mut st = ExecState::default();
+            machine.eval(sub, frame, e, &mut st).map(Value::as_i64) == Ok(1)
+        }
+        _ => false,
+    };
+    let (
+        Stmt::Do {
+            var, lo, hi, body, ..
+        },
+        true,
+    ) = (target, unit_step)
     else {
         let mut st = ExecState::default();
-        machine.exec_stmt(sub, frame, target, &mut st)?;
+        exec_stmt_seq(machine, sub, target, frame, &mut st, backend)?;
         return Ok(RunStats {
             outcome: ExecOutcome::Sequential,
             test_units,
@@ -135,8 +179,9 @@ pub fn run_loop(
                         Some(_) => (false, ExecOutcome::Sequential),
                         None => {
                             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
-                            let (out, cost) =
-                                lrpd_execute(machine, sub, target, frame, &arrays, nthreads)?;
+                            let (out, cost) = lrpd_execute_with(
+                                machine, sub, target, frame, &arrays, nthreads, backend,
+                            )?;
                             return Ok(RunStats {
                                 outcome: ExecOutcome::Speculated(out),
                                 test_units,
@@ -150,7 +195,8 @@ pub fn run_loop(
         LoopClass::NeedsFallback(_) => {
             // Straight to speculation on the written arrays.
             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
-            let (out, cost) = lrpd_execute(machine, sub, target, frame, &arrays, nthreads)?;
+            let (out, cost) =
+                lrpd_execute_with(machine, sub, target, frame, &arrays, nthreads, backend)?;
             return Ok(RunStats {
                 outcome: ExecOutcome::Speculated(out),
                 test_units,
@@ -162,7 +208,7 @@ pub fn run_loop(
     if !parallel_ok {
         // Sequential execution; reductions/privatization unnecessary.
         let mut st = ExecState::default();
-        machine.exec_stmt(sub, frame, target, &mut st)?;
+        exec_stmt_seq(machine, sub, target, frame, &mut st, backend)?;
         return Ok(RunStats {
             outcome: ExecOutcome::Sequential,
             test_units,
@@ -220,6 +266,7 @@ pub fn run_loop(
         &analysis.scalar_reductions,
         &analysis.civs,
         nthreads,
+        backend,
     )?;
     Ok(RunStats {
         outcome,
@@ -270,10 +317,22 @@ fn run_parallel_do(
     scalar_reds: &[Sym],
     civs: &[(Sym, Sym)],
     nthreads: usize,
+    backend: Backend,
 ) -> Result<u64, RunError> {
     if hi < lo {
         return Ok(0);
     }
+    // Compile the loop body once; every worker thread then executes
+    // bytecode through its own `Send` frame instead of re-walking the
+    // AST per iteration.
+    let compiled = if backend.is_bytecode() {
+        let mut extra: Vec<Sym> = vec![var];
+        extra.extend(scalar_reds.iter().copied());
+        extra.extend(civs.iter().map(|(s, _)| *s));
+        CompiledBody::new(machine, sub, body, &[], &extra)
+    } else {
+        None
+    };
     let chunks = chunk_bounds(nthreads, lo, hi);
     let nchunks = chunks.len();
     let total_cost = Mutex::new(0u64);
@@ -368,14 +427,29 @@ fn run_parallel_do(
                 writes: Mutex::new(HashMap::new()),
             })
         });
-        let m = match &tracer {
-            Some(t) => machine.with_tracer(t.clone() as Arc<dyn AccessTracer>),
-            None => machine.clone(),
-        };
         let mut st = ExecState::default();
-        for i in c_lo..=c_hi {
-            local.set_scalar(var, Value::Int(i));
-            m.exec_block(sub, &mut local, body, &mut st)?;
+        if let Some(cb) = &compiled {
+            let dyn_tracer: Option<&dyn AccessTracer> = match &tracer {
+                Some(t) => Some(&**t),
+                None => machine_tracer(machine),
+            };
+            let var_slot = cb.chunk().scalar_slot(var).expect("interned");
+            let vm = cb.vm(machine);
+            let mut f = cb.frame(&local);
+            for i in c_lo..=c_hi {
+                f.set_scalar(var_slot, Value::Int(i));
+                vm.run_block(cb.block, &mut f, &mut st, dyn_tracer)?;
+            }
+            f.writeback_scalars(cb.chunk(), &mut local);
+        } else {
+            let m = match &tracer {
+                Some(t) => machine.with_tracer(t.clone() as Arc<dyn AccessTracer>),
+                None => machine.clone(),
+            };
+            for i in c_lo..=c_hi {
+                local.set_scalar(var, Value::Int(i));
+                m.exec_block(sub, &mut local, body, &mut st)?;
+            }
         }
         if let Some(t) = tracer {
             out.writes = std::mem::take(&mut *t.writes.lock().unwrap());
@@ -385,9 +459,10 @@ fn run_parallel_do(
                 out.scalars.push((*s, v));
             }
         }
-        // Live-out scalars from the last chunk (sequential semantics).
+        // Live-out loop variable (sequential semantics: the interpreter
+        // leaves the variable at its last executed value).
         if chunk_idx == nchunks - 1 {
-            out.last_scalar_values.push((var, Value::Int(hi + 1)));
+            out.last_scalar_values.push((var, Value::Int(hi)));
         }
         *total_cost.lock().unwrap() += st.cost;
         outs.lock().unwrap().push(out);

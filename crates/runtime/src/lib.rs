@@ -14,6 +14,7 @@
 //! the paper's 4/8/16-processor figures on any host; the real-thread
 //! path cross-checks its shape at the host's core count.
 
+pub mod backend;
 pub mod civ;
 pub mod exec;
 pub mod inspector;
@@ -21,9 +22,12 @@ pub mod lrpd;
 pub mod pool;
 pub mod sim;
 
-pub use civ::{compute_civ_traces, extract_slice};
-pub use exec::{run_loop, ExecOutcome, ExecPlan, RunStats};
+pub use backend::Backend;
+pub use civ::{compute_civ_traces, compute_civ_traces_with, extract_slice};
+pub use exec::{run_loop, run_loop_with, ExecOutcome, ExecPlan, RunStats};
 pub use inspector::{inspect, inspect_execute, InspectVerdict};
-pub use lrpd::{lrpd_execute, LrpdOutcome};
+pub use lrpd::{lrpd_execute, lrpd_execute_with, LrpdOutcome};
 pub use pool::parallel_chunks;
-pub use sim::{makespan, per_iteration_costs, simulate_loop, SimConfig, SimResult};
+pub use sim::{
+    makespan, per_iteration_costs, per_iteration_costs_with, simulate_loop, SimConfig, SimResult,
+};

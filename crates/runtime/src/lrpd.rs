@@ -16,6 +16,7 @@ use lip_ir::{AccessTracer, ExecState, Machine, RunError, Stmt, Store, Subroutine
 use lip_symbolic::Sym;
 use std::sync::Mutex;
 
+use crate::backend::{exec_stmt_seq, Backend, CompiledBody};
 use crate::pool::parallel_chunks;
 
 /// Per-array shadow state.
@@ -97,13 +98,64 @@ pub fn lrpd_execute(
     arrays: &[Sym],
     nthreads: usize,
 ) -> Result<(LrpdOutcome, u64), RunError> {
+    lrpd_execute_with(
+        machine,
+        sub,
+        target,
+        frame,
+        arrays,
+        nthreads,
+        Backend::TreeWalk,
+    )
+}
+
+/// [`lrpd_execute`] under an explicit execution backend: with
+/// [`Backend::Bytecode`] both the speculative parallel run and the
+/// sequential recovery execute compiled bytecode — the shadow-array
+/// instrumentation sees the same per-iteration access stream either
+/// way, so commit/abort decisions are identical.
+///
+/// # Errors
+///
+/// Propagates interpreter/VM errors (from either the speculative or
+/// the sequential run).
+pub fn lrpd_execute_with(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &Store,
+    arrays: &[Sym],
+    nthreads: usize,
+    backend: Backend,
+) -> Result<(LrpdOutcome, u64), RunError> {
     let Stmt::Do {
-        var, lo, hi, body, ..
+        var,
+        lo,
+        hi,
+        step,
+        body,
+        ..
     } = target
     else {
         return Err(RunError::StepLimit);
     };
     let mut state = ExecState::default();
+    // The chunked speculative driver assumes a unit-stride iteration
+    // space; any other step executes sequentially instead (correct by
+    // construction, so the "speculation" trivially commits).
+    if let Some(e) = step {
+        if machine.eval(sub, frame, e, &mut state)?.as_i64() != 1 {
+            let mut seq_frame = frame.clone();
+            let mut st = ExecState::default();
+            exec_stmt_seq(machine, sub, target, &mut seq_frame, &mut st, backend)?;
+            return Ok((LrpdOutcome::Committed, state.cost + st.cost));
+        }
+    }
+    let compiled = if backend.is_bytecode() {
+        CompiledBody::new(machine, sub, body, &[], &[*var])
+    } else {
+        None
+    };
     let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
     let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
 
@@ -129,21 +181,31 @@ pub fn lrpd_execute(
     });
 
     // Speculative parallel execution.
+    let var_slot = compiled
+        .as_ref()
+        .map(|cb| cb.chunk().scalar_slot(*var).expect("interned"));
     let cost = Mutex::new(state.cost);
     parallel_chunks(nthreads, lo_v, hi_v, |_, c_lo, c_hi| {
         let mut local = frame.clone();
         let mut st = ExecState::default();
+        let mut vm_frame = compiled.as_ref().map(|cb| cb.frame(&local));
         for i in c_lo..=c_hi {
             if spec.conflict.load(Ordering::Relaxed) {
                 break;
             }
-            let tracer = Arc::new(IterTracer {
+            let tracer = IterTracer {
                 state: spec.clone(),
                 iter: i,
-            });
-            let traced = machine.with_tracer(tracer);
-            local.set_scalar(*var, Value::Int(i));
-            traced.exec_block(sub, &mut local, body, &mut st)?;
+            };
+            if let (Some(cb), Some(f)) = (&compiled, &mut vm_frame) {
+                f.set_scalar(var_slot.expect("compiled"), Value::Int(i));
+                cb.vm(machine)
+                    .run_block(cb.block, f, &mut st, Some(&tracer))?;
+            } else {
+                let traced = machine.with_tracer(Arc::new(tracer));
+                local.set_scalar(*var, Value::Int(i));
+                traced.exec_block(sub, &mut local, body, &mut st)?;
+            }
         }
         *cost.lock().unwrap() += st.cost;
         Ok::<(), RunError>(())
@@ -159,7 +221,7 @@ pub fn lrpd_execute(
         }
         let mut seq_frame = frame.clone();
         let mut st = ExecState::default();
-        machine.exec_stmt(sub, &mut seq_frame, target, &mut st)?;
+        exec_stmt_seq(machine, sub, target, &mut seq_frame, &mut st, backend)?;
         total_cost += st.cost;
         return Ok((LrpdOutcome::Aborted, total_cost));
     }
@@ -226,6 +288,39 @@ END
         // The sequential re-run must produce the exact sum.
         let a = frame.array(sym("A")).expect("A");
         assert_eq!(a.get_f64(0), 5050.0);
+    }
+
+    #[test]
+    fn non_unit_step_loops_execute_sequentially_and_correctly() {
+        // DO i = 10, 1, -2: the chunked driver assumes unit stride, so
+        // this must take the sequential path — and produce the right
+        // answer — on both backends (regression: it used to run zero
+        // iterations and "commit").
+        let (machine, sub, target) = setup(
+            "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = N, 1, -2
+    A(i) = 1.0
+  ENDDO
+END
+",
+        );
+        for backend in [Backend::TreeWalk, Backend::Bytecode] {
+            let mut frame = Store::new();
+            frame.set_int(sym("N"), 10);
+            frame.alloc_real(sym("A"), 10);
+            let (outcome, _) =
+                lrpd_execute_with(&machine, &sub, &target, &frame, &[sym("A")], 2, backend)
+                    .expect("runs");
+            assert_eq!(outcome, LrpdOutcome::Committed);
+            let a = frame.array(sym("A")).expect("A");
+            for i in 1..=10usize {
+                let expected = if i % 2 == 0 { 1.0 } else { 0.0 };
+                assert_eq!(a.get_f64(i - 1), expected, "A({i}) [{backend}]");
+            }
+        }
     }
 
     #[test]

@@ -11,26 +11,23 @@ where
     E: Send,
     F: Fn(usize, i64, i64) -> Result<(), E> + Sync,
 {
-    if hi < lo {
-        return Ok(());
+    // The schedule comes from `chunk_bounds` — the single source of
+    // truth the simulator and executor share.
+    let chunks = chunk_bounds(nthreads, lo, hi);
+    match chunks.as_slice() {
+        [] => return Ok(()),
+        [(c_lo, c_hi)] => return body(0, *c_lo, *c_hi),
+        _ => {}
     }
-    let n = (hi - lo + 1) as usize;
-    let nthreads = nthreads.max(1).min(n);
-    if nthreads == 1 {
-        return body(0, lo, hi);
-    }
-    let chunk = n.div_ceil(nthreads);
     let results = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..nthreads {
-            let c_lo = lo + (t * chunk) as i64;
-            let c_hi = (c_lo + chunk as i64 - 1).min(hi);
-            if c_lo > c_hi {
-                continue;
-            }
-            let body = &body;
-            handles.push(scope.spawn(move || body(t, c_lo, c_hi)));
-        }
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(t, &(c_lo, c_hi))| {
+                let body = &body;
+                scope.spawn(move || body(t, c_lo, c_hi))
+            })
+            .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))

@@ -13,6 +13,7 @@
 
 use lip_ir::{ExecState, Machine, RunError, Stmt, Store, Subroutine, Value};
 
+use crate::backend::{exec_stmt_seq, machine_tracer, Backend, CompiledBody};
 use crate::pool::chunk_bounds;
 
 /// Virtual machine parameters.
@@ -93,48 +94,7 @@ pub fn simulate_loop(
     parallel_test: bool,
     run_parallel: bool,
 ) -> Result<SimResult, RunError> {
-    let per_iter = match target {
-        Stmt::Do {
-            var, lo, hi, body, ..
-        } => {
-            let mut state = ExecState::default();
-            let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
-            let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
-            let mut costs = Vec::new();
-            let mut i = lo_v;
-            while i <= hi_v {
-                frame.set_scalar(*var, Value::Int(i));
-                let before = state.cost;
-                machine.exec_block(sub, frame, body, &mut state)?;
-                costs.push(state.cost - before);
-                i += 1;
-            }
-            costs
-        }
-        Stmt::While { cond, body, .. } => {
-            let mut state = ExecState::default();
-            let mut costs = Vec::new();
-            loop {
-                let c = machine.eval(sub, frame, cond, &mut state)?;
-                if !c.truthy() {
-                    break;
-                }
-                let before = state.cost;
-                machine.exec_block(sub, frame, body, &mut state)?;
-                costs.push(state.cost - before);
-                if costs.len() > 100_000_000 {
-                    return Err(RunError::StepLimit);
-                }
-            }
-            costs
-        }
-        other => {
-            let mut state = ExecState::default();
-            machine.exec_stmt(sub, frame, other, &mut state)?;
-            vec![state.cost]
-        }
-    };
-
+    let per_iter = per_iteration_costs(machine, sub, target, frame)?;
     let seq_units: u64 = per_iter.iter().sum();
     let test_units = if parallel_test && test_seq_units > 0 {
         test_seq_units / cfg.procs as u64 + cfg.spawn_overhead
@@ -166,6 +126,29 @@ pub fn per_iteration_costs(
     target: &Stmt,
     frame: &mut Store,
 ) -> Result<Vec<u64>, RunError> {
+    per_iteration_costs_with(machine, sub, target, frame, Backend::TreeWalk)
+}
+
+/// [`per_iteration_costs`] under an explicit execution backend (the
+/// per-iteration unit figures are identical; the bytecode backend just
+/// produces them faster — this is where the measurement harness spends
+/// most of its wall-clock).
+///
+/// # Errors
+///
+/// Propagates interpreter/VM failures.
+pub fn per_iteration_costs_with(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &mut Store,
+    backend: Backend,
+) -> Result<Vec<u64>, RunError> {
+    if backend.is_bytecode() {
+        if let Some(r) = per_iteration_costs_vm(machine, sub, target, frame, backend) {
+            return r;
+        }
+    }
     match target {
         Stmt::Do {
             var, lo, hi, body, ..
@@ -205,6 +188,80 @@ pub fn per_iteration_costs(
             let mut state = ExecState::default();
             machine.exec_stmt(sub, frame, other, &mut state)?;
             Ok(vec![state.cost])
+        }
+    }
+}
+
+/// The VM measurement driver; `None` means "fall back to tree-walk".
+fn per_iteration_costs_vm(
+    machine: &Machine,
+    sub: &Subroutine,
+    target: &Stmt,
+    frame: &mut Store,
+    backend: Backend,
+) -> Option<Result<Vec<u64>, RunError>> {
+    match target {
+        Stmt::Do {
+            var, lo, hi, body, ..
+        } => {
+            let cb = CompiledBody::new(machine, sub, body, &[], &[*var])?;
+            Some((|| {
+                let mut state = ExecState::default();
+                let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
+                let hi_v = machine.eval(sub, frame, hi, &mut state)?.as_i64();
+                let vm = cb.vm(machine);
+                let var_slot = cb.chunk().scalar_slot(*var).expect("interned");
+                let mut f = cb.frame(frame);
+                let mut costs = Vec::new();
+                let mut i = lo_v;
+                while i <= hi_v {
+                    f.set_scalar(var_slot, Value::Int(i));
+                    let before = state.cost;
+                    vm.run_block(cb.block, &mut f, &mut state, machine_tracer(machine))?;
+                    costs.push(state.cost - before);
+                    i += 1;
+                }
+                // The driver mutates `frame` so program state stays
+                // correct for whatever follows.
+                f.writeback_scalars(cb.chunk(), frame);
+                Ok(costs)
+            })())
+        }
+        Stmt::While { cond, body, .. } => {
+            let cb = CompiledBody::new(machine, sub, body, &[cond], &[])?;
+            Some((|| {
+                let mut state = ExecState::default();
+                let vm = cb.vm(machine);
+                let mut f = cb.frame(frame);
+                let mut costs = Vec::new();
+                loop {
+                    let c = vm.eval_block_expr(
+                        cb.block,
+                        0,
+                        &mut f,
+                        &mut state,
+                        machine_tracer(machine),
+                    )?;
+                    if !c.truthy() {
+                        break;
+                    }
+                    let before = state.cost;
+                    vm.run_block(cb.block, &mut f, &mut state, machine_tracer(machine))?;
+                    costs.push(state.cost - before);
+                    if costs.len() > 100_000_000 {
+                        return Err(RunError::StepLimit);
+                    }
+                }
+                f.writeback_scalars(cb.chunk(), frame);
+                Ok(costs)
+            })())
+        }
+        other => {
+            let mut state = ExecState::default();
+            Some(
+                exec_stmt_seq(machine, sub, other, frame, &mut state, backend)
+                    .map(|()| vec![state.cost]),
+            )
         }
     }
 }

@@ -8,8 +8,9 @@
 
 use lip_analysis::{analyze_loop, baseline_parallel, AnalysisConfig, LoopClass};
 use lip_ir::{Stmt, StoreCtx};
-use lip_runtime::civ::compute_civ_traces;
-use lip_runtime::sim::{makespan, per_iteration_costs};
+use lip_runtime::civ::compute_civ_traces_with;
+use lip_runtime::sim::{makespan, per_iteration_costs_with};
+use lip_runtime::Backend;
 use lip_symbolic::sym;
 
 use crate::bench_def::BenchDef;
@@ -89,6 +90,10 @@ pub fn measure_loop(
     weight: f64,
     expected: &'static str,
 ) -> LoopMeasurement {
+    // Kernel iterations (CIV slices + the measurement pass) execute on
+    // the backend `LIP_BACKEND` selects; work units are identical
+    // either way, only wall-clock differs.
+    let backend = Backend::from_env();
     let mut p = shape.prepared(size);
     let prog = p.machine.program().clone();
     let sub = prog.subroutine(sym(p.sub)).expect("subroutine").clone();
@@ -103,13 +108,14 @@ pub fn measure_loop(
     if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
         let niters = matches!(target, Stmt::While { .. })
             .then(|| sym(&format!("{}@niters", analysis.label)));
-        test_units += compute_civ_traces(
+        test_units += compute_civ_traces_with(
             &p.machine,
             &sub,
             &target,
             &analysis.civs,
             &mut p.frame,
             niters,
+            backend,
         )
         .expect("civ slice");
     }
@@ -158,7 +164,8 @@ pub fn measure_loop(
         LoopClass::NeedsFallback(_) => true,
     };
 
-    let per_iter = per_iteration_costs(&p.machine, &sub, &target, &mut p.frame).expect("measure");
+    let per_iter = per_iteration_costs_with(&p.machine, &sub, &target, &mut p.frame, backend)
+        .expect("measure");
     if tls_speculated {
         test_units += per_iter.iter().sum::<u64>() / 4;
     }

@@ -1,0 +1,280 @@
+//! The register bytecode: instruction set, chunks and compiled units.
+//!
+//! A [`Chunk`] is a straight vector of [`Op`]s over an unbounded
+//! register file, a constant pool, and two symbol tables resolved at
+//! compile time: scalar *slots* (replacing the interpreter's per-access
+//! `HashMap<Sym, Value>` lookups) and array *slots* (views resolved once
+//! per frame). Work units are accounted by explicit [`Op::Charge`]
+//! instructions whose amounts are computed statically from the AST, so a
+//! successful run accumulates exactly the same cost the tree-walk
+//! interpreter would.
+
+use lip_ir::{BinOp, Intrinsic, RunError, Ty, UnOp, Value};
+use lip_symbolic::Sym;
+
+/// A register index.
+pub type Reg = u16;
+
+/// One bytecode instruction.
+///
+/// Multi-value operands (array subscripts, intrinsic arguments) live in
+/// consecutive registers starting at `base` — the stack-disciplined
+/// register allocator guarantees adjacency.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Add statically-known work units to the execution state.
+    Charge(u32),
+    /// `regs[dst] = consts[k]`.
+    Const { dst: Reg, k: u16 },
+    /// `regs[dst] = scalars[slot]` (error when unbound).
+    LoadScalar { dst: Reg, slot: u16 },
+    /// `scalars[slot] = regs[src]` coerced to the slot's declared type
+    /// (scalar assignment semantics).
+    StoreScalar { slot: u16, src: Reg },
+    /// `scalars[slot] = regs[src]` verbatim (loop-variable update and
+    /// READ semantics: no type coercion).
+    SetVarRaw { slot: u16, src: Reg },
+    /// `regs[dst] = arrays[arr][regs[base..base+n]]` (traced read).
+    LoadElem {
+        dst: Reg,
+        arr: u16,
+        base: Reg,
+        n: u8,
+    },
+    /// `arrays[arr][regs[base..base+n]] = regs[src]` (traced write).
+    StoreElem {
+        arr: u16,
+        base: Reg,
+        n: u8,
+        src: Reg,
+    },
+    /// `regs[dst] = op regs[src]`.
+    Un { op: UnOp, dst: Reg, src: Reg },
+    /// `regs[dst] = regs[a] op regs[b]`.
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// `regs[dst] = intr(regs[base..base+n])`.
+    Intrin {
+        intr: Intrinsic,
+        dst: Reg,
+        base: Reg,
+        n: u8,
+    },
+    /// Unconditional jump to op index `target`.
+    Jump { target: u32 },
+    /// Jump to `target` when `regs[cond]` is falsy.
+    JumpIfFalse { cond: Reg, target: u32 },
+    /// Coerce the DO-loop control registers to integers; error
+    /// (`BadIndex` on the loop variable) when the step is zero.
+    LoopInit {
+        i: Reg,
+        hi: Reg,
+        step: Reg,
+        var_slot: u16,
+    },
+    /// Jump to `exit` unless `(step>0 && i<=hi) || (step<0 && i>=hi)`.
+    LoopTest {
+        i: Reg,
+        hi: Reg,
+        step: Reg,
+        exit: u32,
+    },
+    /// `regs[i] += regs[step]` (integer).
+    LoopIncr { i: Reg, step: Reg },
+    /// Invoke `calls[site]` (argument binding, reshaping, callee locals
+    /// and body run inside the VM's call handler).
+    Call { site: u16 },
+    /// Bind READ inputs to the scalar slots of `reads[site]`.
+    Read { site: u16 },
+    /// Raise `fails[site]` (compile-time-known runtime errors: unknown
+    /// callee, arity mismatch — kept as late failures for interpreter
+    /// parity).
+    Fail { site: u16 },
+}
+
+/// How one actual argument reaches a callee.
+#[derive(Clone, Debug)]
+pub enum ArgSpec {
+    /// A value pre-evaluated into a register (general expressions;
+    /// passed by value, no copy-out).
+    Value { reg: Reg },
+    /// A bare variable: bound as an array section when the caller frame
+    /// has an array under that name, otherwise copy-in/copy-out scalar.
+    Var { arr: u16, scalar: u16 },
+    /// An array-element section `A(i, j)`: the subscript values sit in
+    /// `base..base+n`, the resulting view starts at their linearization.
+    Section { arr: u16, base: Reg, n: u8 },
+}
+
+/// One CALL site: the resolved callee plus argument bindings.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Index of the callee in [`CompiledProgram::subs`].
+    pub callee: usize,
+    /// Argument bindings, one per formal parameter.
+    pub args: Vec<ArgSpec>,
+}
+
+/// A compiled expression fragment sharing its owner chunk's tables
+/// (dimension declarations, per-iteration WHILE conditions, CIV loop
+/// bounds). Charges its own cost.
+#[derive(Clone, Debug)]
+pub struct ExprCode {
+    /// The instruction stream (no control flow out of the fragment).
+    pub ops: Vec<Op>,
+    /// Register holding the result after the fragment runs.
+    pub result: Reg,
+}
+
+/// How one declared dimension of a formal parameter reshapes an
+/// incoming view (paper Fig. 8 semantics, matching the interpreter's
+/// `reshape_view`).
+#[derive(Clone, Debug)]
+pub enum DimCode {
+    /// Assumed size `(*)` — extent `i64::MAX`.
+    Assumed,
+    /// A declared extent evaluated in the callee frame.
+    Fixed(ExprCode),
+}
+
+/// A local fixed-size array the callee allocates on entry (skipped when
+/// the frame already has a binding, so drivers can pre-bind).
+#[derive(Clone, Debug)]
+pub struct LocalAlloc {
+    /// Array slot to bind.
+    pub arr: u16,
+    /// Declared name (for errors).
+    pub name: Sym,
+    /// Element type.
+    pub ty: Ty,
+    /// Dimension extents (an `Assumed` local is an error, as in the
+    /// interpreter).
+    pub dims: Vec<DimCode>,
+}
+
+/// A compiled instruction block with its tables.
+#[derive(Clone, Debug, Default)]
+pub struct Chunk {
+    /// The instruction stream.
+    pub ops: Vec<Op>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Register file size (covers attached expression fragments too).
+    pub nregs: usize,
+    /// Scalar slot table: symbol + declared/implicit type.
+    pub scalars: Vec<(Sym, Ty)>,
+    /// Array slot table.
+    pub arrays: Vec<Sym>,
+    /// CALL sites referenced by [`Op::Call`].
+    pub calls: Vec<CallSite>,
+    /// READ target lists referenced by [`Op::Read`].
+    pub reads: Vec<Vec<u16>>,
+    /// Late compile-diagnosed failures referenced by [`Op::Fail`].
+    pub fails: Vec<RunError>,
+}
+
+impl Chunk {
+    /// The scalar slot bound to `s`, if any.
+    pub fn scalar_slot(&self, s: Sym) -> Option<u16> {
+        self.scalars
+            .iter()
+            .position(|(t, _)| *t == s)
+            .map(|i| i as u16)
+    }
+
+    /// The array slot bound to `s`, if any.
+    pub fn array_slot(&self, s: Sym) -> Option<u16> {
+        self.arrays.iter().position(|t| *t == s).map(|i| i as u16)
+    }
+}
+
+/// A compiled subroutine: its body chunk plus call-boundary metadata.
+#[derive(Clone, Debug)]
+pub struct CompiledSub {
+    /// Subroutine name.
+    pub name: Sym,
+    /// The body (entered by [`Op::Call`] and the program entry).
+    pub chunk: Chunk,
+    /// Per-formal metadata, in parameter order.
+    pub params: Vec<ParamMeta>,
+    /// Entry allocations for non-parameter fixed-size arrays, in
+    /// declaration order.
+    pub locals: Vec<LocalAlloc>,
+}
+
+/// Call-boundary metadata for one formal parameter.
+#[derive(Clone, Debug)]
+pub struct ParamMeta {
+    /// Formal name.
+    pub name: Sym,
+    /// Scalar slot in the callee chunk.
+    pub scalar: u16,
+    /// Array slot in the callee chunk.
+    pub arr: u16,
+    /// Declared reshape dimensions (`None` when the callee has no
+    /// declaration for the formal: the incoming view passes unchanged).
+    pub reshape: Option<Vec<DimCode>>,
+}
+
+/// A standalone compiled block (loop body, CIV slice, single statement)
+/// in the context of some subroutine, with optional attached expression
+/// fragments (WHILE conditions, loop bounds).
+#[derive(Clone, Debug)]
+pub struct CompiledBlock {
+    /// The block's instruction chunk.
+    pub chunk: Chunk,
+    /// Attached expression fragments, in the order requested.
+    pub exprs: Vec<ExprCode>,
+}
+
+/// Identifies a standalone block within a [`CompiledProgram`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BlockId(pub(crate) usize);
+
+/// A whole compiled program: one [`CompiledSub`] per subroutine (so
+/// CALLs dispatch by index) plus any standalone blocks.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    /// Compiled subroutines, in program order.
+    pub subs: Vec<CompiledSub>,
+    /// Standalone blocks added by [`crate::compile::add_block`]-style
+    /// APIs.
+    pub blocks: Vec<CompiledBlock>,
+    /// Index of the entry subroutine (`main` if present, else the
+    /// first unit), when the program has any units.
+    pub entry: Option<usize>,
+}
+
+impl CompiledProgram {
+    /// The compiled subroutine named `s`.
+    pub fn sub(&self, s: Sym) -> Option<&CompiledSub> {
+        self.subs.iter().find(|c| c.name == s)
+    }
+
+    /// The chunk of a standalone block.
+    pub fn block(&self, b: BlockId) -> &CompiledBlock {
+        &self.blocks[b.0]
+    }
+}
+
+/// Compilation failure. The runtime treats any of these as "fall back
+/// to the tree-walk interpreter", so they are diagnostics, not user
+/// errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// More than 7 subscripts on one array reference (the Fortran 77
+    /// rank limit the VM's fixed index buffer assumes).
+    TooManyDims(Sym),
+    /// A table overflowed its 16-bit index space.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TooManyDims(s) => write!(f, "more than 7 subscripts on {s}"),
+            CompileError::TooLarge(what) => write!(f, "{what} table overflow"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

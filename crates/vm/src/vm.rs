@@ -1,0 +1,487 @@
+//! The dispatch-loop VM.
+//!
+//! A [`Frame`] is the per-thread execution state for one chunk: a flat
+//! register file, scalar slots, and array views resolved once from a
+//! [`Store`]. Frames are `Send`, so `lip_runtime`'s worker threads run
+//! compiled loop bodies directly instead of re-walking the AST.
+//!
+//! Semantics are the tree-walk interpreter's, bit for bit: values and
+//! operators come from `lip_ir`'s shared model ([`lip_ir::apply_bin`]
+//! et al.), addressing from [`ArrayView::linearize`], cost/budget
+//! accounting from [`ExecState::charge`], and every array access
+//! reports to the same [`AccessTracer`] hook the LRPD test and the
+//! executor instrument.
+
+use std::collections::HashMap;
+
+use lip_ir::{
+    apply_bin, apply_intrinsic, apply_un, AccessTracer, ArrayBuf, ArrayView, ExecState, Machine,
+    RunError, Store, Ty, Value,
+};
+use lip_symbolic::{sym, Sym};
+
+use crate::chunk::{
+    ArgSpec, BlockId, Chunk, CompiledProgram, CompiledSub, DimCode, ExprCode, LocalAlloc, Op,
+    ParamMeta,
+};
+
+/// Per-thread execution state for one chunk: registers, scalar slots
+/// and resolved array views. `Send`, so worker threads own one each.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    regs: Vec<Value>,
+    scalars: Vec<Option<Value>>,
+    arrays: Vec<Option<ArrayView>>,
+}
+
+impl Frame {
+    /// A frame over `chunk` with every slot resolved from `store`
+    /// (unbound names stay empty and only error if touched).
+    pub fn for_chunk(chunk: &Chunk, store: &Store) -> Frame {
+        Frame {
+            regs: vec![Value::Int(0); chunk.nregs],
+            scalars: chunk
+                .scalars
+                .iter()
+                .map(|(s, _)| store.scalar(*s))
+                .collect(),
+            arrays: chunk
+                .arrays
+                .iter()
+                .map(|s| store.array(*s).cloned())
+                .collect(),
+        }
+    }
+
+    fn empty(chunk: &Chunk) -> Frame {
+        Frame {
+            regs: vec![Value::Int(0); chunk.nregs],
+            scalars: vec![None; chunk.scalars.len()],
+            arrays: vec![None; chunk.arrays.len()],
+        }
+    }
+
+    /// Reads a scalar slot.
+    pub fn scalar(&self, slot: u16) -> Option<Value> {
+        self.scalars[slot as usize]
+    }
+
+    /// Writes a scalar slot verbatim (loop-variable / seeding
+    /// semantics: no type coercion, like `Store::set_scalar`).
+    pub fn set_scalar(&mut self, slot: u16, v: Value) {
+        self.scalars[slot as usize] = Some(v);
+    }
+
+    /// Copies every bound scalar slot back into `store` (chunk supplies
+    /// the slot→symbol mapping).
+    pub fn writeback_scalars(&self, chunk: &Chunk, store: &mut Store) {
+        for (i, v) in self.scalars.iter().enumerate() {
+            if let Some(v) = v {
+                store.set_scalar(chunk.scalars[i].0, *v);
+            }
+        }
+    }
+
+    /// Copies scalars and array bindings back into `store` (the entry
+    /// frame publishes its allocated locals, as the interpreter's main
+    /// frame does by construction).
+    pub fn writeback_all(&self, chunk: &Chunk, store: &mut Store) {
+        self.writeback_scalars(chunk, store);
+        for (i, v) in self.arrays.iter().enumerate() {
+            if let Some(view) = v {
+                store.bind_array(chunk.arrays[i], view.clone());
+            }
+        }
+    }
+}
+
+/// The virtual machine: a compiled program plus READ-input bindings.
+#[derive(Copy, Clone)]
+pub struct Vm<'p> {
+    prog: &'p CompiledProgram,
+    inputs: Option<&'p HashMap<Sym, Value>>,
+}
+
+impl<'p> Vm<'p> {
+    /// A VM over `prog` with no READ inputs.
+    pub fn new(prog: &'p CompiledProgram) -> Vm<'p> {
+        Vm { prog, inputs: None }
+    }
+
+    /// A VM over `prog` delivering `machine`'s READ inputs.
+    pub fn for_machine(prog: &'p CompiledProgram, machine: &'p Machine) -> Vm<'p> {
+        Vm {
+            prog,
+            inputs: Some(&machine.inputs),
+        }
+    }
+
+    /// Runs the entry subroutine with `store` as its frame, returning
+    /// the accumulated work units (the `Machine::run` equivalent).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`] raised during execution.
+    pub fn run(&self, store: &mut Store) -> Result<u64, RunError> {
+        let mut state = ExecState::default();
+        self.run_with_state(store, &mut state, None)?;
+        Ok(state.cost)
+    }
+
+    /// Runs the entry subroutine under an existing [`ExecState`],
+    /// reporting array accesses to `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`] raised during execution.
+    pub fn run_with_state(
+        &self,
+        store: &mut Store,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<(), RunError> {
+        let entry = self
+            .prog
+            .entry
+            .ok_or(RunError::NoSuchSubroutine(sym("main")))?;
+        let csub = &self.prog.subs[entry];
+        let mut frame = Frame::for_chunk(&csub.chunk, store);
+        self.alloc_locals(csub, &mut frame, state, tracer)?;
+        self.exec(&csub.chunk, &csub.chunk.ops, &mut frame, state, tracer)?;
+        frame.writeback_all(&csub.chunk, store);
+        Ok(())
+    }
+
+    /// Runs a standalone block against `frame` (the loop-body entry
+    /// point for the parallel executor; call once per iteration after
+    /// seeding the loop variable).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`] raised during execution.
+    pub fn run_block(
+        &self,
+        b: BlockId,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<(), RunError> {
+        let chunk = &self.prog.block(b).chunk;
+        self.exec(chunk, &chunk.ops, frame, state, tracer)
+    }
+
+    /// Evaluates attached expression fragment `k` of block `b` against
+    /// `frame` (WHILE conditions, CIV bounds). Charges its cost.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`] raised during evaluation.
+    pub fn eval_block_expr(
+        &self,
+        b: BlockId,
+        k: usize,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<Value, RunError> {
+        let block = self.prog.block(b);
+        self.eval_code(&block.chunk, &block.exprs[k], frame, state, tracer)
+    }
+
+    fn eval_code(
+        &self,
+        chunk: &Chunk,
+        code: &ExprCode,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<Value, RunError> {
+        self.exec(chunk, &code.ops, frame, state, tracer)?;
+        Ok(frame.regs[code.result as usize])
+    }
+
+    /// Entry allocation of non-parameter fixed-size arrays (skipping
+    /// slots the frame already has bound, so drivers can pre-bind).
+    fn alloc_locals(
+        &self,
+        csub: &CompiledSub,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<(), RunError> {
+        for local in &csub.locals {
+            if frame.arrays[local.arr as usize].is_some() {
+                continue;
+            }
+            let (extents, len) = self.eval_dims(csub, local, frame, state, tracer)?;
+            let buf = match local.ty {
+                Ty::Int => ArrayBuf::new_int(len),
+                Ty::Real => ArrayBuf::new_real(len),
+            };
+            frame.arrays[local.arr as usize] = Some(ArrayView {
+                buf,
+                offset: 0,
+                extents,
+            });
+        }
+        Ok(())
+    }
+
+    fn eval_dims(
+        &self,
+        csub: &CompiledSub,
+        local: &LocalAlloc,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<(Vec<i64>, usize), RunError> {
+        let mut extents = Vec::new();
+        let mut len: i64 = 1;
+        for dim in &local.dims {
+            match dim {
+                DimCode::Fixed(code) => {
+                    let v = self
+                        .eval_code(&csub.chunk, code, frame, state, tracer)?
+                        .as_i64();
+                    extents.push(v);
+                    len = len.saturating_mul(v.max(0));
+                }
+                DimCode::Assumed => return Err(RunError::BadIndex(local.name)),
+            }
+        }
+        Ok((extents, usize::try_from(len.max(0)).unwrap_or(0)))
+    }
+
+    /// Applies the callee's declared extents to an incoming view
+    /// (array reshaping at the call site).
+    fn reshape(
+        &self,
+        csub: &CompiledSub,
+        pm: &ParamMeta,
+        view: ArrayView,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<ArrayView, RunError> {
+        let Some(dims) = &pm.reshape else {
+            return Ok(view);
+        };
+        let mut extents = Vec::new();
+        for dim in dims {
+            match dim {
+                DimCode::Fixed(code) => {
+                    extents.push(
+                        self.eval_code(&csub.chunk, code, frame, state, tracer)?
+                            .as_i64(),
+                    );
+                }
+                DimCode::Assumed => extents.push(i64::MAX),
+            }
+        }
+        Ok(ArrayView {
+            buf: view.buf,
+            offset: view.offset,
+            extents,
+        })
+    }
+
+    fn linearize<'f>(
+        chunk: &Chunk,
+        frame: &'f Frame,
+        arr: u16,
+        base: u16,
+        n: u8,
+    ) -> Result<(Sym, usize, &'f ArrayView), RunError> {
+        let name = chunk.arrays[arr as usize];
+        let view = frame.arrays[arr as usize]
+            .as_ref()
+            .ok_or(RunError::UnboundArray(name))?;
+        // Rank-1 fast path: `ArrayView::linearize` never consults
+        // extents for a single subscript, so this is exactly
+        // `offset + (i - 1)` with the same bounds check.
+        if n == 1 {
+            let i = frame.regs[base as usize].as_i64();
+            let abs = view.offset as i64 + (i - 1);
+            if abs < 0 || abs as usize >= view.buf.len() {
+                return Err(RunError::BadIndex(name));
+            }
+            return Ok((name, abs as usize, view));
+        }
+        let mut idx = [0i64; 7];
+        for (k, slot) in idx.iter_mut().take(n as usize).enumerate() {
+            *slot = frame.regs[base as usize + k].as_i64();
+        }
+        let lin = view
+            .linearize(&idx[..n as usize])
+            .ok_or(RunError::BadIndex(name))?;
+        Ok((name, lin, view))
+    }
+
+    fn exec(
+        &self,
+        chunk: &Chunk,
+        ops: &[Op],
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<(), RunError> {
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match &ops[pc] {
+                Op::Charge(units) => state.charge(*units as u64)?,
+                Op::Const { dst, k } => {
+                    frame.regs[*dst as usize] = chunk.consts[*k as usize];
+                }
+                Op::LoadScalar { dst, slot } => {
+                    frame.regs[*dst as usize] = frame.scalars[*slot as usize]
+                        .ok_or(RunError::UnboundScalar(chunk.scalars[*slot as usize].0))?;
+                }
+                Op::StoreScalar { slot, src } => {
+                    let v = frame.regs[*src as usize];
+                    frame.scalars[*slot as usize] = Some(match chunk.scalars[*slot as usize].1 {
+                        Ty::Int => Value::Int(v.as_i64()),
+                        Ty::Real => Value::Real(v.as_f64()),
+                    });
+                }
+                Op::SetVarRaw { slot, src } => {
+                    frame.scalars[*slot as usize] = Some(frame.regs[*src as usize]);
+                }
+                Op::LoadElem { dst, arr, base, n } => {
+                    let v = {
+                        let (name, lin, view) = Self::linearize(chunk, frame, *arr, *base, *n)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        view.buf.get(lin)
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
+                Op::StoreElem { arr, base, n, src } => {
+                    let v = frame.regs[*src as usize];
+                    let (name, lin, view) = Self::linearize(chunk, frame, *arr, *base, *n)?;
+                    if let Some(t) = tracer {
+                        t.write(name, lin);
+                    }
+                    view.buf.set(lin, v);
+                }
+                Op::Un { op, dst, src } => {
+                    frame.regs[*dst as usize] = apply_un(*op, frame.regs[*src as usize]);
+                }
+                Op::Bin { op, dst, a, b } => {
+                    frame.regs[*dst as usize] =
+                        apply_bin(*op, frame.regs[*a as usize], frame.regs[*b as usize]);
+                }
+                Op::Intrin { intr, dst, base, n } => {
+                    let args = &frame.regs[*base as usize..*base as usize + *n as usize];
+                    frame.regs[*dst as usize] = apply_intrinsic(*intr, args);
+                }
+                Op::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::JumpIfFalse { cond, target } => {
+                    if !frame.regs[*cond as usize].truthy() {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::LoopInit {
+                    i,
+                    hi,
+                    step,
+                    var_slot,
+                } => {
+                    for r in [*i, *hi, *step] {
+                        frame.regs[r as usize] = Value::Int(frame.regs[r as usize].as_i64());
+                    }
+                    if frame.regs[*step as usize].as_i64() == 0 {
+                        return Err(RunError::BadIndex(chunk.scalars[*var_slot as usize].0));
+                    }
+                }
+                Op::LoopTest { i, hi, step, exit } => {
+                    let iv = frame.regs[*i as usize].as_i64();
+                    let hv = frame.regs[*hi as usize].as_i64();
+                    let sv = frame.regs[*step as usize].as_i64();
+                    if !((sv > 0 && iv <= hv) || (sv < 0 && iv >= hv)) {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Op::LoopIncr { i, step } => {
+                    let v = frame.regs[*i as usize]
+                        .as_i64()
+                        .wrapping_add(frame.regs[*step as usize].as_i64());
+                    frame.regs[*i as usize] = Value::Int(v);
+                }
+                Op::Call { site } => {
+                    self.call(chunk, *site, frame, state, tracer)?;
+                }
+                Op::Read { site } => {
+                    for slot in &chunk.reads[*site as usize] {
+                        let name = chunk.scalars[*slot as usize].0;
+                        let v = self
+                            .inputs
+                            .and_then(|m| m.get(&name))
+                            .copied()
+                            .ok_or(RunError::MissingInput(name))?;
+                        frame.scalars[*slot as usize] = Some(v);
+                    }
+                }
+                Op::Fail { site } => return Err(chunk.fails[*site as usize].clone()),
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    fn call(
+        &self,
+        caller: &Chunk,
+        site: u16,
+        caller_frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+    ) -> Result<(), RunError> {
+        let cs = &caller.calls[site as usize];
+        let callee = &self.prog.subs[cs.callee];
+        let mut inner = Frame::empty(&callee.chunk);
+        // (callee slot, caller slot) pairs for scalar copy-out.
+        let mut copy_out: Vec<(u16, u16)> = Vec::new();
+        for (pm, spec) in callee.params.iter().zip(cs.args.iter()) {
+            match spec {
+                ArgSpec::Value { reg } => {
+                    inner.scalars[pm.scalar as usize] = Some(caller_frame.regs[*reg as usize]);
+                }
+                ArgSpec::Var { arr, scalar } => {
+                    if let Some(view) = caller_frame.arrays[*arr as usize].clone() {
+                        let reshaped = self.reshape(callee, pm, view, &mut inner, state, tracer)?;
+                        inner.arrays[pm.arr as usize] = Some(reshaped);
+                    } else if let Some(v) = caller_frame.scalars[*scalar as usize] {
+                        inner.scalars[pm.scalar as usize] = Some(v);
+                        copy_out.push((pm.scalar, *scalar));
+                    } else {
+                        return Err(RunError::UnboundScalar(caller.scalars[*scalar as usize].0));
+                    }
+                }
+                ArgSpec::Section { arr, base, n } => {
+                    let (_, lin, view) = Self::linearize(caller, caller_frame, *arr, *base, *n)?;
+                    let section = ArrayView {
+                        buf: view.buf.clone(),
+                        offset: lin,
+                        extents: vec![],
+                    };
+                    let reshaped = self.reshape(callee, pm, section, &mut inner, state, tracer)?;
+                    inner.arrays[pm.arr as usize] = Some(reshaped);
+                }
+            }
+        }
+        self.alloc_locals(callee, &mut inner, state, tracer)?;
+        self.exec(&callee.chunk, &callee.chunk.ops, &mut inner, state, tracer)?;
+        for (callee_slot, caller_slot) in copy_out {
+            if let Some(v) = inner.scalars[callee_slot as usize] {
+                caller_frame.scalars[caller_slot as usize] = Some(v);
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,280 @@
+//! Property: on randomly generated straight-line/loop programs, the
+//! bytecode VM and the tree-walk interpreter agree on every scalar,
+//! every array element and the exact work-unit count.
+//!
+//! Programs are built directly as ASTs from a seeded splitmix64 stream:
+//! scalar and element assignments, IF/THEN/ELSE, nested DO loops (and
+//! occasional DO WHILE), arithmetic over two scalars pools (int + real),
+//! intrinsics, and a 16-element array whose subscripts are clamped into
+//! bounds with `1 + MOD(ABS(e), 15)` so every generated program runs to
+//! completion on both backends.
+
+use lip_ir::{
+    BinOp, Decl, DimDecl, Expr, Intrinsic, LValue, Machine, Program, Stmt, Store, Subroutine, Ty,
+    UnOp,
+};
+use lip_symbolic::{sym, Sym};
+use lip_vm::{compile_program, Vm};
+use proptest::prelude::*;
+
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn int_scalars() -> [Sym; 2] {
+    [sym("n"), sym("m")]
+}
+
+fn real_scalars() -> [Sym; 2] {
+    [sym("x"), sym("y")]
+}
+
+fn arr() -> Sym {
+    sym("A")
+}
+
+/// A subscript guaranteed in 1..=15 for the 16-element array.
+fn safe_index(g: &mut Gen, depth: u32) -> Expr {
+    let inner = gen_expr(g, depth.saturating_sub(1));
+    Expr::Bin(
+        BinOp::Add,
+        Box::new(Expr::Intrin(
+            Intrinsic::Mod,
+            vec![Expr::Intrin(Intrinsic::Abs, vec![inner]), Expr::Int(15)],
+        )),
+        Box::new(Expr::Int(1)),
+    )
+}
+
+fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
+    let choices = if depth == 0 { 4 } else { 9 };
+    match g.below(choices) {
+        0 => Expr::Int(g.below(7) as i64),
+        1 => Expr::Real(g.below(16) as f64 * 0.25),
+        2 => Expr::Var(int_scalars()[g.below(2) as usize]),
+        3 => Expr::Var(real_scalars()[g.below(2) as usize]),
+        4 => Expr::Elem(arr(), vec![safe_index(g, depth)]),
+        5 => Expr::Un(
+            if g.below(2) == 0 {
+                UnOp::Neg
+            } else {
+                UnOp::Not
+            },
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        6 | 7 => {
+            let op = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Eq,
+                BinOp::And,
+                BinOp::Or,
+            ][g.below(9) as usize];
+            Expr::Bin(
+                op,
+                Box::new(gen_expr(g, depth - 1)),
+                Box::new(gen_expr(g, depth - 1)),
+            )
+        }
+        _ => {
+            let intr = [
+                Intrinsic::Min,
+                Intrinsic::Max,
+                Intrinsic::Abs,
+                Intrinsic::Mod,
+                Intrinsic::Int,
+                Intrinsic::Dble,
+            ][g.below(6) as usize];
+            let nargs = match intr {
+                Intrinsic::Min | Intrinsic::Max => 2 + g.below(2),
+                Intrinsic::Mod => 2,
+                _ => 1,
+            };
+            Expr::Intrin(intr, (0..nargs).map(|_| gen_expr(g, depth - 1)).collect())
+        }
+    }
+}
+
+fn gen_stmt(g: &mut Gen, depth: u32) -> Stmt {
+    let choices = if depth == 0 { 3 } else { 6 };
+    match g.below(choices) {
+        0 => Stmt::Assign {
+            lhs: LValue::Scalar(int_scalars()[g.below(2) as usize]),
+            rhs: gen_expr(g, 2),
+        },
+        1 => Stmt::Assign {
+            lhs: LValue::Scalar(real_scalars()[g.below(2) as usize]),
+            rhs: gen_expr(g, 2),
+        },
+        2 => Stmt::Assign {
+            lhs: LValue::Element(arr(), vec![safe_index(g, 2)]),
+            rhs: gen_expr(g, 2),
+        },
+        3 => {
+            let cond = gen_expr(g, 2);
+            let then_len = 1 + g.below(2) as usize;
+            let else_len = g.below(2) as usize;
+            Stmt::If {
+                cond,
+                then_body: gen_block(g, depth - 1, then_len),
+                else_body: gen_block(g, depth - 1, else_len),
+            }
+        }
+        4 => {
+            let var = [sym("j"), sym("k")][g.below(2) as usize];
+            Stmt::Do {
+                label: None,
+                var,
+                lo: Expr::Int(1),
+                hi: Expr::Int(1 + g.below(5) as i64),
+                step: if g.below(3) == 0 {
+                    Some(Expr::Int(1 + g.below(2) as i64))
+                } else {
+                    None
+                },
+                body: {
+                    let len = 1 + g.below(2) as usize;
+                    gen_block(g, depth - 1, len)
+                },
+            }
+        }
+        _ => {
+            // A bounded WHILE over `iw`, a counter the generated
+            // assignments never touch (it is in no scalar pool), so
+            // the loop always drains.
+            Stmt::While {
+                label: None,
+                cond: Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(Expr::Var(sym("iw"))),
+                    Box::new(Expr::Int(0)),
+                ),
+                body: {
+                    let len = g.below(2) as usize;
+                    let mut b = gen_block(g, depth - 1, len);
+                    b.push(Stmt::Assign {
+                        lhs: LValue::Scalar(sym("iw")),
+                        rhs: Expr::Bin(
+                            BinOp::Sub,
+                            Box::new(Expr::Var(sym("iw"))),
+                            Box::new(Expr::Int(1)),
+                        ),
+                    });
+                    b
+                },
+            }
+        }
+    }
+}
+
+fn gen_block(g: &mut Gen, depth: u32, len: usize) -> Vec<Stmt> {
+    (0..len).map(|_| gen_stmt(g, depth)).collect()
+}
+
+fn gen_program(seed: u64) -> Program {
+    let mut g = Gen::new(seed);
+    let mut body = vec![
+        Stmt::Assign {
+            lhs: LValue::Scalar(sym("n")),
+            rhs: Expr::Int(3),
+        },
+        Stmt::Assign {
+            lhs: LValue::Scalar(sym("m")),
+            rhs: Expr::Int(1 + g.below(5) as i64),
+        },
+        Stmt::Assign {
+            lhs: LValue::Scalar(sym("x")),
+            rhs: Expr::Real(1.0),
+        },
+        Stmt::Assign {
+            lhs: LValue::Scalar(sym("y")),
+            rhs: Expr::Real(2.0),
+        },
+        Stmt::Assign {
+            lhs: LValue::Scalar(sym("iw")),
+            rhs: Expr::Int(1 + g.below(4) as i64),
+        },
+    ];
+    let len = 3 + g.below(5) as usize;
+    body.extend(gen_block(&mut g, 2, len));
+    Program {
+        units: vec![Subroutine {
+            name: sym("main"),
+            params: vec![],
+            decls: vec![Decl {
+                name: arr(),
+                dims: vec![DimDecl::Fixed(Expr::Int(16))],
+                ty: Ty::Real,
+            }],
+            body,
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn vm_matches_interpreter_on_random_programs(seed in 0u64..1_000_000_000u64) {
+        let prog = gen_program(seed);
+        // A generous step budget caps even pathological programs; when
+        // it trips, it trips on both backends (total cost is equal).
+        let machine = Machine::new(prog.clone());
+        let mut interp_store = Store::new();
+        let mut interp_state = lip_ir::ExecState::with_budget(2_000_000);
+        let interp = machine.run_with_state(&mut interp_store, &mut interp_state);
+
+        let compiled = compile_program(&prog).expect("compiles");
+        let mut vm_store = Store::new();
+        let mut vm_state = lip_ir::ExecState::with_budget(2_000_000);
+        let vm = Vm::new(&compiled).run_with_state(&mut vm_store, &mut vm_state, None);
+
+        match (interp, vm) {
+            (Ok(()), Ok(())) => {
+                prop_assert_eq!(interp_state.cost, vm_state.cost,
+                    "work units diverged (seed {})", seed);
+                // Bit-compare reals so an agreed-upon NaN still passes.
+                for s in int_scalars().into_iter().chain(real_scalars()) {
+                    prop_assert_eq!(
+                        interp_store.scalar(s).map(|v| v.as_f64().to_bits()),
+                        vm_store.scalar(s).map(|v| v.as_f64().to_bits()),
+                        "scalar {} diverged (seed {})", s, seed
+                    );
+                }
+                let ia = interp_store.array(arr()).expect("A");
+                let va = vm_store.array(arr()).expect("A");
+                for k in 0..16 {
+                    prop_assert_eq!(
+                        ia.get_f64(k).to_bits(), va.get_f64(k).to_bits(),
+                        "A[{}] diverged (seed {})", k, seed
+                    );
+                }
+            }
+            (Err(ie), Err(ve)) => prop_assert_eq!(ie, ve, "errors diverged (seed {})", seed),
+            (i, v) => prop_assert!(false, "one backend failed (seed {}): interp {:?} vm {:?}", seed, i, v),
+        }
+    }
+}

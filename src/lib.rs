@@ -13,6 +13,7 @@
 //! * [`usr`] — the USR set-expression language and summaries,
 //! * [`core`] — PDAG predicates and the factorization algorithm,
 //! * [`ir`] — the mini-Fortran frontend (parser, IR, interpreter),
+//! * [`vm`] — the register bytecode compiler + dispatch-loop VM,
 //! * [`analysis`] — summary construction and loop classification,
 //! * [`runtime`] — parallel executor, runtime tests, cost-model simulator,
 //! * [`suite`] — the PERFECT-CLUB / SPEC benchmark kernels.
@@ -27,3 +28,4 @@ pub use lip_runtime as runtime;
 pub use lip_suite as suite;
 pub use lip_symbolic as symbolic;
 pub use lip_usr as usr;
+pub use lip_vm as vm;
