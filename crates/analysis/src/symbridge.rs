@@ -9,15 +9,22 @@
 //! a pre-computed slice (CIV-COMP), and amenable to the monotonicity
 //! rule.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lip_ir::{BinOp, Expr, Intrinsic, Subroutine, UnOp};
 use lip_symbolic::{sym, BoolExpr, CmpOp, Sym, SymExpr};
 
 /// A symbolic scalar environment.
+///
+/// Bindings live in a `BTreeMap` on purpose: [`SymEnv::merge`] mints
+/// fresh opaque symbols while iterating them, so a randomized-order map
+/// would make fresh-name assignment — and with it symbol interning
+/// order, canonical `SymExpr` forms and every downstream factorization
+/// choice — vary from process to process (the old `analyze_loop`
+/// nondeterminism).
 #[derive(Clone, Debug, Default)]
 pub struct SymEnv {
-    bindings: HashMap<Sym, SymExpr>,
+    bindings: BTreeMap<Sym, SymExpr>,
     /// Fresh-name counter for trace atoms.
     counter: u32,
     /// Trace arrays minted for loop-variant scalars: `(scalar, trace)`.

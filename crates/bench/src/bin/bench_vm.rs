@@ -1,6 +1,9 @@
 //! Emits `BENCH_vm.json`: wall-clock and work-unit figures for the hot
-//! suite kernels under both execution backends, so the perf trajectory
-//! stays machine-readable across PRs.
+//! suite kernels under both execution backends, plus per-kernel
+//! predicate-evaluation timings for the O(N) cascade stages (tree-walk
+//! `Pdag::eval` vs the compiled `lip_pred` engine, sequential and
+//! chunk-parallel), so the perf trajectory stays machine-readable
+//! across PRs.
 //!
 //! ```sh
 //! cargo run --release -p lip_bench --bin bench_vm   # writes ./BENCH_vm.json
@@ -10,7 +13,9 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use lip_ir::ExecState;
+use lip_analysis::{analyze_loop, AnalysisConfig};
+use lip_ir::{ExecState, StoreCtx};
+use lip_pred::{compile_pred, eval_compiled, EvalParams};
 use lip_suite::KernelShape;
 use lip_symbolic::sym;
 
@@ -93,6 +98,93 @@ fn measure(shape: &'static KernelShape, n: usize) -> (Row, Row) {
     )
 }
 
+struct PredRow {
+    kernel: &'static str,
+    stage_complexity: u32,
+    backend: &'static str,
+    wall_ns: f64,
+    speedup_vs_treewalk: f64,
+    verdict: &'static str,
+}
+
+fn verdict_str(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "pass",
+        Some(false) => "fail",
+        None => "unknown",
+    }
+}
+
+/// Times the kernel's most expensive cascade stage (the O(N) test)
+/// under the three evaluation modes, asserting identical verdicts.
+fn measure_pred(shape: &'static KernelShape, n: usize) -> Vec<PredRow> {
+    let p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let analysis =
+        analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default()).expect("analysis");
+    let Some(stage) = analysis.cascade.stages.iter().max_by_key(|s| s.complexity) else {
+        return Vec::new();
+    };
+    if stage.complexity == 0 {
+        return Vec::new();
+    }
+    let ctx = StoreCtx(&p.frame);
+    let limit = 100_000_000u64;
+    let nthreads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let tree_verdict = stage.pred.eval(&ctx, limit);
+    let (tree_ns, _) = time_ns(|| {
+        std::hint::black_box(stage.pred.eval(&ctx, limit));
+        0
+    });
+    let compiled = compile_pred(&stage.pred).expect("stage compiles");
+    let seq_params = EvalParams {
+        nthreads: 1,
+        par_min: i64::MAX,
+    };
+    let par_params = EvalParams {
+        nthreads,
+        par_min: 512,
+    };
+    assert_eq!(
+        tree_verdict,
+        eval_compiled(&compiled, &ctx, limit, seq_params),
+        "{}: compiled verdict diverged",
+        shape.name
+    );
+    assert_eq!(
+        tree_verdict,
+        eval_compiled(&compiled, &ctx, limit, par_params),
+        "{}: parallel verdict diverged",
+        shape.name
+    );
+    let (seq_ns, _) = time_ns(|| {
+        std::hint::black_box(eval_compiled(&compiled, &ctx, limit, seq_params));
+        0
+    });
+    let (par_ns, _) = time_ns(|| {
+        std::hint::black_box(eval_compiled(&compiled, &ctx, limit, par_params));
+        0
+    });
+    let verdict = verdict_str(tree_verdict);
+    let row = |backend, wall_ns: f64| PredRow {
+        kernel: shape.name,
+        stage_complexity: stage.complexity,
+        backend,
+        wall_ns,
+        speedup_vs_treewalk: tree_ns / wall_ns,
+        verdict,
+    };
+    vec![
+        row("treewalk", tree_ns),
+        row("compiled", seq_ns),
+        row("compiled-par", par_ns),
+    ]
+}
+
 fn main() {
     let mut rows = Vec::new();
     for (shape, n) in lip_bench::vm_hot_kernels() {
@@ -103,6 +195,25 @@ fn main() {
         );
         rows.push(tw);
         rows.push(vm);
+    }
+
+    let mut pred_rows = Vec::new();
+    for (shape, n) in lip_bench::pred_kernels() {
+        let kernel_rows = measure_pred(shape, n);
+        if let [tw, seq, par] = kernel_rows.as_slice() {
+            println!(
+                "{:<18} pred O(N{}) treewalk {:>10.0} ns  compiled {:>10.0} ns ({:>5.2}x)  parallel {:>10.0} ns ({:>5.2}x)  [{}]",
+                tw.kernel,
+                if tw.stage_complexity > 1 { "^k" } else { "" },
+                tw.wall_ns,
+                seq.wall_ns,
+                seq.speedup_vs_treewalk,
+                par.wall_ns,
+                par.speedup_vs_treewalk,
+                tw.verdict,
+            );
+        }
+        pred_rows.extend(kernel_rows);
     }
 
     let mut json = String::from("{\n  \"bench\": \"vm_dispatch\",\n  \"results\": [\n");
@@ -118,7 +229,25 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
+    json.push_str("  ],\n  \"pred_results\": [\n");
+    for (i, r) in pred_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"stage_complexity\": {}, \"backend\": \"{}\", \"wall_ns\": {:.1}, \"speedup_vs_treewalk\": {:.3}, \"verdict\": \"{}\"}}{}",
+            r.kernel,
+            r.stage_complexity,
+            r.backend,
+            r.wall_ns,
+            r.speedup_vs_treewalk,
+            r.verdict,
+            if i + 1 == pred_rows.len() { "" } else { "," }
+        );
+    }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
-    println!("wrote BENCH_vm.json ({} rows)", rows.len());
+    println!(
+        "wrote BENCH_vm.json ({} vm rows, {} pred rows)",
+        rows.len(),
+        pred_rows.len()
+    );
 }

@@ -25,6 +25,22 @@ pub fn vm_hot_kernels() -> Vec<(&'static KernelShape, usize)> {
     ]
 }
 
+/// The suite kernels whose cascades contain a quantified O(N) stage
+/// that actually iterates on the prepared workload (the O(N) stages of
+/// `offset_crossover`, `tls_feedback` and `civ_conditional` decide in
+/// O(1) there via an invariant disjunct, so timing them measures
+/// setup, not the scan), with the problem sizes used by the
+/// predicate-evaluation timings in `bench_vm` (tree-walk `Pdag::eval`
+/// vs the `lip_pred` engine, sequential and chunk-parallel).
+pub fn pred_kernels() -> Vec<(&'static KernelShape, usize)> {
+    vec![
+        (&lip_suite::SOLVH, 2048),
+        (&lip_suite::MONOTONE_WINDOWS, 8192),
+        (&lip_suite::HOIST_INDIRECT, 16384),
+        (&lip_suite::EXT_REDUCTION, 16384),
+    ]
+}
+
 /// Renders one paper-style table for a suite.
 pub fn print_table(title: &str, defs: &[BenchDef]) {
     println!("== {title} ==");

@@ -66,6 +66,13 @@ pub struct Factorizer {
     cfg: FactorConfig,
     memo_factor: HashMap<usize, Pdag>,
     memo_pair: HashMap<(PairOp, usize, usize), Pdag>,
+    /// Temporaries (renamed recurrence bodies) whose identities entered
+    /// the memo tables. Identity is an `Rc` address ([`Usr::id`]), so
+    /// every memoized node must stay alive for the factorizer's
+    /// lifetime — a dropped temporary's address can be reused by a
+    /// later allocation, turning the memo lookup into an
+    /// allocator-dependent (and unsound) stale hit.
+    kept: Vec<Usr>,
     depth: u32,
 }
 
@@ -76,8 +83,16 @@ impl Factorizer {
             cfg,
             memo_factor: HashMap::new(),
             memo_pair: HashMap::new(),
+            kept: Vec::new(),
             depth: 0,
         }
+    }
+
+    /// Pins a constructed USR for the factorizer's lifetime before its
+    /// identity can enter the memo tables.
+    fn keep(&mut self, u: Usr) -> Usr {
+        self.kept.push(u.clone());
+        u
     }
 
     /// Creates a factorizer with default configuration.
@@ -188,7 +203,7 @@ impl Factorizer {
                 let b2r = if v1 == v2 {
                     b2.clone()
                 } else {
-                    b2.rename_bound(*v2, *v1)
+                    self.keep(b2.rename_bound(*v2, *v1))
                 };
                 let inner = self.included(b1, &b2r);
                 p1 = Pdag::forall(*v1, lo1.clone(), hi1.clone(), inner);
@@ -328,11 +343,12 @@ impl Factorizer {
     }
 
     /// Renames the recurrence variable when it would capture a free
-    /// symbol of the opposite operand.
-    fn unshadow(&self, var: Sym, body: &Usr, other: &Usr) -> (Sym, Usr) {
+    /// symbol of the opposite operand. The renamed body is pinned
+    /// ([`Factorizer::keep`]): its identity flows into the memo tables.
+    fn unshadow(&mut self, var: Sym, body: &Usr, other: &Usr) -> (Sym, Usr) {
         if other.contains_sym(var) {
             let fresh = Sym::fresh(&var.name());
-            (fresh, body.rename_bound(var, fresh))
+            (fresh, self.keep(body.rename_bound(var, fresh)))
         } else {
             (var, body.clone())
         }

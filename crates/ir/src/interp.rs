@@ -336,6 +336,11 @@ impl EvalCtx for StoreCtx<'_> {
     fn elem(&self, arr: Sym, idx: i64) -> Option<i64> {
         self.0.array(arr)?.get_lin(idx).map(Value::as_i64)
     }
+
+    fn elem_reader<'a>(&'a self, arr: Sym) -> Option<Box<dyn Fn(i64) -> Option<i64> + Sync + 'a>> {
+        let view = self.0.array(arr)?.clone();
+        Some(Box::new(move |idx| view.get_lin(idx).map(Value::as_i64)))
+    }
 }
 
 /// Interpretation failure.
@@ -457,6 +462,13 @@ impl Machine {
     /// The underlying program.
     pub fn program(&self) -> &Program {
         &self.prog
+    }
+
+    /// The underlying program as a shared handle. Machines cloned from
+    /// one another (e.g. via [`Machine::with_tracer`]) return the same
+    /// `Arc`, which is what per-machine caches key on.
+    pub fn program_handle(&self) -> Arc<Program> {
+        self.prog.clone()
     }
 
     /// Binds a READ input.

@@ -1,0 +1,263 @@
+//! The runtime predicate engine: backend selection, per-machine compile
+//! cache and loop-invariant result memoization.
+//!
+//! A [`PredEngine`] is owned by one machine (see `lip_runtime`'s
+//! per-machine cache) and amortizes the two costs the paper's runtime
+//! cascade pays on every loop invocation:
+//!
+//! * **compilation** — each cascade stage's `Pdag` is compiled to
+//!   predicate bytecode once and reused across `run_loop` calls, CIV
+//!   slicing and LRPD decisions;
+//! * **evaluation** — stage verdicts are memoized against a fingerprint
+//!   of the loop-invariant inputs the predicate reads (its free scalars
+//!   and the contents of the arrays it indexes), so re-invoking the
+//!   same loop on unchanged inputs skips the O(N) re-test entirely.
+//!
+//! Memoization is a *wall-clock* optimization only: charged work units
+//! (`Pdag::eval_cost`) are accounted identically on hits and misses, so
+//! every simulated table and figure is bit-identical across backends.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use lip_core::{Cascade, Pdag};
+use lip_symbolic::EvalCtx;
+
+use crate::compile::compile_pred;
+use crate::prog::PredProgram;
+use crate::vm::{eval_compiled, EvalParams};
+use std::sync::Arc;
+
+/// Which engine evaluates runtime predicates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum PredBackend {
+    /// `Pdag::eval` tree-walking (the reference semantics).
+    #[default]
+    Tree,
+    /// Compiled predicate bytecode, parallel on O(N) stages.
+    Compiled,
+}
+
+impl PredBackend {
+    /// Reads `LIP_PRED` (`compiled`, case-insensitive, for the engine;
+    /// anything else tree-walks).
+    pub fn from_env() -> PredBackend {
+        match std::env::var("LIP_PRED") {
+            Ok(v) if v.eq_ignore_ascii_case("compiled") => PredBackend::Compiled,
+            _ => PredBackend::Tree,
+        }
+    }
+
+    /// Whether this is the compiled engine.
+    pub fn is_compiled(self) -> bool {
+        self == PredBackend::Compiled
+    }
+}
+
+impl std::fmt::Display for PredBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredBackend::Tree => write!(f, "tree"),
+            PredBackend::Compiled => write!(f, "compiled"),
+        }
+    }
+}
+
+/// Monotonic engine counters (observability + cache tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Predicate compilations performed.
+    pub compiles: u64,
+    /// Compile-cache hits.
+    pub program_hits: u64,
+    /// Compiled evaluations executed.
+    pub evals: u64,
+    /// Result-memo hits (evaluation skipped).
+    pub memo_hits: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    compiles: AtomicU64,
+    program_hits: AtomicU64,
+    evals: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+/// Bound on memoized verdicts. Workloads whose inputs change every
+/// invocation would otherwise grow the memo forever (one entry per
+/// distinct fingerprint, each owning a copy of the predicate
+/// rendering); at the cap the memo resets wholesale — a generation
+/// flip, cheap and hit-path-free.
+const RESULT_MEMO_CAP: usize = 4096;
+
+/// The per-machine predicate engine.
+pub struct PredEngine {
+    /// Compiled programs keyed by the predicate's canonical rendering
+    /// (`Pdag` holds `Rc`s, so the key must be owned plain data).
+    programs: RwLock<HashMap<String, Option<Arc<PredProgram>>>>,
+    /// Memoized verdicts keyed by (predicate, 128-bit input
+    /// fingerprint, iteration budget).
+    results: Mutex<HashMap<(String, u128, u64), Option<bool>>>,
+    par_min: i64,
+    stats: Counters,
+}
+
+impl Default for PredEngine {
+    fn default() -> PredEngine {
+        PredEngine::new()
+    }
+}
+
+impl PredEngine {
+    /// An engine with the default parallelization threshold
+    /// (`LIP_PRED_PAR_MIN`, default 1024 iterations).
+    pub fn new() -> PredEngine {
+        let par_min = std::env::var("LIP_PRED_PAR_MIN")
+            .ok()
+            .and_then(|v| v.parse::<i64>().ok())
+            .unwrap_or(1024);
+        PredEngine::with_par_min(par_min)
+    }
+
+    /// An engine parallelizing quantifiers of at least `par_min`
+    /// iterations (tests force small thresholds).
+    pub fn with_par_min(par_min: i64) -> PredEngine {
+        PredEngine {
+            programs: RwLock::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            par_min,
+            stats: Counters::default(),
+        }
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            compiles: self.stats.compiles.load(Ordering::Relaxed),
+            program_hits: self.stats.program_hits.load(Ordering::Relaxed),
+            evals: self.stats.evals.load(Ordering::Relaxed),
+            memo_hits: self.stats.memo_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The compiled program for `pred`, from cache or compiled now.
+    /// `None` when the predicate exceeds the bytecode's static limits
+    /// (callers tree-walk instead).
+    pub fn program(&self, pred: &Pdag) -> Option<Arc<PredProgram>> {
+        self.program_keyed(&pred.to_string(), pred)
+    }
+
+    fn program_keyed(&self, key: &str, pred: &Pdag) -> Option<Arc<PredProgram>> {
+        if let Some(cached) = self.programs.read().expect("engine lock").get(key) {
+            self.stats.program_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        let compiled = compile_pred(pred).ok().map(Arc::new);
+        self.stats.compiles.fetch_add(1, Ordering::Relaxed);
+        let mut w = self.programs.write().expect("engine lock");
+        w.entry(key.to_owned()).or_insert_with(|| compiled.clone());
+        compiled
+    }
+
+    /// Evaluates one predicate under `backend` (no memoization).
+    pub fn eval_pred(
+        &self,
+        pred: &Pdag,
+        ctx: &(dyn EvalCtx + Sync),
+        iter_limit: u64,
+        backend: PredBackend,
+        nthreads: usize,
+    ) -> Option<bool> {
+        if backend.is_compiled() {
+            if let Some(prog) = self.program(pred) {
+                self.stats.evals.fetch_add(1, Ordering::Relaxed);
+                return eval_compiled(
+                    &prog,
+                    ctx,
+                    iter_limit,
+                    EvalParams {
+                        nthreads: nthreads.max(1),
+                        par_min: self.par_min,
+                    },
+                );
+            }
+        }
+        pred.eval(ctx, iter_limit)
+    }
+
+    /// Evaluates the cascade stage-by-stage (cheapest first), charging
+    /// each evaluated stage's `eval_cost` — identically on memo hits,
+    /// so simulated timings don't depend on the backend. Returns the
+    /// index of the first succeeding stage (`None`: all failed or
+    /// undecidable) plus the charged units. `fingerprint` maps a
+    /// compiled stage's inputs to a memo key; returning `None` disables
+    /// memoization for that stage.
+    pub fn first_success(
+        &self,
+        cascade: &Cascade,
+        ctx: &(dyn EvalCtx + Sync),
+        iter_limit: u64,
+        backend: PredBackend,
+        nthreads: usize,
+        fingerprint: &mut dyn FnMut(&PredProgram) -> Option<u128>,
+    ) -> (Option<usize>, u64) {
+        let mut units = 0u64;
+        for (k, stage) in cascade.stages.iter().enumerate() {
+            units += stage.pred.eval_cost(ctx);
+            let verdict = if backend.is_compiled() {
+                let key = stage.pred.to_string();
+                match self.program_keyed(&key, &stage.pred) {
+                    Some(prog) => {
+                        let fp = fingerprint(&prog);
+                        self.eval_memo(key, &prog, ctx, iter_limit, nthreads, fp)
+                    }
+                    None => stage.pred.eval(ctx, iter_limit),
+                }
+            } else {
+                stage.pred.eval(ctx, iter_limit)
+            };
+            if verdict == Some(true) {
+                return (Some(k), units);
+            }
+        }
+        (None, units)
+    }
+
+    fn eval_memo(
+        &self,
+        pred_key: String,
+        prog: &Arc<PredProgram>,
+        ctx: &(dyn EvalCtx + Sync),
+        iter_limit: u64,
+        nthreads: usize,
+        fp: Option<u128>,
+    ) -> Option<bool> {
+        let key = fp.map(|f| (pred_key, f, iter_limit));
+        if let Some(key) = &key {
+            if let Some(hit) = self.results.lock().expect("engine lock").get(key) {
+                self.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return *hit;
+            }
+        }
+        self.stats.evals.fetch_add(1, Ordering::Relaxed);
+        let verdict = eval_compiled(
+            prog,
+            ctx,
+            iter_limit,
+            EvalParams {
+                nthreads: nthreads.max(1),
+                par_min: self.par_min,
+            },
+        );
+        if let Some(key) = key {
+            let mut memo = self.results.lock().expect("engine lock");
+            if memo.len() >= RESULT_MEMO_CAP {
+                memo.clear();
+            }
+            memo.insert(key, verdict);
+        }
+        verdict
+    }
+}

@@ -1,0 +1,187 @@
+//! The predicate bytecode: tri-state instruction set and programs.
+//!
+//! A compiled predicate is a tree of [`BodyProg`]s — one for the
+//! predicate itself plus one per quantified `∧_{i=lo}^{hi}` node — over
+//! a flat `i64` register file. Registers hold either plain integers
+//! (symbolic-expression evaluation) or *tri-state* predicate verdicts
+//! ([`TRI_FALSE`]/[`TRI_TRUE`]/[`TRI_UNKNOWN`], mirroring
+//! `Option<bool>` in `Pdag::eval`). Arithmetic instructions carry a
+//! `fail` jump target: an unbound symbol, an out-of-range array element
+//! or an `i64` overflow branches there instead of raising, landing on a
+//! block that parks `TRI_UNKNOWN` in the enclosing leaf's result
+//! register — exactly the tree-walk's `Option` propagation, without any
+//! `Option` in the hot loop.
+
+use lip_symbolic::Sym;
+
+/// A register index.
+pub type PReg = u16;
+
+/// Tri-state verdict: the predicate evaluated to `false`.
+pub const TRI_FALSE: i64 = 0;
+/// Tri-state verdict: the predicate evaluated to `true`.
+pub const TRI_TRUE: i64 = 1;
+/// Tri-state verdict: the predicate is undecidable on this input
+/// (unbound symbol, overflow, exhausted iteration budget).
+pub const TRI_UNKNOWN: i64 = 2;
+
+/// One predicate-bytecode instruction.
+#[derive(Clone, Debug)]
+pub enum POp {
+    /// `regs[dst] = v`.
+    Const { dst: PReg, v: i64 },
+    /// `regs[dst] = regs[src]` (also used to forward tri-state results).
+    Copy { dst: PReg, src: PReg },
+    /// `regs[dst] = ctx.scalar(scalars[slot])`, else jump `fail`.
+    LoadScalar { dst: PReg, slot: u16, fail: u32 },
+    /// `regs[dst] = env[depth]` — a `ForAll`-bound variable, resolved
+    /// from the quantifier environment instead of the context.
+    LoadEnv { dst: PReg, depth: u16 },
+    /// `regs[dst] = ctx.elem(arrays[arr], regs[idx])`, else jump `fail`.
+    LoadElem {
+        /// Destination register.
+        dst: PReg,
+        /// Array-slot index.
+        arr: u16,
+        /// Register holding the (1-based, linearized) subscript.
+        idx: PReg,
+        /// Unknown-exit target.
+        fail: u32,
+    },
+    /// `regs[dst] = regs[a] + regs[b]` (checked; overflow jumps `fail`).
+    Add {
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+        fail: u32,
+    },
+    /// `regs[dst] = regs[src] + k` (checked) — the `c + term` shape of
+    /// subscripts like `B(1 + i)` and bounds like `-1 + N`.
+    AddK {
+        dst: PReg,
+        src: PReg,
+        k: i64,
+        fail: u32,
+    },
+    /// `regs[dst] = regs[a] * regs[b]` (checked; overflow jumps `fail`).
+    Mul {
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+        fail: u32,
+    },
+    /// `regs[dst] = k * regs[src]` (checked coefficient scaling).
+    MulK {
+        dst: PReg,
+        src: PReg,
+        k: i64,
+        fail: u32,
+    },
+    /// `regs[dst] = min(regs[a], regs[b])`.
+    Min { dst: PReg, a: PReg, b: PReg },
+    /// `regs[dst] = max(regs[a], regs[b])`.
+    Max { dst: PReg, a: PReg, b: PReg },
+    /// Tri-state test `regs[dst] = (regs[src] >= 0)`.
+    TestGe0 { dst: PReg, src: PReg },
+    /// Tri-state test `regs[dst] = (regs[src] > 0)`.
+    TestGt0 { dst: PReg, src: PReg },
+    /// Tri-state test `regs[dst] = (regs[src] == 0)`.
+    TestEq0 { dst: PReg, src: PReg },
+    /// Tri-state test `regs[dst] = (regs[src] != 0)`.
+    TestNe0 { dst: PReg, src: PReg },
+    /// Divisibility (the gcd-based alignment checks `DISJOINT_LMAD_1D`
+    /// emits): `regs[dst] = (k | regs[src])`, negated when `neg`.
+    TestDiv {
+        /// Destination tri-state register.
+        dst: PReg,
+        /// Register holding the dividend.
+        src: PReg,
+        /// The (positive) divisor.
+        k: i64,
+        /// `true` compiles `k ∤ e`.
+        neg: bool,
+    },
+    /// Fused tri-state disjunction of two test results — the
+    /// *interval-disjointness* shape (`a_hi < b_lo ∨ b_hi < a_lo`)
+    /// collapses to a single dispatch instead of a jump chain.
+    Or2 { dst: PReg, a: PReg, b: PReg },
+    /// Fused tri-state conjunction of two test results — the
+    /// *sorted-interval membership* shape (`lo ≤ x ∧ x ≤ hi`).
+    And2 { dst: PReg, a: PReg, b: PReg },
+    /// `regs[dst] = v` where `v` is a tri-state constant.
+    SetTri { dst: PReg, v: i64 },
+    /// `if regs[src] == TRI_UNKNOWN { regs[acc] = TRI_UNKNOWN }` — the
+    /// short-circuiting ∧/∨ reductions remember undecidable children
+    /// exactly like the tree-walk.
+    MergeUnknown { acc: PReg, src: PReg },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Jump when `regs[src] == TRI_FALSE` (∧ short-circuit).
+    JumpIfFalse { src: PReg, target: u32 },
+    /// Jump when `regs[src] == TRI_TRUE` (∨ short-circuit).
+    JumpIfTrue { src: PReg, target: u32 },
+    /// Quantified loop `regs[dst] = ∧_{v=regs[lo]}^{regs[hi]} body(v)`:
+    /// runs [`BodyProg`] `body` per iteration, decrementing the shared
+    /// iteration budget, stopping at the first non-true verdict. When
+    /// `par` is set (the node is not nested under another quantifier)
+    /// the engine may split the range into chunks across the pool.
+    ForAll {
+        /// Index into [`PredProgram::bodies`].
+        body: u16,
+        /// Register holding the (inclusive) lower bound.
+        lo: PReg,
+        /// Register holding the (inclusive) upper bound.
+        hi: PReg,
+        /// Destination tri-state register.
+        dst: PReg,
+        /// Whether data-parallel chunked evaluation is permitted.
+        par: bool,
+    },
+}
+
+/// One compiled evaluation body: the main predicate or a `ForAll` body.
+#[derive(Clone, Debug, Default)]
+pub struct BodyProg {
+    /// The instruction stream (falls off the end to finish).
+    pub ops: Vec<POp>,
+    /// Register file size.
+    pub nregs: usize,
+    /// Register holding the tri-state result after the body runs.
+    pub result: PReg,
+}
+
+/// A compiled predicate: slot tables plus the body tree.
+#[derive(Clone, Debug, Default)]
+pub struct PredProgram {
+    /// Scalar inputs, in slot order — also the loop-invariant inputs the
+    /// result memo keys on.
+    pub scalars: Vec<Sym>,
+    /// Array inputs, in slot order.
+    pub arrays: Vec<Sym>,
+    /// `ForAll` body programs, referenced by [`POp::ForAll`].
+    pub bodies: Vec<BodyProg>,
+    /// The predicate's entry body.
+    pub main: BodyProg,
+}
+
+impl PredProgram {
+    /// The scalar symbols the predicate reads from the context.
+    pub fn scalar_syms(&self) -> &[Sym] {
+        &self.scalars
+    }
+
+    /// The array symbols the predicate reads from the context.
+    pub fn array_syms(&self) -> &[Sym] {
+        &self.arrays
+    }
+
+    /// Total instruction count across all bodies (size diagnostics).
+    pub fn op_count(&self) -> usize {
+        self.main.ops.len() + self.bodies.iter().map(|b| b.ops.len()).sum::<usize>()
+    }
+}
+
+/// Compilation failure: a table overflowed its index space. The engine
+/// treats this as "fall back to tree-walk evaluation".
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PredOverflow;

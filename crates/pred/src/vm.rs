@@ -1,0 +1,377 @@
+//! The predicate dispatch loop: sequential and chunk-parallel
+//! evaluation of compiled predicates.
+//!
+//! Verdicts are bit-compatible with `Pdag::eval`: the same tri-state
+//! `Option<bool>` results, the same `i64` overflow behavior and the
+//! same *global* iteration budget, decremented once per quantifier
+//! iteration. The parallel path splits an outermost `∧_{i=lo}^{hi}`
+//! into [`crate::pool::chunk_bounds`] chunks (the executor's block
+//! schedule); a chunk that proves the conjunction false (or
+//! undecidable) publishes its index and *later* siblings cancel —
+//! earlier chunks run to completion so the winning verdict is the one
+//! the sequential order would have produced. Each chunk runs against a
+//! private copy of the remaining budget; after the join, per-chunk
+//! consumption is replayed in iteration order against the real budget,
+//! and if that replay shows the sequential evaluation would have
+//! exhausted the budget first, the range is re-evaluated sequentially —
+//! so budget-bound verdicts stay exact too.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lip_symbolic::EvalCtx;
+
+use crate::pool;
+use crate::prog::{BodyProg, POp, PredProgram, TRI_FALSE, TRI_TRUE, TRI_UNKNOWN};
+
+/// Evaluation knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct EvalParams {
+    /// Worker threads available for chunked quantifier evaluation.
+    pub nthreads: usize,
+    /// Minimum trip count before a quantifier is worth forking —
+    /// mirrors the simulator's rule of charging small tests inline.
+    pub par_min: i64,
+}
+
+impl Default for EvalParams {
+    fn default() -> EvalParams {
+        EvalParams {
+            nthreads: 1,
+            par_min: 1024,
+        }
+    }
+}
+
+/// Evaluates a compiled predicate against `ctx` with `iter_limit`
+/// total quantifier iterations, matching `Pdag::eval` verdict for
+/// verdict.
+pub fn eval_compiled(
+    prog: &PredProgram,
+    ctx: &(dyn EvalCtx + Sync),
+    iter_limit: u64,
+    params: EvalParams,
+) -> Option<bool> {
+    let ev = Evaluator {
+        prog,
+        ctx,
+        scalars: prog.scalars.iter().map(|s| ctx.scalar(*s)).collect(),
+        arrays: prog.arrays.iter().map(|a| ctx.elem_reader(*a)).collect(),
+        params,
+    };
+    let mut budget = iter_limit;
+    let mut env = Vec::new();
+    let mut regs = vec![0i64; prog.main.nregs];
+    let tri = ev.exec(&prog.main, &mut env, &mut regs, &mut budget);
+    match tri {
+        TRI_FALSE => Some(false),
+        TRI_TRUE => Some(true),
+        _ => None,
+    }
+}
+
+/// One chunk's report from a parallel quantifier evaluation.
+struct ChunkOut {
+    idx: usize,
+    tri: i64,
+    consumed: u64,
+    complete: bool,
+}
+
+struct Evaluator<'a> {
+    prog: &'a PredProgram,
+    ctx: &'a (dyn EvalCtx + Sync),
+    /// Scalar slots resolved once per evaluation (the context is
+    /// immutable for the duration).
+    scalars: Vec<Option<i64>>,
+    /// Array readers resolved once per evaluation — the O(N) stages
+    /// touch elements every iteration, and a per-access name lookup
+    /// would dominate the dispatch loop (`None`: unbound or the
+    /// context has no fast path; falls back to `EvalCtx::elem`).
+    #[allow(clippy::type_complexity)] // the EvalCtx::elem_reader shape
+    arrays: Vec<Option<Box<dyn Fn(i64) -> Option<i64> + Sync + 'a>>>,
+    params: EvalParams,
+}
+
+impl Evaluator<'_> {
+    fn exec(&self, body: &BodyProg, env: &mut Vec<i64>, regs: &mut [i64], budget: &mut u64) -> i64 {
+        let ops = &body.ops;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match &ops[pc] {
+                POp::Const { dst, v } => regs[*dst as usize] = *v,
+                POp::Copy { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                POp::LoadScalar { dst, slot, fail } => match self.scalars[*slot as usize] {
+                    Some(v) => regs[*dst as usize] = v,
+                    None => {
+                        pc = *fail as usize;
+                        continue;
+                    }
+                },
+                POp::LoadEnv { dst, depth } => regs[*dst as usize] = env[*depth as usize],
+                POp::LoadElem {
+                    dst,
+                    arr,
+                    idx,
+                    fail,
+                } => {
+                    let v = match &self.arrays[*arr as usize] {
+                        Some(read) => read(regs[*idx as usize]),
+                        None => self
+                            .ctx
+                            .elem(self.prog.arrays[*arr as usize], regs[*idx as usize]),
+                    };
+                    match v {
+                        Some(v) => regs[*dst as usize] = v,
+                        None => {
+                            pc = *fail as usize;
+                            continue;
+                        }
+                    }
+                }
+                POp::Add { dst, a, b, fail } => {
+                    match regs[*a as usize].checked_add(regs[*b as usize]) {
+                        Some(v) => regs[*dst as usize] = v,
+                        None => {
+                            pc = *fail as usize;
+                            continue;
+                        }
+                    }
+                }
+                POp::Mul { dst, a, b, fail } => {
+                    match regs[*a as usize].checked_mul(regs[*b as usize]) {
+                        Some(v) => regs[*dst as usize] = v,
+                        None => {
+                            pc = *fail as usize;
+                            continue;
+                        }
+                    }
+                }
+                POp::AddK { dst, src, k, fail } => match regs[*src as usize].checked_add(*k) {
+                    Some(v) => regs[*dst as usize] = v,
+                    None => {
+                        pc = *fail as usize;
+                        continue;
+                    }
+                },
+                POp::MulK { dst, src, k, fail } => match k.checked_mul(regs[*src as usize]) {
+                    Some(v) => regs[*dst as usize] = v,
+                    None => {
+                        pc = *fail as usize;
+                        continue;
+                    }
+                },
+                POp::Min { dst, a, b } => {
+                    regs[*dst as usize] = regs[*a as usize].min(regs[*b as usize]);
+                }
+                POp::Max { dst, a, b } => {
+                    regs[*dst as usize] = regs[*a as usize].max(regs[*b as usize]);
+                }
+                POp::TestGe0 { dst, src } => {
+                    regs[*dst as usize] = i64::from(regs[*src as usize] >= 0);
+                }
+                POp::TestGt0 { dst, src } => {
+                    regs[*dst as usize] = i64::from(regs[*src as usize] > 0);
+                }
+                POp::TestEq0 { dst, src } => {
+                    regs[*dst as usize] = i64::from(regs[*src as usize] == 0);
+                }
+                POp::TestNe0 { dst, src } => {
+                    regs[*dst as usize] = i64::from(regs[*src as usize] != 0);
+                }
+                POp::TestDiv { dst, src, k, neg } => {
+                    let divides = regs[*src as usize] % *k == 0;
+                    regs[*dst as usize] = i64::from(divides != *neg);
+                }
+                POp::And2 { dst, a, b } => {
+                    let (x, y) = (regs[*a as usize], regs[*b as usize]);
+                    regs[*dst as usize] = if x == TRI_FALSE || y == TRI_FALSE {
+                        TRI_FALSE
+                    } else if x == TRI_UNKNOWN || y == TRI_UNKNOWN {
+                        TRI_UNKNOWN
+                    } else {
+                        TRI_TRUE
+                    };
+                }
+                POp::Or2 { dst, a, b } => {
+                    let (x, y) = (regs[*a as usize], regs[*b as usize]);
+                    regs[*dst as usize] = if x == TRI_TRUE || y == TRI_TRUE {
+                        TRI_TRUE
+                    } else if x == TRI_UNKNOWN || y == TRI_UNKNOWN {
+                        TRI_UNKNOWN
+                    } else {
+                        TRI_FALSE
+                    };
+                }
+                POp::SetTri { dst, v } => regs[*dst as usize] = *v,
+                POp::MergeUnknown { acc, src } => {
+                    if regs[*src as usize] == TRI_UNKNOWN {
+                        regs[*acc as usize] = TRI_UNKNOWN;
+                    }
+                }
+                POp::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                POp::JumpIfFalse { src, target } => {
+                    if regs[*src as usize] == TRI_FALSE {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                POp::JumpIfTrue { src, target } => {
+                    if regs[*src as usize] == TRI_TRUE {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                POp::ForAll {
+                    body: sub,
+                    lo,
+                    hi,
+                    dst,
+                    par,
+                } => {
+                    let lo = regs[*lo as usize];
+                    let hi = regs[*hi as usize];
+                    let sub = &self.prog.bodies[*sub as usize];
+                    let trip = (hi as i128) - (lo as i128) + 1;
+                    let tri = if *par
+                        && self.params.nthreads > 1
+                        && trip >= self.params.par_min.max(2) as i128
+                    {
+                        self.forall_par(sub, env, lo, hi, budget)
+                    } else {
+                        self.forall_seq(sub, env, lo, hi, budget)
+                    };
+                    regs[*dst as usize] = tri;
+                }
+            }
+            pc += 1;
+        }
+        regs[body.result as usize]
+    }
+
+    /// Sequential quantifier loop — `Pdag::eval`'s `ForAll` arm,
+    /// decrement for decrement.
+    fn forall_seq(
+        &self,
+        sub: &BodyProg,
+        env: &mut Vec<i64>,
+        lo: i64,
+        hi: i64,
+        budget: &mut u64,
+    ) -> i64 {
+        if hi < lo {
+            return TRI_TRUE;
+        }
+        env.push(0);
+        let mut regs = vec![0i64; sub.nregs];
+        let mut out = TRI_TRUE;
+        let mut iv = lo;
+        loop {
+            if *budget == 0 {
+                out = TRI_UNKNOWN;
+                break;
+            }
+            *budget -= 1;
+            *env.last_mut().expect("pushed") = iv;
+            let t = self.exec(sub, env, &mut regs, budget);
+            if t != TRI_TRUE {
+                out = t;
+                break;
+            }
+            if iv == hi {
+                break;
+            }
+            iv += 1;
+        }
+        env.pop();
+        out
+    }
+
+    /// Chunked parallel quantifier evaluation with early-exit
+    /// cancellation and exact budget replay (module docs).
+    fn forall_par(
+        &self,
+        sub: &BodyProg,
+        env: &mut Vec<i64>,
+        lo: i64,
+        hi: i64,
+        budget: &mut u64,
+    ) -> i64 {
+        let chunks = pool::chunk_bounds(self.params.nthreads, lo, hi);
+        if chunks.len() <= 1 {
+            return self.forall_seq(sub, env, lo, hi, budget);
+        }
+        let initial = *budget;
+        let cancel = AtomicUsize::new(usize::MAX);
+        let outs: Mutex<Vec<ChunkOut>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let parent_env: &[i64] = env;
+        let run = pool::parallel_chunks::<(), _>(self.params.nthreads, lo, hi, |idx, clo, chi| {
+            let mut local = initial;
+            let mut cenv = parent_env.to_vec();
+            cenv.push(0);
+            let mut regs = vec![0i64; sub.nregs];
+            let mut tri = TRI_TRUE;
+            let mut complete = true;
+            let mut iv = clo;
+            loop {
+                // A failing earlier chunk already decided the verdict;
+                // this chunk's result can no longer matter.
+                if cancel.load(Ordering::Relaxed) < idx {
+                    complete = false;
+                    break;
+                }
+                if local == 0 {
+                    tri = TRI_UNKNOWN;
+                    break;
+                }
+                local -= 1;
+                *cenv.last_mut().expect("pushed") = iv;
+                let t = self.exec(sub, &mut cenv, &mut regs, &mut local);
+                if t != TRI_TRUE {
+                    tri = t;
+                    break;
+                }
+                if iv == chi {
+                    break;
+                }
+                iv += 1;
+            }
+            if complete && tri != TRI_TRUE {
+                cancel.fetch_min(idx, Ordering::Relaxed);
+            }
+            outs.lock().expect("pool lock").push(ChunkOut {
+                idx,
+                tri,
+                consumed: initial - local,
+                complete,
+            });
+            Ok(())
+        });
+        debug_assert!(run.is_ok(), "chunks are infallible");
+        let mut outs = outs.into_inner().expect("pool lock");
+        outs.sort_by_key(|c| c.idx);
+        // Replay consumption in iteration order: the verdict is the
+        // first non-true chunk the sequential budget actually reaches.
+        let mut used = 0u64;
+        for c in &outs {
+            let feasible = c.complete && used.saturating_add(c.consumed) <= initial;
+            if !feasible {
+                // Sequential evaluation would have run out of budget
+                // inside (or before) this chunk, or the chunk was
+                // cancelled: redo the range sequentially against the
+                // real budget for an exact verdict.
+                return self.forall_seq(sub, env, lo, hi, budget);
+            }
+            used += c.consumed;
+            if c.tri != TRI_TRUE {
+                *budget = initial - used;
+                return c.tri;
+            }
+        }
+        *budget = initial - used;
+        TRI_TRUE
+    }
+}

@@ -13,10 +13,23 @@
 //! the `LIP_BACKEND` environment variable (`bytecode`/`vm` picks the
 //! VM; anything else tree-walks). Programs the bytecode compiler
 //! cannot handle fall back to tree-walk interpretation transparently.
+//!
+//! Runtime *predicate* evaluation has its own seam on the same model:
+//! [`PredBackend`] (`LIP_PRED=compiled` for the `lip_pred` engine,
+//! tree-walking `Pdag::eval` as the default reference), threaded
+//! through the cascade evaluation in `exec` and the suite harness.
+//! Verdicts and charged work units are identical on both; only
+//! wall-clock differs.
+
+use std::sync::Arc;
 
 use lip_ir::{AccessTracer, ExecState, Expr, Machine, RunError, Stmt, Store, Subroutine};
 use lip_symbolic::Sym;
-use lip_vm::{BlockId, CompiledProgram, Frame, Vm};
+use lip_vm::{Frame, Vm};
+
+use crate::cache::{machine_cache, CachedBody};
+
+pub use lip_pred::PredBackend;
 
 /// Which execution engine runs loop iterations.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -57,14 +70,18 @@ impl std::fmt::Display for Backend {
 
 /// A loop body (or statement block) compiled for VM execution: the
 /// whole program (for CALLs out of the block) plus the block itself.
+/// Backed by the per-machine [`crate::cache::MachineCache`], so a given
+/// block shape compiles once per machine no matter how many times
+/// `run_loop_with`, CIV slicing or LRPD construct it.
 pub(crate) struct CompiledBody {
-    pub prog: CompiledProgram,
-    pub block: BlockId,
+    body: Arc<CachedBody>,
+    pub block: lip_vm::BlockId,
 }
 
 impl CompiledBody {
-    /// Compiles `stmts` (in `sub`'s context) plus attached expression
-    /// fragments; `None` means "fall back to tree-walk".
+    /// Fetches (or compiles on first use) `stmts` in `sub`'s context
+    /// plus attached expression fragments; `None` means "fall back to
+    /// tree-walk".
     pub fn new(
         machine: &Machine,
         sub: &Subroutine,
@@ -72,14 +89,14 @@ impl CompiledBody {
         exprs: &[&Expr],
         extra: &[Sym],
     ) -> Option<CompiledBody> {
-        let mut prog = lip_vm::compile_program(machine.program()).ok()?;
-        let block = lip_vm::add_block_with_exprs(&mut prog, sub, stmts, exprs, extra).ok()?;
-        Some(CompiledBody { prog, block })
+        let body = machine_cache(machine).body(machine, sub, stmts, exprs, extra)?;
+        let block = body.block;
+        Some(CompiledBody { body, block })
     }
 
     /// The block chunk (slot lookups, frame construction).
     pub fn chunk(&self) -> &lip_vm::Chunk {
-        &self.prog.block(self.block).chunk
+        &self.body.prog.block(self.block).chunk
     }
 
     /// A frame over the block resolved from `store`.
@@ -89,7 +106,7 @@ impl CompiledBody {
 
     /// A VM delivering `machine`'s READ inputs.
     pub fn vm<'p>(&'p self, machine: &'p Machine) -> Vm<'p> {
-        Vm::for_machine(&self.prog, machine)
+        Vm::for_machine(&self.body.prog, machine)
     }
 }
 

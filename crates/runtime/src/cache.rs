@@ -1,0 +1,228 @@
+//! Per-`Machine` compilation and predicate caches.
+//!
+//! One `run_loop_with` call used to compile the whole program up to
+//! three times (`CompiledBody::new` for the CIV slice, the parallel
+//! body and the sequential fallback), and every invocation re-did it
+//! from scratch. [`MachineCache`] fixes both: the `lip_vm` program is
+//! compiled once per machine, each distinct statement block is lowered
+//! once and reused across invocations, and the [`PredEngine`] does the
+//! same for cascade predicates (plus verdict memoization keyed on the
+//! loop-invariant inputs).
+//!
+//! Caches are keyed on the identity of the machine's shared `Program`
+//! handle (`Machine::program_handle`): machines cloned from one another
+//! — e.g. tracer-instrumented copies — share one cache, distinct
+//! programs never collide, and entries die with their program (the
+//! registry holds weak handles and prunes on lookup).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use lip_ir::{Expr, Machine, Program, Stmt, Store, Subroutine};
+use lip_pred::PredEngine;
+use lip_symbolic::Sym;
+use lip_vm::{BlockId, CompiledProgram};
+
+/// A cached standalone block: the compiled program it lives in plus its
+/// block id. Shared (`Arc`) across invocations and worker threads.
+pub struct CachedBody {
+    /// The compiled program (whole-program subs + this block).
+    pub prog: Arc<CompiledProgram>,
+    /// The block within `prog`.
+    pub block: BlockId,
+}
+
+/// Compilation caches scoped to one program.
+#[derive(Default)]
+pub struct MachineCache {
+    /// The machine's subroutines compiled once (`None`: the program
+    /// exceeds the bytecode's static limits — remembered so callers
+    /// fall back without recompiling).
+    base: OnceLock<Option<Arc<CompiledProgram>>>,
+    /// Lowered statement blocks keyed by their structural rendering.
+    blocks: Mutex<HashMap<String, Option<Arc<CachedBody>>>>,
+    /// The predicate engine (compile cache + verdict memo).
+    pred: PredEngine,
+}
+
+impl MachineCache {
+    /// The predicate engine for this machine.
+    pub fn pred(&self) -> &PredEngine {
+        &self.pred
+    }
+
+    /// The compiled block for `stmts` (+ attached expression fragments
+    /// and extra scalar slots) in `sub`'s context, compiling at most
+    /// once per distinct shape. `None` when it doesn't compile.
+    pub fn body(
+        &self,
+        machine: &Machine,
+        sub: &Subroutine,
+        stmts: &[Stmt],
+        exprs: &[&Expr],
+        extra: &[Sym],
+    ) -> Option<Arc<CachedBody>> {
+        // The key is the block's exact structural rendering: linear in
+        // the body size to build on every lookup, but collision-free —
+        // a hashed key that aliased two different bodies would execute
+        // the wrong code. The formatting cost is small next to the
+        // whole-program compile this cache avoids.
+        let key = format!("{}|{stmts:?}|{exprs:?}|{extra:?}", sub.name);
+        if let Some(cached) = self.blocks.lock().expect("cache lock").get(&key) {
+            return cached.clone();
+        }
+        let built = self.base(machine).and_then(|base| {
+            // Clone the compiled subs (cheap next to recompiling the
+            // whole program) and lower just this block into the copy.
+            let mut prog = (*base).clone();
+            let block = lip_vm::add_block_with_exprs(&mut prog, sub, stmts, exprs, extra).ok()?;
+            Some(Arc::new(CachedBody {
+                prog: Arc::new(prog),
+                block,
+            }))
+        });
+        self.blocks
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert_with(|| built.clone());
+        built
+    }
+
+    /// The whole program compiled once.
+    fn base(&self, machine: &Machine) -> Option<Arc<CompiledProgram>> {
+        self.base
+            .get_or_init(|| {
+                lip_vm::compile_program(machine.program())
+                    .ok()
+                    .map(Arc::new)
+            })
+            .clone()
+    }
+}
+
+/// The cache registry: weak program handles so caches die with their
+/// programs.
+static REGISTRY: Mutex<Vec<(Weak<Program>, Arc<MachineCache>)>> = Mutex::new(Vec::new());
+
+/// The compilation cache for `machine`'s program, created on first use.
+pub fn machine_cache(machine: &Machine) -> Arc<MachineCache> {
+    let handle = machine.program_handle();
+    let mut reg = REGISTRY.lock().expect("registry lock");
+    reg.retain(|(w, _)| w.strong_count() > 0);
+    for (w, cache) in reg.iter() {
+        if let Some(p) = w.upgrade() {
+            if Arc::ptr_eq(&p, &handle) {
+                return cache.clone();
+            }
+        }
+    }
+    let cache = Arc::new(MachineCache::default());
+    reg.push((Arc::downgrade(&handle), cache.clone()));
+    cache
+}
+
+/// Fingerprints the loop-invariant inputs a compiled predicate reads
+/// from `frame`: free scalar values and the contents of the arrays it
+/// indexes, both projected to the `i64` view `StoreCtx` exposes. Equal
+/// fingerprints ⇒ the predicate sees identical inputs, so its verdict
+/// can be memoized (the `PredEngine` result cache).
+///
+/// A colliding fingerprint would replay a stale verdict — and a stale
+/// `Some(true)` runs a dependent loop in parallel — so the fingerprint
+/// is 128 bits: two domain-separated passes over the same inputs,
+/// pushing the per-pair collision odds to ~2⁻¹²⁸ (storing the inputs
+/// themselves would cost as much as the evaluation the memo skips).
+pub fn store_fingerprint(frame: &Store, scalars: &[Sym], arrays: &[Sym]) -> u128 {
+    let lo = fingerprint_pass(0xF00D, frame, scalars, arrays);
+    let hi = fingerprint_pass(0xBEEF_CAFE, frame, scalars, arrays);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+fn fingerprint_pass(domain: u64, frame: &Store, scalars: &[Sym], arrays: &[Sym]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    domain.hash(&mut h);
+    for s in scalars {
+        match frame.scalar(*s) {
+            Some(v) => (1u8, v.as_i64()).hash(&mut h),
+            None => 0u8.hash(&mut h),
+        }
+    }
+    for a in arrays {
+        match frame.array(*a) {
+            Some(view) => {
+                let len = view.buf.len();
+                (1u8, view.offset, len).hash(&mut h);
+                for i in 0..len {
+                    view.buf.get(i).as_i64().hash(&mut h);
+                }
+            }
+            None => 0u8.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_ir::{parse_program, Value};
+    use lip_symbolic::sym;
+
+    #[test]
+    fn clones_share_one_cache_distinct_programs_do_not() {
+        let src = "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = 1.0
+  ENDDO
+END
+";
+        let m1 = Machine::new(parse_program(src).expect("parses"));
+        let m2 = m1.clone();
+        let m3 = Machine::new(parse_program(src).expect("parses"));
+        assert!(Arc::ptr_eq(&machine_cache(&m1), &machine_cache(&m2)));
+        assert!(!Arc::ptr_eq(&machine_cache(&m1), &machine_cache(&m3)));
+    }
+
+    #[test]
+    fn blocks_compile_once_per_shape() {
+        let src = "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = A(i) + 1.0
+  ENDDO
+END
+";
+        let machine = Machine::new(parse_program(src).expect("parses"));
+        let sub = machine.program().units[0].clone();
+        let target = sub.find_loop("l1").expect("loop").clone();
+        let cache = machine_cache(&machine);
+        let b1 = cache
+            .body(&machine, &sub, std::slice::from_ref(&target), &[], &[])
+            .expect("compiles");
+        let b2 = cache
+            .body(&machine, &sub, std::slice::from_ref(&target), &[], &[])
+            .expect("compiles");
+        assert!(Arc::ptr_eq(&b1, &b2), "same shape must reuse the block");
+    }
+
+    #[test]
+    fn fingerprint_tracks_inputs() {
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 4);
+        let b = frame.alloc_int(sym("B"), 4);
+        let f1 = store_fingerprint(&frame, &[sym("N")], &[sym("B")]);
+        assert_eq!(f1, store_fingerprint(&frame, &[sym("N")], &[sym("B")]));
+        b.set(2, Value::Int(7));
+        assert_ne!(f1, store_fingerprint(&frame, &[sym("N")], &[sym("B")]));
+        let f2 = store_fingerprint(&frame, &[sym("N")], &[sym("B")]);
+        frame.set_int(sym("N"), 5);
+        assert_ne!(f2, store_fingerprint(&frame, &[sym("N")], &[sym("B")]));
+    }
+}

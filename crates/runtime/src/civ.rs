@@ -217,10 +217,12 @@ pub fn compute_civ_traces(
 }
 
 /// [`compute_civ_traces`] under an explicit execution backend: with
-/// [`Backend::Bytecode`] the slice is compiled once and its iterations
-/// run through the VM (identical traces and work units, faster
-/// wall-clock — the slice is the dominant runtime-test cost for the
-/// `track`-style while loops).
+/// [`Backend::Bytecode`] the slice runs through the VM (identical
+/// traces and work units, faster wall-clock — the slice is the
+/// dominant runtime-test cost for the `track`-style while loops).
+/// Slice compilation goes through the per-machine cache
+/// ([`crate::cache::MachineCache`]), so re-invoking the same loop
+/// reuses the lowered slice instead of recompiling the program.
 ///
 /// # Errors
 ///

@@ -23,7 +23,8 @@ use lip_ir::{
 use lip_symbolic::Sym;
 use std::sync::Mutex;
 
-use crate::backend::{exec_stmt_seq, machine_tracer, Backend, CompiledBody};
+use crate::backend::{exec_stmt_seq, machine_tracer, Backend, CompiledBody, PredBackend};
+use crate::cache::{machine_cache, store_fingerprint};
 use crate::civ::compute_civ_traces_with;
 use crate::lrpd::{lrpd_execute_with, LrpdOutcome};
 use crate::pool::{chunk_bounds, parallel_chunks};
@@ -38,6 +39,10 @@ pub enum ExecOutcome {
         /// Index of the first successful stage.
         stage: usize,
     },
+    /// Every cascade stage failed, but the exact (hoisted) USR
+    /// evaluation proved the dependence set empty; ran in parallel
+    /// (the §5 last resort before speculation).
+    ExactPredicatePassed,
     /// All predicates failed; speculation decided.
     Speculated(LrpdOutcome),
     /// Ran sequentially (classified sequential, or empty plan).
@@ -96,7 +101,8 @@ pub fn run_loop(
 
 /// Runs the analyzed loop against `frame` under an explicit execution
 /// backend (threaded through the predicate cascade, CIV slicing, LRPD
-/// speculation and the parallel worker loop).
+/// speculation and the parallel worker loop). The predicate engine is
+/// selected from `LIP_PRED` ([`PredBackend::from_env`]).
 ///
 /// # Errors
 ///
@@ -109,6 +115,35 @@ pub fn run_loop_with(
     frame: &mut Store,
     nthreads: usize,
     backend: Backend,
+) -> Result<RunStats, RunError> {
+    run_loop_with_opts(
+        machine,
+        sub,
+        target,
+        analysis,
+        frame,
+        nthreads,
+        backend,
+        PredBackend::from_env(),
+    )
+}
+
+/// [`run_loop_with`] under an explicit predicate engine as well (tests
+/// pin both seams without touching the environment).
+///
+/// # Errors
+///
+/// Propagates interpreter/VM failures.
+#[allow(clippy::too_many_arguments)] // the two backend seams are the point
+pub fn run_loop_with_opts(
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    target: &Stmt,
+    analysis: &LoopAnalysis,
+    frame: &mut Store,
+    nthreads: usize,
+    backend: Backend,
+    pred: PredBackend,
 ) -> Result<RunStats, RunError> {
     let mut test_units = 0u64;
 
@@ -156,14 +191,22 @@ pub fn run_loop_with(
         LoopClass::StaticSequential => (false, ExecOutcome::Sequential),
         LoopClass::Predicated { .. } => {
             let ctx = StoreCtx(frame);
-            let mut passed = None;
-            for (k, stage) in analysis.cascade.stages.iter().enumerate() {
-                test_units += stage.pred.eval_cost(&ctx);
-                if stage.pred.eval(&ctx, 100_000_000) == Some(true) {
-                    passed = Some(k);
-                    break;
-                }
-            }
+            let engine = machine_cache(machine);
+            let (passed, units) = engine.pred().first_success(
+                &analysis.cascade,
+                &ctx,
+                100_000_000,
+                pred,
+                nthreads,
+                &mut |prog| {
+                    Some(store_fingerprint(
+                        frame,
+                        prog.scalar_syms(),
+                        prog.array_syms(),
+                    ))
+                },
+            );
+            test_units += units;
             match passed {
                 Some(k) => (true, ExecOutcome::PredicatePassed { stage: k }),
                 None => {
@@ -173,9 +216,7 @@ pub fn run_loop_with(
                         .as_ref()
                         .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000));
                     match exact {
-                        Some(s) if s.is_empty() => {
-                            (true, ExecOutcome::PredicatePassed { stage: usize::MAX })
-                        }
+                        Some(s) if s.is_empty() => (true, ExecOutcome::ExactPredicatePassed),
                         Some(_) => (false, ExecOutcome::Sequential),
                         None => {
                             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
@@ -235,7 +276,25 @@ pub fn run_loop_with(
                 let direct = match cascade {
                     Some(c) => {
                         let ctx = StoreCtx(frame);
-                        c.first_success(&ctx, 100_000_000).is_some()
+                        // Reduction cascades were never charged to
+                        // test_units (the plan decision is part of the
+                        // codegen template); the engine call keeps it
+                        // that way while sharing the compile cache.
+                        let (hit, _units) = machine_cache(machine).pred().first_success(
+                            c,
+                            &ctx,
+                            100_000_000,
+                            pred,
+                            nthreads,
+                            &mut |prog| {
+                                Some(store_fingerprint(
+                                    frame,
+                                    prog.scalar_syms(),
+                                    prog.array_syms(),
+                                ))
+                            },
+                        );
+                        hit.is_some()
                     }
                     None => true,
                 };

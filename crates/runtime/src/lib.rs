@@ -15,6 +15,7 @@
 //! path cross-checks its shape at the host's core count.
 
 pub mod backend;
+pub mod cache;
 pub mod civ;
 pub mod exec;
 pub mod inspector;
@@ -22,12 +23,14 @@ pub mod lrpd;
 pub mod pool;
 pub mod sim;
 
-pub use backend::Backend;
+pub use backend::{Backend, PredBackend};
+pub use cache::{machine_cache, store_fingerprint, MachineCache};
 pub use civ::{compute_civ_traces, compute_civ_traces_with, extract_slice};
-pub use exec::{run_loop, run_loop_with, ExecOutcome, ExecPlan, RunStats};
+pub use exec::{run_loop, run_loop_with, run_loop_with_opts, ExecOutcome, ExecPlan, RunStats};
 pub use inspector::{inspect, inspect_execute, InspectVerdict};
 pub use lrpd::{lrpd_execute, lrpd_execute_with, LrpdOutcome};
 pub use pool::parallel_chunks;
 pub use sim::{
-    makespan, per_iteration_costs, per_iteration_costs_with, simulate_loop, SimConfig, SimResult,
+    charged_test_units, makespan, per_iteration_costs, per_iteration_costs_with, simulate_loop,
+    SimConfig, SimResult,
 };

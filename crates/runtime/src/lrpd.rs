@@ -113,7 +113,9 @@ pub fn lrpd_execute(
 /// [`Backend::Bytecode`] both the speculative parallel run and the
 /// sequential recovery execute compiled bytecode — the shadow-array
 /// instrumentation sees the same per-iteration access stream either
-/// way, so commit/abort decisions are identical.
+/// way, so commit/abort decisions are identical. The body compiles at
+/// most once per machine ([`crate::cache::MachineCache`]), so repeated
+/// speculation on the same loop skips straight to execution.
 ///
 /// # Errors
 ///

@@ -1,110 +1,9 @@
 //! Minimal fork-join parallelism over `std::thread` scoped threads.
+//!
+//! The implementation lives in [`lip_pred::pool`] — the lowest crate
+//! that spawns threads — so the parallel executor, the LRPD/inspector
+//! tests and the predicate engine all share one chunking substrate:
+//! [`chunk_bounds`] is the single source of truth for the block
+//! schedule the simulator's makespan model assumes.
 
-/// Splits the inclusive iteration range `[lo, hi]` into `nthreads`
-/// contiguous chunks and runs `body(chunk_index, chunk_lo, chunk_hi)`
-/// on one thread per non-empty chunk (block scheduling, as the paper's
-/// OpenMP codegen would).
-///
-/// Returns the first error produced by any chunk, if any.
-pub fn parallel_chunks<E, F>(nthreads: usize, lo: i64, hi: i64, body: F) -> Result<(), E>
-where
-    E: Send,
-    F: Fn(usize, i64, i64) -> Result<(), E> + Sync,
-{
-    // The schedule comes from `chunk_bounds` — the single source of
-    // truth the simulator and executor share.
-    let chunks = chunk_bounds(nthreads, lo, hi);
-    match chunks.as_slice() {
-        [] => return Ok(()),
-        [(c_lo, c_hi)] => return body(0, *c_lo, *c_hi),
-        _ => {}
-    }
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .enumerate()
-            .map(|(t, &(c_lo, c_hi))| {
-                let body = &body;
-                scope.spawn(move || body(t, c_lo, c_hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    });
-    for r in results {
-        r?;
-    }
-    Ok(())
-}
-
-/// The chunk bounds that [`parallel_chunks`] would assign — exposed so
-/// the simulator and the executor agree on the schedule.
-pub fn chunk_bounds(nthreads: usize, lo: i64, hi: i64) -> Vec<(i64, i64)> {
-    if hi < lo {
-        return Vec::new();
-    }
-    let n = (hi - lo + 1) as usize;
-    let nthreads = nthreads.max(1).min(n);
-    let chunk = n.div_ceil(nthreads);
-    let mut out = Vec::new();
-    for t in 0..nthreads {
-        let c_lo = lo + (t * chunk) as i64;
-        let c_hi = (c_lo + chunk as i64 - 1).min(hi);
-        if c_lo <= c_hi {
-            out.push((c_lo, c_hi));
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicI64, Ordering};
-
-    #[test]
-    fn covers_range_exactly_once() {
-        let hits: Vec<AtomicI64> = (0..100).map(|_| AtomicI64::new(0)).collect();
-        parallel_chunks::<(), _>(4, 1, 100, |_, lo, hi| {
-            for i in lo..=hi {
-                hits[(i - 1) as usize].fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(())
-        })
-        .expect("runs");
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
-    }
-
-    #[test]
-    fn empty_range_is_noop() {
-        parallel_chunks::<(), _>(4, 5, 4, |_, _, _| panic!("must not run")).expect("ok");
-    }
-
-    #[test]
-    fn chunks_partition() {
-        let b = chunk_bounds(3, 1, 10);
-        assert_eq!(b.first().map(|c| c.0), Some(1));
-        assert_eq!(b.last().map(|c| c.1), Some(10));
-        let total: i64 = b.iter().map(|(l, h)| h - l + 1).sum();
-        assert_eq!(total, 10);
-    }
-
-    #[test]
-    fn errors_propagate() {
-        let r = parallel_chunks::<&str, _>(
-            2,
-            1,
-            10,
-            |_, lo, _| {
-                if lo > 5 {
-                    Err("boom")
-                } else {
-                    Ok(())
-                }
-            },
-        );
-        assert_eq!(r, Err("boom"));
-    }
-}
+pub use lip_pred::pool::{chunk_bounds, parallel_chunks};

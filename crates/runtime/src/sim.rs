@@ -96,8 +96,8 @@ pub fn simulate_loop(
 ) -> Result<SimResult, RunError> {
     let per_iter = per_iteration_costs(machine, sub, target, frame)?;
     let seq_units: u64 = per_iter.iter().sum();
-    let test_units = if parallel_test && test_seq_units > 0 {
-        test_seq_units / cfg.procs as u64 + cfg.spawn_overhead
+    let test_units = if parallel_test {
+        charged_test_units(test_seq_units, cfg.procs, cfg.spawn_overhead)
     } else {
         test_seq_units
     };
@@ -111,6 +111,24 @@ pub fn simulate_loop(
         par_units,
         test_units,
     })
+}
+
+/// Runtime-test units charged on the critical path: small (O(1)-ish)
+/// tests run inline; larger ones are and/or-reduced across processors
+/// at the price of one extra spawn. This is the single charging rule
+/// shared by the simulator and the suite harness, and it mirrors what
+/// the `lip_pred` engine actually does at runtime — quantified O(N)
+/// stages fork across the pool only past a trip-count threshold
+/// (`LIP_PRED_PAR_MIN`), never for tests too small to amortize the
+/// fork.
+pub fn charged_test_units(test_units: u64, procs: usize, spawn: u64) -> u64 {
+    if test_units == 0 {
+        0
+    } else if test_units <= 4 * spawn {
+        test_units
+    } else {
+        test_units / procs.max(1) as u64 + spawn
+    }
 }
 
 /// Executes the loop once sequentially (mutating `frame`) and returns

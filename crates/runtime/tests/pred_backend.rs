@@ -1,0 +1,170 @@
+//! The predicate-engine seam end to end: `run_loop_with_opts` must
+//! produce identical outcomes, charged test units and program state
+//! under `PredBackend::Tree` and `PredBackend::Compiled`, across the
+//! cascade-pass, cascade-fail and exact-USR-fallback paths — and the
+//! per-machine caches must make repeat invocations cheap.
+
+use lip_analysis::{analyze_loop, AnalysisConfig, LoopAnalysis};
+use lip_ir::{parse_program, Machine, Stmt, Store, Value};
+use lip_runtime::{machine_cache, run_loop_with_opts, Backend, ExecOutcome, PredBackend};
+use lip_symbolic::sym;
+
+fn setup(src: &str, label: &str) -> (Machine, lip_ir::Subroutine, Stmt, LoopAnalysis) {
+    let prog = parse_program(src).expect("parses");
+    let sub = prog.units[0].clone();
+    let target = sub.find_loop(label).expect("loop").clone();
+    let analysis =
+        analyze_loop(&prog, sub.name, label, &AnalysisConfig::default()).expect("analyzed");
+    (Machine::new(prog), sub, target, analysis)
+}
+
+const OFFSET_SRC: &str = "
+SUBROUTINE t(A, N, M)
+  DIMENSION A(*)
+  INTEGER i, N, M
+  DO l1 i = 1, N
+    A(i) = A(i + M) + 1.0
+  ENDDO
+END
+";
+
+fn offset_frame(n: i64, m: i64) -> Store {
+    let mut frame = Store::new();
+    frame.set_int(sym("N"), n).set_int(sym("M"), m);
+    let len = (n + n.max(m) + 1) as usize;
+    let a = frame.alloc_real(sym("A"), len);
+    for i in 0..len {
+        a.set(i, Value::Real(i as f64));
+    }
+    frame
+}
+
+/// Runs one analyzed loop under both predicate backends and asserts
+/// stats and final state agree element for element.
+fn assert_backends_agree(
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    target: &Stmt,
+    analysis: &LoopAnalysis,
+    mk_frame: impl Fn() -> Store,
+) -> ExecOutcome {
+    let mut tree_frame = mk_frame();
+    let tree = run_loop_with_opts(
+        machine,
+        sub,
+        target,
+        analysis,
+        &mut tree_frame,
+        2,
+        Backend::TreeWalk,
+        PredBackend::Tree,
+    )
+    .expect("tree runs");
+    let mut comp_frame = mk_frame();
+    let comp = run_loop_with_opts(
+        machine,
+        sub,
+        target,
+        analysis,
+        &mut comp_frame,
+        2,
+        Backend::TreeWalk,
+        PredBackend::Compiled,
+    )
+    .expect("compiled runs");
+    assert_eq!(tree.outcome, comp.outcome);
+    assert_eq!(tree.test_units, comp.test_units, "charged units diverged");
+    assert_eq!(tree.loop_units, comp.loop_units);
+    for (name, view) in tree_frame.arrays() {
+        let other = comp_frame.array(name).expect("array bound on both");
+        for i in 0..view.buf.len() {
+            assert_eq!(
+                view.buf.get_f64(i),
+                other.buf.get_f64(i),
+                "{name}({i}) diverged"
+            );
+        }
+    }
+    comp.outcome
+}
+
+#[test]
+fn predicate_pass_and_fail_agree_across_backends() {
+    let (machine, sub, target, analysis) = setup(OFFSET_SRC, "l1");
+    // M >= N: the cascade passes.
+    let out = assert_backends_agree(&machine, &sub, &target, &analysis, || {
+        offset_frame(400, 400)
+    });
+    assert!(matches!(out, ExecOutcome::PredicatePassed { .. }));
+    // M = 1: the cascade fails, sequential execution.
+    let out = assert_backends_agree(&machine, &sub, &target, &analysis, || offset_frame(400, 1));
+    assert_eq!(out, ExecOutcome::Sequential);
+}
+
+#[test]
+fn exact_usr_fallback_reports_its_own_outcome() {
+    // A(P(i)) = A(Q(i)) + 1: no cascade stage can decide (the index
+    // arrays are opaque), but the hoisted exact USR evaluation proves
+    // the sets disjoint on this workload (paper §5's last resort).
+    let src = "
+SUBROUTINE run20(A, P, Q, N)
+  DIMENSION A(*)
+  INTEGER P(*), Q(*)
+  INTEGER i, N
+  DO do20 i = 1, N
+    A(P(i)) = A(Q(i)) + 1.0
+  ENDDO
+END
+";
+    let (machine, sub, target, analysis) = setup(src, "do20");
+    let n = 96i64;
+    let mk_frame = || {
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n);
+        frame.alloc_real(sym("A"), (2 * n + 1) as usize);
+        let p = frame.alloc_int(sym("P"), n as usize);
+        let q = frame.alloc_int(sym("Q"), n as usize);
+        for i in 0..n {
+            p.set(i as usize, Value::Int(i + 1));
+            q.set(i as usize, Value::Int(i + n + 1)); // disjoint from P
+        }
+        frame
+    };
+    let out = assert_backends_agree(&machine, &sub, &target, &analysis, mk_frame);
+    assert_eq!(out, ExecOutcome::ExactPredicatePassed);
+}
+
+#[test]
+fn repeat_invocations_hit_the_caches() {
+    let (machine, sub, target, analysis) = setup(OFFSET_SRC, "l1");
+    let run = || {
+        let mut frame = offset_frame(256, 256);
+        run_loop_with_opts(
+            &machine,
+            &sub,
+            &target,
+            &analysis,
+            &mut frame,
+            2,
+            Backend::Bytecode,
+            PredBackend::Compiled,
+        )
+        .expect("runs")
+    };
+    let first = run();
+    let engine = machine_cache(&machine);
+    let stats_after_first = engine.pred().stats();
+    let second = run();
+    let stats_after_second = engine.pred().stats();
+    assert_eq!(first.outcome, second.outcome);
+    assert_eq!(first.test_units, second.test_units);
+    assert_eq!(
+        stats_after_first.compiles, stats_after_second.compiles,
+        "second invocation must not recompile predicates"
+    );
+    assert!(
+        stats_after_second.memo_hits > stats_after_first.memo_hits,
+        "unchanged inputs must memo-hit"
+    );
+    assert_eq!(stats_after_second.evals, stats_after_first.evals);
+}

@@ -9,8 +9,8 @@
 use lip_analysis::{analyze_loop, baseline_parallel, AnalysisConfig, LoopClass};
 use lip_ir::{Stmt, StoreCtx};
 use lip_runtime::civ::compute_civ_traces_with;
-use lip_runtime::sim::{makespan, per_iteration_costs_with};
-use lip_runtime::Backend;
+use lip_runtime::sim::{charged_test_units, makespan, per_iteration_costs_with};
+use lip_runtime::{machine_cache, store_fingerprint, Backend, PredBackend};
 use lip_symbolic::sym;
 
 use crate::bench_def::BenchDef;
@@ -56,19 +56,13 @@ impl LoopMeasurement {
         self.per_iter.iter().sum()
     }
 
-    /// Simulated parallel units on `procs` processors (including the
-    /// parallelized runtime test and spawn overhead).
-    /// Test units charged on the critical path: O(1) tests run inline;
-    /// large (O(N)) tests are and/or-reduced across processors with one
-    /// extra spawn (paper §5).
+    /// Test units charged on the critical path — delegates to the
+    /// charging rule the simulator shares with the `lip_pred` engine's
+    /// fork decision ([`charged_test_units`]): O(1) tests run inline,
+    /// large (O(N)) tests are and/or-reduced across processors with
+    /// one extra spawn (paper §5).
     pub fn charged_test_units(&self, procs: usize, spawn: u64) -> u64 {
-        if self.test_units == 0 {
-            0
-        } else if self.test_units <= 4 * spawn {
-            self.test_units
-        } else {
-            self.test_units / procs as u64 + spawn
-        }
+        charged_test_units(self.test_units, procs, spawn)
     }
 
     /// Simulated parallel units on `procs` processors (including the
@@ -91,9 +85,15 @@ pub fn measure_loop(
     expected: &'static str,
 ) -> LoopMeasurement {
     // Kernel iterations (CIV slices + the measurement pass) execute on
-    // the backend `LIP_BACKEND` selects; work units are identical
-    // either way, only wall-clock differs.
+    // the backend `LIP_BACKEND` selects, and cascade predicates on the
+    // engine `LIP_PRED` selects; work units and verdicts are identical
+    // either way, only wall-clock differs — Tables 1–3 are
+    // bit-identical across all four combinations.
     let backend = Backend::from_env();
+    let pred_backend = PredBackend::from_env();
+    let nthreads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut p = shape.prepared(size);
     let prog = p.machine.program().clone();
     let sub = prog.subroutine(sym(p.sub)).expect("subroutine").clone();
@@ -125,14 +125,23 @@ pub fn measure_loop(
         LoopClass::StaticSequential => false,
         LoopClass::Predicated { .. } => {
             let ctx = StoreCtx(&p.frame);
-            let mut passed = false;
-            for stage in &analysis.cascade.stages {
-                test_units += stage.pred.eval_cost(&ctx);
-                if stage.pred.eval(&ctx, 100_000_000) == Some(true) {
-                    passed = true;
-                    break;
-                }
-            }
+            let frame = &p.frame;
+            let (hit, units) = machine_cache(&p.machine).pred().first_success(
+                &analysis.cascade,
+                &ctx,
+                100_000_000,
+                pred_backend,
+                nthreads,
+                &mut |prog| {
+                    Some(store_fingerprint(
+                        frame,
+                        prog.scalar_syms(),
+                        prog.array_syms(),
+                    ))
+                },
+            );
+            test_units += units;
+            let mut passed = hit.is_some();
             if !passed {
                 // The paper's last resort: exact (hoisted) USR
                 // evaluation, then TLS (§5). Cost ≈ the touched

@@ -14,6 +14,16 @@ pub trait EvalCtx {
     fn scalar(&self, s: Sym) -> Option<i64>;
     /// The value of `arr(idx)`, if bound and in range.
     fn elem(&self, arr: Sym, idx: i64) -> Option<i64>;
+    /// Optional bulk fast path: a reader for `arr` with the binding
+    /// resolved once, agreeing with [`EvalCtx::elem`] on every index.
+    /// Hot evaluators (the compiled predicate engine) resolve each
+    /// array a single time per evaluation instead of paying a name
+    /// lookup per element access. `None` (the default) means "use
+    /// [`EvalCtx::elem`]".
+    fn elem_reader<'a>(&'a self, arr: Sym) -> Option<Box<dyn Fn(i64) -> Option<i64> + Sync + 'a>> {
+        let _ = arr;
+        None
+    }
 }
 
 /// A simple map-backed evaluation context.
@@ -74,6 +84,17 @@ impl EvalCtx for MapCtx {
         }
         data.get(usize::try_from(off).ok()?).copied()
     }
+
+    fn elem_reader<'a>(&'a self, arr: Sym) -> Option<Box<dyn Fn(i64) -> Option<i64> + Sync + 'a>> {
+        let (lo, data) = self.arrays.get(&arr)?;
+        Some(Box::new(move |idx| {
+            let off = idx.checked_sub(*lo)?;
+            if off < 0 {
+                return None;
+            }
+            data.get(usize::try_from(off).ok()?).copied()
+        }))
+    }
 }
 
 /// A context layering one scalar binding over a parent context.
@@ -104,6 +125,10 @@ impl EvalCtx for ScopedCtx<'_> {
 
     fn elem(&self, arr: Sym, idx: i64) -> Option<i64> {
         self.parent.elem(arr, idx)
+    }
+
+    fn elem_reader<'a>(&'a self, arr: Sym) -> Option<Box<dyn Fn(i64) -> Option<i64> + Sync + 'a>> {
+        self.parent.elem_reader(arr)
     }
 }
 

@@ -15,7 +15,10 @@
 //! multi-value operands (subscripts, intrinsic arguments) land in
 //! consecutive registers by construction.
 
-use lip_ir::{DimDecl, Expr, LValue, Program, RunError, Stmt, Subroutine};
+use lip_ir::{
+    apply_bin, apply_intrinsic, apply_un, DimDecl, Expr, LValue, Program, RunError, Stmt,
+    Subroutine, Value,
+};
 use lip_symbolic::Sym;
 
 use crate::chunk::{
@@ -44,6 +47,29 @@ fn index_cost(idx: &[Expr]) -> u64 {
 
 fn charge_amount(units: u64) -> u32 {
     u32::try_from(units).unwrap_or(u32::MAX)
+}
+
+/// Evaluates a variable-free expression at compile time with the
+/// interpreter's exact value semantics (`apply_bin` et al., so integer
+/// wrapping, division-by-zero-is-zero and `Pow` clamping are bit-for-
+/// bit). Returns `None` as soon as a variable or array element is
+/// involved. This is the constant-folding slice of the peephole pass:
+/// subscript arithmetic like `A(2*k+1)` with literal `k` collapses to
+/// a single `Const`, shrinking the dispatch stream without touching
+/// the statically-charged work units (costs are computed from the
+/// unfolded AST).
+fn try_const(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Int(v) => Some(Value::Int(*v)),
+        Expr::Real(v) => Some(Value::Real(*v)),
+        Expr::Var(_) | Expr::Elem(_, _) => None,
+        Expr::Un(op, a) => Some(apply_un(*op, try_const(a)?)),
+        Expr::Bin(op, a, b) => Some(apply_bin(*op, try_const(a)?, try_const(b)?)),
+        Expr::Intrin(intr, args) => {
+            let vals = args.iter().map(try_const).collect::<Option<Vec<Value>>>()?;
+            Some(apply_intrinsic(*intr, &vals))
+        }
+    }
 }
 
 /// Compiles every subroutine of `prog`.
@@ -262,19 +288,16 @@ impl<'p> ChunkBuilder<'p> {
     /// the stack top. Emits no `Charge` — statement compilation
     /// accounts the cost up front.
     fn compile_expr(&mut self, e: &Expr) -> Result<Reg, CompileError> {
+        // Peephole: any variable-free subtree (typically subscript
+        // arithmetic) folds to one `Const` at compile time.
+        if let Some(v) = try_const(e) {
+            let k = self.const_slot(v)?;
+            let dst = self.push_reg();
+            self.emit(Op::Const { dst, k });
+            return Ok(dst);
+        }
         match e {
-            Expr::Int(v) => {
-                let k = self.const_slot(lip_ir::Value::Int(*v))?;
-                let dst = self.push_reg();
-                self.emit(Op::Const { dst, k });
-                Ok(dst)
-            }
-            Expr::Real(v) => {
-                let k = self.const_slot(lip_ir::Value::Real(*v))?;
-                let dst = self.push_reg();
-                self.emit(Op::Const { dst, k });
-                Ok(dst)
-            }
+            Expr::Int(_) | Expr::Real(_) => unreachable!("literals fold above"),
             Expr::Var(s) => {
                 let slot = self.scalar_slot(*s)?;
                 let dst = self.push_reg();
@@ -592,5 +615,82 @@ impl<'p> ChunkBuilder<'p> {
             DimDecl::Assumed => DimCode::Assumed,
             DimDecl::Fixed(e) => DimCode::Fixed(self.expr_code(e)?),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Op;
+    use lip_ir::{parse_program, Machine, Store};
+    use lip_symbolic::sym;
+
+    /// Constant subscript arithmetic folds to `Const` loads: the chunk
+    /// shrinks (no arithmetic ops remain for the folded subtrees) and
+    /// outputs/costs stay identical to the tree-walk interpreter.
+    #[test]
+    fn constant_folding_shrinks_and_stays_differential_clean() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(16)
+  A(2 * 3 + 1) = 1.5 * 4.0
+  A(MIN(9, 12)) = ABS(0.0 - 2.0)
+END
+";
+        let prog = parse_program(src).expect("parses");
+        let compiled = compile_program(&prog).expect("compiles");
+        let chunk = &compiled.subs[0].chunk;
+        let arith = chunk
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Bin { .. } | Op::Un { .. } | Op::Intrin { .. }))
+            .count();
+        assert_eq!(arith, 0, "constant arithmetic must fold: {:?}", chunk.ops);
+        // 2 statements × (one folded subscript + one folded rhs).
+        let consts = chunk
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Const { .. }))
+            .count();
+        assert_eq!(consts, 4, "one Const per folded subtree: {:?}", chunk.ops);
+
+        // Differential: same outputs, same work units as the interpreter.
+        let machine = Machine::new(prog);
+        let mut is = Store::new();
+        let interp_cost = machine.run(&mut is).expect("interp");
+        let mut vs = Store::new();
+        let vm_cost = crate::vm::Vm::new(&compiled).run(&mut vs).expect("vm");
+        assert_eq!(interp_cost, vm_cost, "folding must not change charges");
+        let (ia, va) = (
+            is.array(sym("A")).expect("A"),
+            vs.array(sym("A")).expect("A"),
+        );
+        for i in 0..16 {
+            assert_eq!(ia.get_f64(i), va.get_f64(i), "element {i}");
+        }
+        assert_eq!(va.get_f64(6), 6.0);
+        assert_eq!(va.get_f64(8), 2.0);
+    }
+
+    /// Folding respects the interpreter's exact semantics on the
+    /// divide-by-zero and `Pow` edge cases.
+    #[test]
+    fn constant_folding_keeps_interpreter_edge_semantics() {
+        let src = "
+SUBROUTINE main()
+  INTEGER d, p
+  d = 7 / 0
+  p = 2 ** 70
+END
+";
+        let prog = parse_program(src).expect("parses");
+        let compiled = compile_program(&prog).expect("compiles");
+        let machine = Machine::new(prog);
+        let mut is = Store::new();
+        machine.run(&mut is).expect("interp");
+        let mut vs = Store::new();
+        crate::vm::Vm::new(&compiled).run(&mut vs).expect("vm");
+        assert_eq!(is.scalar(sym("d")), vs.scalar(sym("d")));
+        assert_eq!(is.scalar(sym("p")), vs.scalar(sym("p")));
     }
 }

@@ -14,6 +14,7 @@
 //! * [`core`] — PDAG predicates and the factorization algorithm,
 //! * [`ir`] — the mini-Fortran frontend (parser, IR, interpreter),
 //! * [`vm`] — the register bytecode compiler + dispatch-loop VM,
+//! * [`pred`] — the compiled, parallel runtime predicate engine,
 //! * [`analysis`] — summary construction and loop classification,
 //! * [`runtime`] — parallel executor, runtime tests, cost-model simulator,
 //! * [`suite`] — the PERFECT-CLUB / SPEC benchmark kernels.
@@ -24,6 +25,7 @@ pub use lip_analysis as analysis;
 pub use lip_core as core;
 pub use lip_ir as ir;
 pub use lip_lmad as lmad;
+pub use lip_pred as pred;
 pub use lip_runtime as runtime;
 pub use lip_suite as suite;
 pub use lip_symbolic as symbolic;

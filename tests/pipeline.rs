@@ -203,7 +203,8 @@ fn lrpd_fallback_commits_on_benign_data() {
     match stats.outcome {
         ExecOutcome::Speculated(_)
         | ExecOutcome::Sequential
-        | ExecOutcome::PredicatePassed { .. } => {}
+        | ExecOutcome::PredicatePassed { .. }
+        | ExecOutcome::ExactPredicatePassed => {}
         other => panic!("unexpected outcome {other:?}"),
     }
 }

@@ -85,11 +85,18 @@ proptest! {
 
     /// The factorized OIND predicate over an index-array window is
     /// sound: when it passes on concrete data, the exact USR is empty.
+    /// Three-way differential: every cascade stage built from the
+    /// factored predicate must evaluate identically under tree-walk
+    /// and the compiled parallel engine, and any passing stage must be
+    /// confirmed by the exact `eval_usr` reference.
     #[test]
     fn factored_oind_sound(
         bases in proptest::collection::vec(0i64..60, 2..10),
         width in 1i64..5,
     ) {
+        use lip::pred::{compile_pred, eval_compiled, EvalParams};
+        use lip::symbolic::RangeEnv;
+
         let n = bases.len() as i64;
         let wf = Usr::leaf(LmadSet::single(Lmad::interval(
             SymExpr::elem(sym("Bp"), SymExpr::var(sym("ip"))),
@@ -101,12 +108,26 @@ proptest! {
         let mut ctx = MapCtx::new();
         ctx.set_scalar(sym("Np"), n).set_scalar(sym("L"), width);
         ctx.set_array(sym("Bp"), 1, bases.clone());
+        let exact = eval_usr(&oind, &ctx, 1_000_000).unwrap();
         if pred.eval(&ctx, 1_000_000) == Some(true) {
-            let exact = eval_usr(&oind, &ctx, 1_000_000).unwrap();
             prop_assert!(
                 exact.is_empty(),
                 "predicate passed but overlaps exist: bases {bases:?} width {width}"
             );
+        }
+        let cascade = lip::core::build_cascade(&pred, &RangeEnv::new());
+        for stage in &cascade.stages {
+            let tree = stage.pred.eval(&ctx, 1_000_000);
+            let prog = compile_pred(&stage.pred).expect("compiles");
+            let compiled = eval_compiled(&prog, &ctx, 1_000_000,
+                EvalParams { nthreads: 3, par_min: 2 });
+            prop_assert_eq!(tree, compiled, "stage diverged: {}", &stage.pred);
+            if compiled == Some(true) {
+                prop_assert!(
+                    exact.is_empty(),
+                    "compiled stage passed but overlaps exist: bases {bases:?}"
+                );
+            }
         }
     }
 
