@@ -1,9 +1,11 @@
 //! Emits `BENCH_vm.json`: wall-clock and work-unit figures for the hot
-//! suite kernels under both execution backends, plus per-kernel
+//! suite kernels under both execution backends, per-kernel
 //! predicate-evaluation timings for the O(N) cascade stages (tree-walk
 //! `Pdag::eval` vs the compiled `lip_pred` engine, sequential and
-//! chunk-parallel), so the perf trajectory stays machine-readable
-//! across PRs.
+//! chunk-parallel), and cold-vs-warm `Session` timings (cache reuse
+//! across `run_many`), so the perf trajectory stays machine-readable
+//! across PRs. Backends are pinned by building sessions — nothing here
+//! reads or mutates the `LIP_*` environment.
 //!
 //! ```sh
 //! cargo run --release -p lip_bench --bin bench_vm   # writes ./BENCH_vm.json
@@ -16,6 +18,7 @@ use std::time::{Duration, Instant};
 use lip_analysis::{analyze_loop, AnalysisConfig};
 use lip_ir::{ExecState, StoreCtx};
 use lip_pred::{compile_pred, eval_compiled, EvalParams};
+use lip_runtime::{Backend, LoopJob, PredBackend, Session};
 use lip_suite::KernelShape;
 use lip_symbolic::sym;
 
@@ -185,6 +188,62 @@ fn measure_pred(shape: &'static KernelShape, n: usize) -> Vec<PredRow> {
     ]
 }
 
+struct ReuseRow {
+    kernel: &'static str,
+    cold_ns: f64,
+    warm_ns: f64,
+    cold_over_warm: f64,
+}
+
+/// A session pinned to the fast pair of seams.
+fn fast_session() -> Session {
+    Session::builder()
+        .backend(Backend::Bytecode)
+        .pred(PredBackend::Compiled)
+        .build()
+}
+
+/// Times one kernel through `Session::run_many` twice over: **cold**
+/// (a fresh session per sample — every run pays program compilation,
+/// block lowering and predicate compilation) vs **warm** (one
+/// persistent session — runs hit the compiled-program cache and the
+/// predicate verdict memo). The gap is the caching win a long-lived
+/// service keeps by holding one session across requests.
+fn measure_session_reuse(shape: &'static KernelShape, n: usize) -> ReuseRow {
+    let p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+    let analysis = fast_session()
+        .analyze(&prog, sub.name, p.label)
+        .expect("analysis");
+
+    let run_once = |session: &Session| {
+        let mut frame = p.frame.clone();
+        let stats = session
+            .run_many([LoopJob {
+                machine: &p.machine,
+                sub: &sub,
+                target: &target,
+                analysis: &analysis,
+                frame: &mut frame,
+            }])
+            .expect("runs");
+        stats[0].loop_units
+    };
+
+    let (cold_ns, _) = time_ns(|| run_once(&fast_session()));
+    let warm = fast_session();
+    run_once(&warm); // populate the caches once
+    let (warm_ns, _) = time_ns(|| run_once(&warm));
+    ReuseRow {
+        kernel: shape.name,
+        cold_ns,
+        warm_ns,
+        cold_over_warm: cold_ns / warm_ns,
+    }
+}
+
 fn main() {
     let mut rows = Vec::new();
     for (shape, n) in lip_bench::vm_hot_kernels() {
@@ -216,6 +275,16 @@ fn main() {
         pred_rows.extend(kernel_rows);
     }
 
+    let mut reuse_rows = Vec::new();
+    for (shape, n) in lip_bench::vm_hot_kernels() {
+        let r = measure_session_reuse(shape, n);
+        println!(
+            "{:<18} session cold {:>12.0} ns  warm {:>12.0} ns  reuse win {:>5.2}x",
+            r.kernel, r.cold_ns, r.warm_ns, r.cold_over_warm
+        );
+        reuse_rows.push(r);
+    }
+
     let mut json = String::from("{\n  \"bench\": \"vm_dispatch\",\n  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -243,11 +312,24 @@ fn main() {
             if i + 1 == pred_rows.len() { "" } else { "," }
         );
     }
+    json.push_str("  ],\n  \"session_reuse\": [\n");
+    for (i, r) in reuse_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"cold_wall_ns\": {:.1}, \"warm_wall_ns\": {:.1}, \"cold_over_warm\": {:.3}}}{}",
+            r.kernel,
+            r.cold_ns,
+            r.warm_ns,
+            r.cold_over_warm,
+            if i + 1 == reuse_rows.len() { "" } else { "," }
+        );
+    }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
     println!(
-        "wrote BENCH_vm.json ({} vm rows, {} pred rows)",
+        "wrote BENCH_vm.json ({} vm rows, {} pred rows, {} session-reuse rows)",
         rows.len(),
-        pred_rows.len()
+        pred_rows.len(),
+        reuse_rows.len()
     );
 }

@@ -1,7 +1,9 @@
 //! Regenerates Figure 10: normalized parallel timing, PERFECT-CLUB,
 //! 4 processors, factorization vs the Intel-style static baseline.
 fn main() {
+    let session = lip_bench::harness_session();
     lip_bench::print_figure(
+        &session,
         "Figure 10: PERFECT-CLUB normalized parallel timing",
         lip_suite::PERFECT_CLUB,
         4,
@@ -9,6 +11,6 @@ fn main() {
     );
     println!(
         "average speedup: {:.2}x",
-        lip_bench::average_speedup(lip_suite::PERFECT_CLUB, 4)
+        lip_bench::average_speedup(&session, lip_suite::PERFECT_CLUB, 4)
     );
 }

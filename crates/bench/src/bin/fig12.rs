@@ -1,7 +1,9 @@
 //! Regenerates Figure 12: normalized parallel timing, SPEC2000/2006,
 //! 8 processors, factorization vs the XLF-style static baseline.
 fn main() {
+    let session = lip_bench::harness_session();
     lip_bench::print_figure(
+        &session,
         "Figure 12: SPEC2000/2006 normalized parallel timing",
         lip_suite::SPEC2006,
         8,
@@ -9,6 +11,6 @@ fn main() {
     );
     println!(
         "average speedup: {:.2}x",
-        lip_bench::average_speedup(lip_suite::SPEC2006, 8)
+        lip_bench::average_speedup(&session, lip_suite::SPEC2006, 8)
     );
 }

@@ -1,7 +1,9 @@
 //! Regenerates Figure 13: scalability up to 16 processors,
 //! SPEC2000/2006.
 fn main() {
+    let session = lip_bench::harness_session();
     lip_bench::print_scalability(
+        &session,
         "Figure 13: SPEC2000/2006 scalability",
         lip_suite::SPEC2006,
         &[1, 2, 4, 8, 16],

@@ -1,4 +1,9 @@
 //! Regenerates Table 1: properties of the PERFECT-CLUB suite.
 fn main() {
-    lip_bench::print_table("Table 1: PERFECT-CLUB suite", lip_suite::PERFECT_CLUB);
+    let session = lip_bench::harness_session();
+    lip_bench::print_table(
+        &session,
+        "Table 1: PERFECT-CLUB suite",
+        lip_suite::PERFECT_CLUB,
+    );
 }

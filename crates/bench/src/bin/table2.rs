@@ -1,4 +1,5 @@
 //! Regenerates Table 2: properties of the SPEC89/92 suites.
 fn main() {
-    lip_bench::print_table("Table 2: SPEC89/92 suites", lip_suite::SPEC92);
+    let session = lip_bench::harness_session();
+    lip_bench::print_table(&session, "Table 2: SPEC89/92 suites", lip_suite::SPEC92);
 }

@@ -1,4 +1,9 @@
 //! Regenerates Table 3: properties of the SPEC2000/2006 suites.
 fn main() {
-    lip_bench::print_table("Table 3: SPEC2000/2006 suites", lip_suite::SPEC2006);
+    let session = lip_bench::harness_session();
+    lip_bench::print_table(
+        &session,
+        "Table 3: SPEC2000/2006 suites",
+        lip_suite::SPEC2006,
+    );
 }

@@ -5,10 +5,25 @@
 //! tables; `fig10`–`fig12` the normalized parallel timings against the
 //! static-affine baseline; `fig13` the 1–16 processor scalability.
 
+use lip_runtime::Session;
 use lip_suite::{measure_benchmark, BenchDef, KernelShape};
 
 /// Spawn overhead (work units) used across all harnesses.
 pub const SPAWN: u64 = 3_000;
+
+/// The session every table/figure binary runs through: configured
+/// from the `LIP_*` environment (read once, strictly, in
+/// `SessionConfig::from_env`) — invalid values abort with a clear
+/// message instead of silently falling back.
+pub fn harness_session() -> Session {
+    match Session::from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid LIP_* environment: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// The hot suite kernels (and their problem sizes) used by the
 /// interp-vs-VM dispatch measurements (`benches/vm_dispatch.rs` and
@@ -42,14 +57,14 @@ pub fn pred_kernels() -> Vec<(&'static KernelShape, usize)> {
 }
 
 /// Renders one paper-style table for a suite.
-pub fn print_table(title: &str, defs: &[BenchDef]) {
+pub fn print_table(session: &Session, title: &str, defs: &[BenchDef]) {
     println!("== {title} ==");
     println!(
         "{:<11} {:>5} {:>6} {:>7} | {:<18} {:>7} {:>9} {:<26} {:<26}",
         "BENCH", "SC%", "SCrt%", "RTov%", "LOOP", "LSC%", "GRAIN", "CLASSIFIED", "PAPER"
     );
     for def in defs {
-        let t = measure_benchmark(def);
+        let t = measure_benchmark(session, def);
         let rtov = (t.rt_overhead(4, SPAWN) * 100.0).max(0.0);
         let scrt = (t.sc_rt() * 100.0).max(0.0);
         let mut first = true;
@@ -113,7 +128,13 @@ fn render_class(l: &lip_suite::LoopMeasurement) -> String {
 
 /// Renders a Figure 10/11/12-style comparison (normalized parallel
 /// time; sequential = 1.0).
-pub fn print_figure(title: &str, defs: &[BenchDef], procs: usize, baseline_name: &str) {
+pub fn print_figure(
+    session: &Session,
+    title: &str,
+    defs: &[BenchDef],
+    procs: usize,
+    baseline_name: &str,
+) {
     println!("== {title} (P = {procs}; sequential time = 1.0) ==");
     println!(
         "{:<11} {:>14} {:>14} {:>9}",
@@ -123,7 +144,7 @@ pub fn print_figure(title: &str, defs: &[BenchDef], procs: usize, baseline_name:
         if def.name == "gamess" {
             continue; // not measured in the paper's figures
         }
-        let t = measure_benchmark(def);
+        let t = measure_benchmark(session, def);
         let seq = t.seq_units() as f64;
         let ours = t.par_units(procs, SPAWN) as f64 / seq;
         let base = t.baseline_units(procs, SPAWN) as f64 / seq;
@@ -138,7 +159,7 @@ pub fn print_figure(title: &str, defs: &[BenchDef], procs: usize, baseline_name:
 }
 
 /// Renders the Figure 13-style scalability sweep.
-pub fn print_scalability(title: &str, defs: &[BenchDef], procs: &[usize]) {
+pub fn print_scalability(session: &Session, title: &str, defs: &[BenchDef], procs: &[usize]) {
     println!("== {title} (speedup over sequential) ==");
     print!("{:<11}", "BENCH");
     for p in procs {
@@ -149,7 +170,7 @@ pub fn print_scalability(title: &str, defs: &[BenchDef], procs: &[usize]) {
         if def.name == "gamess" {
             continue;
         }
-        let t = measure_benchmark(def);
+        let t = measure_benchmark(session, def);
         let seq = t.seq_units() as f64;
         print!("{:<11}", def.name);
         for p in procs {
@@ -162,14 +183,14 @@ pub fn print_scalability(title: &str, defs: &[BenchDef], procs: &[usize]) {
 
 /// Average speedup across a suite at `procs` (the abstract's 2.4x/5.4x
 /// style aggregate).
-pub fn average_speedup(defs: &[BenchDef], procs: usize) -> f64 {
+pub fn average_speedup(session: &Session, defs: &[BenchDef], procs: usize) -> f64 {
     let mut sum = 0.0;
     let mut n = 0.0;
     for def in defs {
         if def.name == "gamess" {
             continue;
         }
-        let t = measure_benchmark(def);
+        let t = measure_benchmark(session, def);
         sum += t.seq_units() as f64 / t.par_units(procs, SPAWN) as f64;
         n += 1.0;
     }

@@ -40,18 +40,29 @@ pub enum PredBackend {
 }
 
 impl PredBackend {
-    /// Reads `LIP_PRED` (`compiled`, case-insensitive, for the engine;
-    /// anything else tree-walks).
-    pub fn from_env() -> PredBackend {
-        match std::env::var("LIP_PRED") {
-            Ok(v) if v.eq_ignore_ascii_case("compiled") => PredBackend::Compiled,
-            _ => PredBackend::Tree,
-        }
-    }
-
     /// Whether this is the compiled engine.
     pub fn is_compiled(self) -> bool {
         self == PredBackend::Compiled
+    }
+}
+
+/// Strict parsing for configuration seams (`LIP_PRED` is read in
+/// exactly one place — `lip_runtime`'s `SessionConfig::from_env` —
+/// and a typo like `compild` is an error there, never a silent
+/// fallback to the default engine).
+impl std::str::FromStr for PredBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PredBackend, String> {
+        if s.eq_ignore_ascii_case("tree") || s.eq_ignore_ascii_case("treewalk") {
+            Ok(PredBackend::Tree)
+        } else if s.eq_ignore_ascii_case("compiled") {
+            Ok(PredBackend::Compiled)
+        } else {
+            Err(format!(
+                "unknown predicate backend `{s}` (expected `tree`/`treewalk` or `compiled`)"
+            ))
+        }
     }
 }
 
@@ -92,6 +103,12 @@ struct Counters {
 /// flip, cheap and hit-path-free.
 const RESULT_MEMO_CAP: usize = 4096;
 
+/// Default trip-count threshold past which quantified O(N) stages fork
+/// across the pool (a `Session` overrides it via
+/// [`PredEngine::with_par_min`]; `LIP_PRED_PAR_MIN` feeds it through
+/// `SessionConfig::from_env`, the single environment seam).
+pub const DEFAULT_PAR_MIN: i64 = 1024;
+
 /// The per-machine predicate engine.
 pub struct PredEngine {
     /// Compiled programs keyed by the predicate's canonical rendering
@@ -112,13 +129,11 @@ impl Default for PredEngine {
 
 impl PredEngine {
     /// An engine with the default parallelization threshold
-    /// (`LIP_PRED_PAR_MIN`, default 1024 iterations).
+    /// ([`DEFAULT_PAR_MIN`]). The threshold is *injected* — the engine
+    /// never reads the environment; sessions pass their configured
+    /// `par_min` through [`PredEngine::with_par_min`].
     pub fn new() -> PredEngine {
-        let par_min = std::env::var("LIP_PRED_PAR_MIN")
-            .ok()
-            .and_then(|v| v.parse::<i64>().ok())
-            .unwrap_or(1024);
-        PredEngine::with_par_min(par_min)
+        PredEngine::with_par_min(DEFAULT_PAR_MIN)
     }
 
     /// An engine parallelizing quantifiers of at least `par_min`
@@ -259,5 +274,31 @@ impl PredEngine {
             memo.insert(key, verdict);
         }
         verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_backend_parses_strictly() {
+        assert_eq!("tree".parse::<PredBackend>(), Ok(PredBackend::Tree));
+        assert_eq!("TREEWALK".parse::<PredBackend>(), Ok(PredBackend::Tree));
+        assert_eq!("Compiled".parse::<PredBackend>(), Ok(PredBackend::Compiled));
+        // A typo must be an error, not a silent fallback to tree-walk.
+        let err = "compild".parse::<PredBackend>().unwrap_err();
+        assert!(err.contains("compild"), "{err}");
+        assert!("".parse::<PredBackend>().is_err());
+    }
+
+    #[test]
+    fn default_engine_uses_the_injected_default_threshold() {
+        // `new` must be pure configuration (no environment read): the
+        // same engine as an explicit `with_par_min(DEFAULT_PAR_MIN)`.
+        let a = PredEngine::new();
+        let b = PredEngine::with_par_min(DEFAULT_PAR_MIN);
+        assert_eq!(a.par_min, b.par_min);
+        assert_eq!(a.par_min, DEFAULT_PAR_MIN);
     }
 }

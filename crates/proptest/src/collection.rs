@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Acceptable length specifications for [`vec`], mirroring proptest's
+/// Acceptable length specifications for [`vec()`], mirroring proptest's
 /// `Into<SizeRange>` bound for the common literal shapes.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -47,7 +47,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

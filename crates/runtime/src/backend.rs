@@ -9,17 +9,18 @@
 //! streams and work-unit counts are identical; only wall-clock speed
 //! differs.
 //!
-//! Selection is explicit (the `*_with` executor entry points) or via
-//! the `LIP_BACKEND` environment variable (`bytecode`/`vm` picks the
-//! VM; anything else tree-walks). Programs the bytecode compiler
-//! cannot handle fall back to tree-walk interpretation transparently.
+//! Selection is per-[`crate::Session`]: the builder field
+//! `Session::builder().backend(..)`, or the `LIP_BACKEND` environment
+//! variable read in exactly one place (`SessionConfig::from_env`,
+//! strict parsing). Programs the bytecode compiler cannot handle fall
+//! back to tree-walk interpretation transparently.
 //!
 //! Runtime *predicate* evaluation has its own seam on the same model:
-//! [`PredBackend`] (`LIP_PRED=compiled` for the `lip_pred` engine,
-//! tree-walking `Pdag::eval` as the default reference), threaded
-//! through the cascade evaluation in `exec` and the suite harness.
-//! Verdicts and charged work units are identical on both; only
-//! wall-clock differs.
+//! [`PredBackend`] (`.pred(PredBackend::Compiled)` for the `lip_pred`
+//! engine, tree-walking `Pdag::eval` as the default reference),
+//! threaded through the cascade evaluation in `exec` and the suite
+//! harness. Verdicts and charged work units are identical on both;
+//! only wall-clock differs.
 
 use std::sync::Arc;
 
@@ -27,7 +28,7 @@ use lip_ir::{AccessTracer, ExecState, Expr, Machine, RunError, Stmt, Store, Subr
 use lip_symbolic::Sym;
 use lip_vm::{Frame, Vm};
 
-use crate::cache::{machine_cache, CachedBody};
+use crate::cache::{CachedBody, MachineCache};
 
 pub use lip_pred::PredBackend;
 
@@ -42,20 +43,29 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Reads `LIP_BACKEND` (`bytecode` or `vm`, case-insensitive, for
-    /// the VM; default tree-walk).
-    pub fn from_env() -> Backend {
-        match std::env::var("LIP_BACKEND") {
-            Ok(v) if v.eq_ignore_ascii_case("bytecode") || v.eq_ignore_ascii_case("vm") => {
-                Backend::Bytecode
-            }
-            _ => Backend::TreeWalk,
-        }
-    }
-
     /// Whether this is the bytecode VM.
     pub fn is_bytecode(self) -> bool {
         self == Backend::Bytecode
+    }
+}
+
+/// Strict parsing for configuration seams (`LIP_BACKEND` is read in
+/// exactly one place — [`crate::SessionConfig::from_env`] — and a typo
+/// like `bytecoed` is an error there, never a silent fallback to the
+/// tree-walk default).
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        if s.eq_ignore_ascii_case("tree") || s.eq_ignore_ascii_case("treewalk") {
+            Ok(Backend::TreeWalk)
+        } else if s.eq_ignore_ascii_case("bytecode") || s.eq_ignore_ascii_case("vm") {
+            Ok(Backend::Bytecode)
+        } else {
+            Err(format!(
+                "unknown backend `{s}` (expected `tree`/`treewalk` or `bytecode`/`vm`)"
+            ))
+        }
     }
 }
 
@@ -68,11 +78,27 @@ impl std::fmt::Display for Backend {
     }
 }
 
+/// Everything one executor entry point needs beyond the loop itself:
+/// the session's per-machine compile cache plus the configured seams.
+/// Built by [`crate::Session`] per call and threaded through the
+/// internal drivers, replacing what used to be a trailing
+/// `(nthreads, backend, pred)` argument sprawl.
+pub(crate) struct ExecEnv<'a> {
+    /// The session's compile/predicate cache for the machine at hand.
+    pub cache: &'a MachineCache,
+    /// Which engine runs loop iterations.
+    pub backend: Backend,
+    /// Which engine evaluates runtime predicates.
+    pub pred: PredBackend,
+    /// Fork-join pool width.
+    pub nthreads: usize,
+}
+
 /// A loop body (or statement block) compiled for VM execution: the
 /// whole program (for CALLs out of the block) plus the block itself.
-/// Backed by the per-machine [`crate::cache::MachineCache`], so a given
-/// block shape compiles once per machine no matter how many times
-/// `run_loop_with`, CIV slicing or LRPD construct it.
+/// Backed by the session's per-machine [`crate::cache::MachineCache`],
+/// so a given block shape compiles once per machine no matter how many
+/// times `Session::run_loop`, CIV slicing or LRPD construct it.
 pub(crate) struct CompiledBody {
     body: Arc<CachedBody>,
     pub block: lip_vm::BlockId,
@@ -83,13 +109,14 @@ impl CompiledBody {
     /// plus attached expression fragments; `None` means "fall back to
     /// tree-walk".
     pub fn new(
+        cache: &MachineCache,
         machine: &Machine,
         sub: &Subroutine,
         stmts: &[Stmt],
         exprs: &[&Expr],
         extra: &[Sym],
     ) -> Option<CompiledBody> {
-        let body = machine_cache(machine).body(machine, sub, stmts, exprs, extra)?;
+        let body = cache.body(machine, sub, stmts, exprs, extra)?;
         let block = body.block;
         Some(CompiledBody { body, block })
     }
@@ -119,15 +146,22 @@ pub(crate) fn machine_tracer(machine: &Machine) -> Option<&dyn AccessTracer> {
 /// Executes one statement sequentially under the selected backend
 /// (used for sequential loop fallbacks and LRPD recovery re-runs).
 pub(crate) fn exec_stmt_seq(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
     frame: &mut Store,
     state: &mut ExecState,
-    backend: Backend,
 ) -> Result<(), RunError> {
-    if backend.is_bytecode() {
-        if let Some(cb) = CompiledBody::new(machine, sub, std::slice::from_ref(target), &[], &[]) {
+    if env.backend.is_bytecode() {
+        if let Some(cb) = CompiledBody::new(
+            env.cache,
+            machine,
+            sub,
+            std::slice::from_ref(target),
+            &[],
+            &[],
+        ) {
             let mut f = cb.frame(frame);
             cb.vm(machine)
                 .run_block(cb.block, &mut f, state, machine_tracer(machine))?;
@@ -143,12 +177,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn env_selection() {
-        // Not exercised via set_var (tests run multi-threaded); the
-        // parsing itself is what matters.
+    fn backend_parses_strictly() {
         assert_eq!(Backend::default(), Backend::TreeWalk);
         assert!(Backend::Bytecode.is_bytecode());
         assert_eq!(Backend::Bytecode.to_string(), "bytecode");
+        assert_eq!("treewalk".parse::<Backend>(), Ok(Backend::TreeWalk));
+        assert_eq!("VM".parse::<Backend>(), Ok(Backend::Bytecode));
+        assert_eq!("Bytecode".parse::<Backend>(), Ok(Backend::Bytecode));
+        // A typo must be an error, not a silent tree-walk fallback.
+        let err = "bytecoed".parse::<Backend>().unwrap_err();
+        assert!(err.contains("bytecoed"), "{err}");
+        assert!("".parse::<Backend>().is_err());
     }
 
     #[test]
@@ -177,26 +216,33 @@ END
             }
             s
         };
+        let cache = MachineCache::default();
+        let env_for = |backend| ExecEnv {
+            cache: &cache,
+            backend,
+            pred: PredBackend::Tree,
+            nthreads: 1,
+        };
         let mut tw = mk();
         let mut st_tw = ExecState::default();
         exec_stmt_seq(
+            &env_for(Backend::TreeWalk),
             &machine,
             &sub,
             &target,
             &mut tw,
             &mut st_tw,
-            Backend::TreeWalk,
         )
         .expect("tree-walk");
         let mut bc = mk();
         let mut st_bc = ExecState::default();
         exec_stmt_seq(
+            &env_for(Backend::Bytecode),
             &machine,
             &sub,
             &target,
             &mut bc,
             &mut st_bc,
-            Backend::Bytecode,
         )
         .expect("bytecode");
         assert_eq!(st_tw.cost, st_bc.cost);

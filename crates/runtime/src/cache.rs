@@ -1,25 +1,27 @@
 //! Per-`Machine` compilation and predicate caches.
 //!
-//! One `run_loop_with` call used to compile the whole program up to
-//! three times (`CompiledBody::new` for the CIV slice, the parallel
-//! body and the sequential fallback), and every invocation re-did it
-//! from scratch. [`MachineCache`] fixes both: the `lip_vm` program is
+//! One `run_loop` call used to compile the whole program up to three
+//! times (`CompiledBody::new` for the CIV slice, the parallel body and
+//! the sequential fallback), and every invocation re-did it from
+//! scratch. [`MachineCache`] fixes both: the `lip_vm` program is
 //! compiled once per machine, each distinct statement block is lowered
 //! once and reused across invocations, and the [`PredEngine`] does the
 //! same for cascade predicates (plus verdict memoization keyed on the
 //! loop-invariant inputs).
 //!
-//! Caches are keyed on the identity of the machine's shared `Program`
-//! handle (`Machine::program_handle`): machines cloned from one another
-//! — e.g. tracer-instrumented copies — share one cache, distinct
-//! programs never collide, and entries die with their program (the
-//! registry holds weak handles and prunes on lookup).
+//! Caches are owned by a [`crate::Session`], keyed on the identity of
+//! the machine's shared `Program` handle (`Machine::program_handle`):
+//! machines cloned from one another — e.g. tracer-instrumented copies
+//! — share one cache, distinct programs never collide, and entries die
+//! with their program (the session's registry holds weak handles and
+//! prunes on lookup). Two sessions never share caches, so concurrent
+//! sessions with different configurations cannot observe each other.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use lip_ir::{Expr, Machine, Program, Stmt, Store, Subroutine};
+use lip_ir::{Expr, Machine, Stmt, Store, Subroutine};
 use lip_pred::PredEngine;
 use lip_symbolic::Sym;
 use lip_vm::{BlockId, CompiledProgram};
@@ -34,7 +36,6 @@ pub struct CachedBody {
 }
 
 /// Compilation caches scoped to one program.
-#[derive(Default)]
 pub struct MachineCache {
     /// The machine's subroutines compiled once (`None`: the program
     /// exceeds the bytecode's static limits — remembered so callers
@@ -46,7 +47,25 @@ pub struct MachineCache {
     pred: PredEngine,
 }
 
+impl Default for MachineCache {
+    fn default() -> MachineCache {
+        MachineCache::with_par_min(lip_pred::engine::DEFAULT_PAR_MIN)
+    }
+}
+
 impl MachineCache {
+    /// A cache whose predicate engine parallelizes quantifiers of at
+    /// least `par_min` iterations (the owning session injects its
+    /// configured threshold here — the engine never reads the
+    /// environment).
+    pub fn with_par_min(par_min: i64) -> MachineCache {
+        MachineCache {
+            base: OnceLock::new(),
+            blocks: Mutex::new(HashMap::new()),
+            pred: PredEngine::with_par_min(par_min),
+        }
+    }
+
     /// The predicate engine for this machine.
     pub fn pred(&self) -> &PredEngine {
         &self.pred
@@ -102,27 +121,6 @@ impl MachineCache {
     }
 }
 
-/// The cache registry: weak program handles so caches die with their
-/// programs.
-static REGISTRY: Mutex<Vec<(Weak<Program>, Arc<MachineCache>)>> = Mutex::new(Vec::new());
-
-/// The compilation cache for `machine`'s program, created on first use.
-pub fn machine_cache(machine: &Machine) -> Arc<MachineCache> {
-    let handle = machine.program_handle();
-    let mut reg = REGISTRY.lock().expect("registry lock");
-    reg.retain(|(w, _)| w.strong_count() > 0);
-    for (w, cache) in reg.iter() {
-        if let Some(p) = w.upgrade() {
-            if Arc::ptr_eq(&p, &handle) {
-                return cache.clone();
-            }
-        }
-    }
-    let cache = Arc::new(MachineCache::default());
-    reg.push((Arc::downgrade(&handle), cache.clone()));
-    cache
-}
-
 /// Fingerprints the loop-invariant inputs a compiled predicate reads
 /// from `frame`: free scalar values and the contents of the arrays it
 /// indexes, both projected to the `i64` view `StoreCtx` exposes. Equal
@@ -171,24 +169,6 @@ mod tests {
     use lip_symbolic::sym;
 
     #[test]
-    fn clones_share_one_cache_distinct_programs_do_not() {
-        let src = "
-SUBROUTINE t(A, N)
-  DIMENSION A(*)
-  INTEGER i, N
-  DO l1 i = 1, N
-    A(i) = 1.0
-  ENDDO
-END
-";
-        let m1 = Machine::new(parse_program(src).expect("parses"));
-        let m2 = m1.clone();
-        let m3 = Machine::new(parse_program(src).expect("parses"));
-        assert!(Arc::ptr_eq(&machine_cache(&m1), &machine_cache(&m2)));
-        assert!(!Arc::ptr_eq(&machine_cache(&m1), &machine_cache(&m3)));
-    }
-
-    #[test]
     fn blocks_compile_once_per_shape() {
         let src = "
 SUBROUTINE t(A, N)
@@ -202,7 +182,7 @@ END
         let machine = Machine::new(parse_program(src).expect("parses"));
         let sub = machine.program().units[0].clone();
         let target = sub.find_loop("l1").expect("loop").clone();
-        let cache = machine_cache(&machine);
+        let cache = MachineCache::default();
         let b1 = cache
             .body(&machine, &sub, std::slice::from_ref(&target), &[], &[])
             .expect("compiles");

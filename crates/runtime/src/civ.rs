@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 use lip_ir::{ExecState, LValue, Machine, RunError, Stmt, Store, Subroutine, Value};
 use lip_symbolic::Sym;
 
-use crate::backend::{machine_tracer, Backend, CompiledBody};
+use crate::backend::{machine_tracer, CompiledBody, ExecEnv};
 
 /// Extracts the slice of `body` needed to compute `targets` each
 /// iteration: the transitive closure of statements assigning needed
@@ -189,7 +189,8 @@ fn expr_syms(e: &lip_ir::Expr) -> BTreeSet<Sym> {
 /// Runs the CIV slice sequentially and records, for each traced scalar,
 /// its value at the entry of every iteration (plus one final entry for
 /// the post-loop value). Returns the traces (bound into `frame` under
-/// the trace-array names) and the slice's work-unit cost.
+/// the trace-array names) and the slice's work-unit cost. Runs through
+/// the process-global, environment-configured session.
 ///
 /// For a `DO` loop the slice runs `lo..=hi`; for a `DO WHILE` it runs
 /// until the condition fails, additionally binding `<label>@niters`.
@@ -197,6 +198,10 @@ fn expr_syms(e: &lip_ir::Expr) -> BTreeSet<Sym> {
 /// # Errors
 ///
 /// Propagates interpreter failures from the slice execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a configured session and use `Session::civ_traces` instead"
+)]
 pub fn compute_civ_traces(
     machine: &Machine,
     sub: &Subroutine,
@@ -205,39 +210,25 @@ pub fn compute_civ_traces(
     frame: &mut Store,
     niters_sym: Option<Sym>,
 ) -> Result<u64, RunError> {
-    compute_civ_traces_with(
-        machine,
-        sub,
-        target,
-        civs,
-        frame,
-        niters_sym,
-        Backend::TreeWalk,
-    )
+    crate::session::global().civ_traces(machine, sub, target, civs, frame, niters_sym)
 }
 
-/// [`compute_civ_traces`] under an explicit execution backend: with
-/// [`Backend::Bytecode`] the slice runs through the VM (identical
-/// traces and work units, faster wall-clock — the slice is the
-/// dominant runtime-test cost for the `track`-style while loops).
-/// Slice compilation goes through the per-machine cache
-/// ([`crate::cache::MachineCache`]), so re-invoking the same loop
-/// reuses the lowered slice instead of recompiling the program.
-///
-/// # Errors
-///
-/// Propagates interpreter/VM failures from the slice execution.
-pub fn compute_civ_traces_with(
+/// The slice driver behind [`crate::Session::civ_traces`]: on the
+/// bytecode backend the slice runs through the VM (identical traces
+/// and work units, faster wall-clock — the slice is the dominant
+/// runtime-test cost for the `track`-style while loops), compiled once
+/// per machine via the session's [`crate::cache::MachineCache`].
+pub(crate) fn compute_civ_traces_impl(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
     civs: &[(Sym, Sym)],
     frame: &mut Store,
     niters_sym: Option<Sym>,
-    backend: Backend,
 ) -> Result<u64, RunError> {
-    if backend.is_bytecode() {
-        if let Some(r) = civ_traces_vm(machine, sub, target, civs, frame, niters_sym) {
+    if env.backend.is_bytecode() {
+        if let Some(r) = civ_traces_vm(env, machine, sub, target, civs, frame, niters_sym) {
             return r;
         }
     }
@@ -246,6 +237,7 @@ pub fn compute_civ_traces_with(
 
 /// The VM slice driver; `None` means "block didn't compile, fall back".
 fn civ_traces_vm(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
@@ -264,7 +256,7 @@ fn civ_traces_vm(
         } => {
             extra.push(*var);
             let slice = extract_slice(body, &targets);
-            let cb = CompiledBody::new(machine, sub, &slice, &[], &extra)?;
+            let cb = CompiledBody::new(env.cache, machine, sub, &slice, &[], &extra)?;
             let var_slot = cb.chunk().scalar_slot(*var).expect("interned");
             let civ_slots: Vec<u16> = civs
                 .iter()
@@ -291,7 +283,7 @@ fn civ_traces_vm(
         }
         Stmt::While { cond, body, .. } => {
             let slice = extract_slice(body, &targets);
-            let cb = CompiledBody::new(machine, sub, &slice, &[cond], &extra)?;
+            let cb = CompiledBody::new(env.cache, machine, sub, &slice, &[cond], &extra)?;
             let civ_slots: Vec<u16> = civs
                 .iter()
                 .map(|(s, _)| cb.chunk().scalar_slot(*s).expect("interned"))
@@ -488,7 +480,8 @@ END
             c.set(i, Value::Int(*v));
         }
         let civs = vec![(sym("civ"), sym("civ@tr"))];
-        let cost = compute_civ_traces(&machine, &sub, &target, &civs, &mut frame, None)
+        let cost = crate::session::Session::default()
+            .civ_traces(&machine, &sub, &target, &civs, &mut frame, None)
             .expect("slice runs");
         assert!(cost > 0);
         let tr = frame.array(sym("civ@tr")).expect("trace bound");
@@ -517,15 +510,16 @@ END
         let mut frame = Store::new();
         frame.set_int(sym("N"), 10).set_int(sym("k"), 1);
         let civs = vec![(sym("k"), sym("k@tr"))];
-        compute_civ_traces(
-            &machine,
-            &sub,
-            &target,
-            &civs,
-            &mut frame,
-            Some(sym("w1@niters")),
-        )
-        .expect("slice runs");
+        crate::session::Session::default()
+            .civ_traces(
+                &machine,
+                &sub,
+                &target,
+                &civs,
+                &mut frame,
+                Some(sym("w1@niters")),
+            )
+            .expect("slice runs");
         assert_eq!(frame.scalar(sym("w1@niters")).map(Value::as_i64), Some(5));
         let tr = frame.array(sym("k@tr")).expect("trace");
         assert_eq!(tr.get_i64(0), 1);

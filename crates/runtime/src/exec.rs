@@ -1,6 +1,7 @@
 //! The conditional-parallelization executor (paper §5).
 //!
-//! [`run_loop`] puts everything together for one analyzed loop:
+//! [`crate::Session::run_loop`] puts everything together for one
+//! analyzed loop:
 //!
 //! 1. precompute CIV traces via the loop slice (CIV-COMP),
 //! 2. evaluate the predicate cascade against live state (cheapest
@@ -23,10 +24,9 @@ use lip_ir::{
 use lip_symbolic::Sym;
 use std::sync::Mutex;
 
-use crate::backend::{exec_stmt_seq, machine_tracer, Backend, CompiledBody, PredBackend};
-use crate::cache::{machine_cache, store_fingerprint};
-use crate::civ::compute_civ_traces_with;
-use crate::lrpd::{lrpd_execute_with, LrpdOutcome};
+use crate::backend::{exec_stmt_seq, machine_tracer, CompiledBody, ExecEnv};
+use crate::cache::store_fingerprint;
+use crate::lrpd::LrpdOutcome;
 use crate::pool::{chunk_bounds, parallel_chunks};
 
 /// How the loop ended up being executed.
@@ -74,12 +74,16 @@ pub enum ExecPlan {
     ReductionBuffer(BinOp),
 }
 
-/// Runs the analyzed loop against `frame`, selecting the execution
-/// backend from the `LIP_BACKEND` environment variable.
+/// Runs the analyzed loop against `frame` through the process-global,
+/// environment-configured session.
 ///
 /// # Errors
 ///
 /// Propagates interpreter failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a configured session and use `Session::run_loop` (or `run_many`) instead"
+)]
 pub fn run_loop(
     machine: &Machine,
     sub: &lip_ir::Subroutine,
@@ -88,62 +92,19 @@ pub fn run_loop(
     frame: &mut Store,
     nthreads: usize,
 ) -> Result<RunStats, RunError> {
-    run_loop_with(
-        machine,
-        sub,
-        target,
-        analysis,
-        frame,
-        nthreads,
-        Backend::from_env(),
-    )
+    crate::session::global().run_loop_at(nthreads, machine, sub, target, analysis, frame)
 }
 
-/// Runs the analyzed loop against `frame` under an explicit execution
-/// backend (threaded through the predicate cascade, CIV slicing, LRPD
-/// speculation and the parallel worker loop). The predicate engine is
-/// selected from `LIP_PRED` ([`PredBackend::from_env`]).
-///
-/// # Errors
-///
-/// Propagates interpreter/VM failures.
-pub fn run_loop_with(
+/// The executor driver behind [`crate::Session::run_loop`]: the
+/// session absorbs what used to be a `(nthreads, backend, pred)`
+/// argument sprawl across three public variants.
+pub(crate) fn run_loop_impl(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &lip_ir::Subroutine,
     target: &Stmt,
     analysis: &LoopAnalysis,
     frame: &mut Store,
-    nthreads: usize,
-    backend: Backend,
-) -> Result<RunStats, RunError> {
-    run_loop_with_opts(
-        machine,
-        sub,
-        target,
-        analysis,
-        frame,
-        nthreads,
-        backend,
-        PredBackend::from_env(),
-    )
-}
-
-/// [`run_loop_with`] under an explicit predicate engine as well (tests
-/// pin both seams without touching the environment).
-///
-/// # Errors
-///
-/// Propagates interpreter/VM failures.
-#[allow(clippy::too_many_arguments)] // the two backend seams are the point
-pub fn run_loop_with_opts(
-    machine: &Machine,
-    sub: &lip_ir::Subroutine,
-    target: &Stmt,
-    analysis: &LoopAnalysis,
-    frame: &mut Store,
-    nthreads: usize,
-    backend: Backend,
-    pred: PredBackend,
 ) -> Result<RunStats, RunError> {
     let mut test_units = 0u64;
 
@@ -151,8 +112,15 @@ pub fn run_loop_with_opts(
     if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
         let niters = matches!(target, Stmt::While { .. })
             .then(|| lip_symbolic::sym(&format!("{}@niters", analysis.label)));
-        test_units +=
-            compute_civ_traces_with(machine, sub, target, &analysis.civs, frame, niters, backend)?;
+        test_units += crate::civ::compute_civ_traces_impl(
+            env,
+            machine,
+            sub,
+            target,
+            &analysis.civs,
+            frame,
+            niters,
+        )?;
     }
 
     // While loops execute sequentially in this executor (their parallel
@@ -177,7 +145,7 @@ pub fn run_loop_with_opts(
     ) = (target, unit_step)
     else {
         let mut st = ExecState::default();
-        exec_stmt_seq(machine, sub, target, frame, &mut st, backend)?;
+        exec_stmt_seq(env, machine, sub, target, frame, &mut st)?;
         return Ok(RunStats {
             outcome: ExecOutcome::Sequential,
             test_units,
@@ -191,13 +159,12 @@ pub fn run_loop_with_opts(
         LoopClass::StaticSequential => (false, ExecOutcome::Sequential),
         LoopClass::Predicated { .. } => {
             let ctx = StoreCtx(frame);
-            let engine = machine_cache(machine);
-            let (passed, units) = engine.pred().first_success(
+            let (passed, units) = env.cache.pred().first_success(
                 &analysis.cascade,
                 &ctx,
                 100_000_000,
-                pred,
-                nthreads,
+                env.pred,
+                env.nthreads,
                 &mut |prog| {
                     Some(store_fingerprint(
                         frame,
@@ -220,8 +187,8 @@ pub fn run_loop_with_opts(
                         Some(_) => (false, ExecOutcome::Sequential),
                         None => {
                             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
-                            let (out, cost) = lrpd_execute_with(
-                                machine, sub, target, frame, &arrays, nthreads, backend,
+                            let (out, cost) = crate::lrpd::lrpd_execute_impl(
+                                env, machine, sub, target, frame, &arrays,
                             )?;
                             return Ok(RunStats {
                                 outcome: ExecOutcome::Speculated(out),
@@ -237,7 +204,7 @@ pub fn run_loop_with_opts(
             // Straight to speculation on the written arrays.
             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
             let (out, cost) =
-                lrpd_execute_with(machine, sub, target, frame, &arrays, nthreads, backend)?;
+                crate::lrpd::lrpd_execute_impl(env, machine, sub, target, frame, &arrays)?;
             return Ok(RunStats {
                 outcome: ExecOutcome::Speculated(out),
                 test_units,
@@ -249,7 +216,7 @@ pub fn run_loop_with_opts(
     if !parallel_ok {
         // Sequential execution; reductions/privatization unnecessary.
         let mut st = ExecState::default();
-        exec_stmt_seq(machine, sub, target, frame, &mut st, backend)?;
+        exec_stmt_seq(env, machine, sub, target, frame, &mut st)?;
         return Ok(RunStats {
             outcome: ExecOutcome::Sequential,
             test_units,
@@ -280,12 +247,12 @@ pub fn run_loop_with_opts(
                         // test_units (the plan decision is part of the
                         // codegen template); the engine call keeps it
                         // that way while sharing the compile cache.
-                        let (hit, _units) = machine_cache(machine).pred().first_success(
+                        let (hit, _units) = env.cache.pred().first_success(
                             c,
                             &ctx,
                             100_000_000,
-                            pred,
-                            nthreads,
+                            env.pred,
+                            env.nthreads,
                             &mut |prog| {
                                 Some(store_fingerprint(
                                     frame,
@@ -313,25 +280,42 @@ pub fn run_loop_with_opts(
     let mut st = ExecState::default();
     let lo_v = machine.eval(sub, frame, lo, &mut st)?.as_i64();
     let hi_v = machine.eval(sub, frame, hi, &mut st)?.as_i64();
-    let loop_units = run_parallel_do(
-        machine,
-        sub,
-        *var,
-        lo_v,
-        hi_v,
+    let shape = DoShape {
+        var: *var,
+        lo: lo_v,
+        hi: hi_v,
         body,
-        frame,
-        &plans,
-        &analysis.scalar_reductions,
-        &analysis.civs,
-        nthreads,
-        backend,
-    )?;
+    };
+    let plan = BodyPlan {
+        arrays: &plans,
+        scalar_reds: &analysis.scalar_reductions,
+        civs: &analysis.civs,
+    };
+    let loop_units = run_parallel_do(env, machine, sub, &shape, frame, &plan)?;
     Ok(RunStats {
         outcome,
         test_units,
         loop_units: loop_units + st.cost,
     })
+}
+
+/// The concrete (evaluated-bounds) iteration space of a unit-stride DO
+/// loop handed to the parallel driver.
+#[derive(Clone, Copy)]
+struct DoShape<'a> {
+    var: Sym,
+    lo: i64,
+    hi: i64,
+    body: &'a [Stmt],
+}
+
+/// How the loop body's state splits across chunks: per-array execution
+/// plans, scalar reduction accumulators and CIV trace seeds.
+#[derive(Clone, Copy)]
+struct BodyPlan<'a> {
+    arrays: &'a HashMap<Sym, ExecPlan>,
+    scalar_reds: &'a [Sym],
+    civs: &'a [(Sym, Sym)],
 }
 
 fn red_op_of(plan: &ArrayPlan) -> BinOp {
@@ -363,36 +347,35 @@ impl AccessTracer for WriteSetTracer {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_parallel_do(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &lip_ir::Subroutine,
-    var: Sym,
-    lo: i64,
-    hi: i64,
-    body: &[Stmt],
+    shape: &DoShape<'_>,
     frame: &mut Store,
-    plans: &HashMap<Sym, ExecPlan>,
-    scalar_reds: &[Sym],
-    civs: &[(Sym, Sym)],
-    nthreads: usize,
-    backend: Backend,
+    plan: &BodyPlan<'_>,
 ) -> Result<u64, RunError> {
+    let DoShape { var, lo, hi, body } = *shape;
+    let BodyPlan {
+        arrays: plans,
+        scalar_reds,
+        civs,
+    } = *plan;
     if hi < lo {
         return Ok(0);
     }
     // Compile the loop body once; every worker thread then executes
     // bytecode through its own `Send` frame instead of re-walking the
     // AST per iteration.
-    let compiled = if backend.is_bytecode() {
+    let compiled = if env.backend.is_bytecode() {
         let mut extra: Vec<Sym> = vec![var];
         extra.extend(scalar_reds.iter().copied());
         extra.extend(civs.iter().map(|(s, _)| *s));
-        CompiledBody::new(machine, sub, body, &[], &extra)
+        CompiledBody::new(env.cache, machine, sub, body, &[], &extra)
     } else {
         None
     };
-    let chunks = chunk_bounds(nthreads, lo, hi);
+    let chunks = chunk_bounds(env.nthreads, lo, hi);
     let nchunks = chunks.len();
     let total_cost = Mutex::new(0u64);
 
@@ -414,7 +397,7 @@ fn run_parallel_do(
         .map(|(a, _)| *a)
         .collect();
 
-    parallel_chunks(nthreads, lo, hi, |chunk_idx, c_lo, c_hi| {
+    parallel_chunks(env.nthreads, lo, hi, |chunk_idx, c_lo, c_hi| {
         let mut local = frame.clone();
         let mut out = ChunkOut {
             idx: chunk_idx,
@@ -640,6 +623,7 @@ fn merge_reduction(shared: &Arc<ArrayBuf>, private: &Arc<ArrayBuf>, op: BinOp) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use lip_analysis::{analyze_loop, AnalysisConfig};
     use lip_ir::parse_program;
     use lip_symbolic::sym;
@@ -651,6 +635,12 @@ mod tests {
         let analysis =
             analyze_loop(&prog, sub.name, label, &AnalysisConfig::default()).expect("analyzed");
         (Machine::new(prog), sub, target, analysis)
+    }
+
+    /// A default two-thread session (what the old free `run_loop`
+    /// call sites passed explicitly).
+    fn session2() -> Session {
+        Session::builder().nthreads(2).build()
     }
 
     #[test]
@@ -673,7 +663,9 @@ END
         for i in 0..n {
             b.set(i, Value::Real(i as f64));
         }
-        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
         assert_eq!(stats.outcome, ExecOutcome::StaticParallel);
         let a = frame.array(sym("A")).expect("A");
         for i in 0..n {
@@ -701,7 +693,9 @@ END
         for i in 0..(2 * n) as usize {
             a.set(i, Value::Real(i as f64));
         }
-        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
         assert!(matches!(stats.outcome, ExecOutcome::PredicatePassed { .. }));
         let av = frame.array(sym("A")).expect("A");
         assert_eq!(av.get_f64(0), (n as f64) + 1.0);
@@ -715,7 +709,9 @@ END
             a2.set(i, Value::Real(0.0));
         }
         a2.set(n as usize, Value::Real(7.0));
-        let stats2 = run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
+        let stats2 = session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame2)
+            .expect("runs");
         assert_eq!(stats2.outcome, ExecOutcome::Sequential);
         // Sequential anti-dependence semantics: each A(i) reads the OLD
         // A(i+1), so only A(N) sees the seeded 7.0.
@@ -746,7 +742,9 @@ END
         for i in 0..n {
             b.set(i, Value::Int((i % 10 + 1) as i64)); // heavy collisions
         }
-        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
         // Regardless of path, the histogram must be exact.
         let a = frame.array(sym("A")).expect("A");
         for k in 0..10 {
@@ -785,8 +783,32 @@ END
         for i in 0..n {
             a.set(i, Value::Real(1.0));
         }
-        run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
         assert_eq!(frame.scalar(sym("s")).map(Value::as_f64), Some(110.0));
+    }
+
+    #[test]
+    #[allow(deprecated)] // the shim must keep working for one release
+    fn deprecated_free_function_still_runs() {
+        let src = "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = 3.0
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), 64);
+        frame.alloc_real(sym("A"), 64);
+        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        assert_eq!(stats.outcome, ExecOutcome::StaticParallel);
+        let a = frame.array(sym("A")).expect("A");
+        assert_eq!(a.get_f64(63), 3.0);
     }
 
     #[test]
@@ -813,7 +835,9 @@ END
         frame.set_int(sym("N"), n).set_int(sym("M"), m);
         frame.alloc_real(sym("A"), n as usize);
         frame.alloc_real(sym("T"), m as usize);
-        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+        let stats = session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
         assert_ne!(stats.outcome, ExecOutcome::Sequential);
         // A(i) = Σ_j (i + j); T's final = last iteration's values.
         let a = frame.array(sym("A")).expect("A");

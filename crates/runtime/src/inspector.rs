@@ -1,5 +1,5 @@
 //! The inspector/executor runtime test (paper §1, citing Rauchwerger,
-//! Amato & Padua [26]).
+//! Amato & Padua \[26\]).
 //!
 //! Where LRPD speculates on shared state (and must restore on
 //! conflict), the inspector first *dry-runs* the loop on a disposable

@@ -13,6 +13,15 @@
 //! (virtual `P` processors over interpreter work units) that regenerates
 //! the paper's 4/8/16-processor figures on any host; the real-thread
 //! path cross-checks its shape at the host's core count.
+//!
+//! All of it is driven through one configured entry point: a
+//! [`Session`] (see [`session`]) owns the backend/predicate-engine
+//! selection, the pool width, the per-machine compile caches and the
+//! simulator's spawn cost. Environment variables (`LIP_BACKEND`,
+//! `LIP_PRED`, `LIP_PRED_PAR_MIN`) are read in exactly one place,
+//! [`SessionConfig::from_env`], with strict parsing; a handful of free
+//! functions remain as deprecated shims over a process-global session
+//! for one release.
 
 pub mod backend;
 pub mod cache;
@@ -21,16 +30,26 @@ pub mod exec;
 pub mod inspector;
 pub mod lrpd;
 pub mod pool;
+pub mod session;
 pub mod sim;
 
 pub use backend::{Backend, PredBackend};
-pub use cache::{machine_cache, store_fingerprint, MachineCache};
-pub use civ::{compute_civ_traces, compute_civ_traces_with, extract_slice};
-pub use exec::{run_loop, run_loop_with, run_loop_with_opts, ExecOutcome, ExecPlan, RunStats};
+pub use cache::{store_fingerprint, MachineCache};
+pub use civ::extract_slice;
+pub use exec::{ExecOutcome, ExecPlan, RunStats};
 pub use inspector::{inspect, inspect_execute, InspectVerdict};
-pub use lrpd::{lrpd_execute, lrpd_execute_with, LrpdOutcome};
+pub use lrpd::LrpdOutcome;
 pub use pool::parallel_chunks;
-pub use sim::{
-    charged_test_units, makespan, per_iteration_costs, per_iteration_costs_with, simulate_loop,
-    SimConfig, SimResult,
-};
+pub use session::{ConfigError, LoopJob, Session, SessionBuilder, SessionConfig};
+pub use sim::{charged_test_units, makespan, SimResult, SimSpec};
+
+// Deprecated shims (one release): the free pipeline entry points over
+// the process-global, environment-configured session.
+#[allow(deprecated)]
+pub use civ::compute_civ_traces;
+#[allow(deprecated)]
+pub use exec::run_loop;
+#[allow(deprecated)]
+pub use lrpd::lrpd_execute;
+#[allow(deprecated)]
+pub use sim::per_iteration_costs;

@@ -1,5 +1,5 @@
 //! LRPD-style thread-level speculation (the paper's last-resort test,
-//! citing Rauchwerger & Padua [25]).
+//! citing Rauchwerger & Padua \[25\]).
 //!
 //! The loop runs speculatively in parallel while *shadow arrays* record,
 //! per element, which iteration last wrote it and whether any other
@@ -16,7 +16,7 @@ use lip_ir::{AccessTracer, ExecState, Machine, RunError, Stmt, Store, Subroutine
 use lip_symbolic::Sym;
 use std::sync::Mutex;
 
-use crate::backend::{exec_stmt_seq, Backend, CompiledBody};
+use crate::backend::{exec_stmt_seq, CompiledBody, ExecEnv};
 use crate::pool::parallel_chunks;
 
 /// Per-array shadow state.
@@ -81,6 +81,7 @@ pub enum LrpdOutcome {
 
 /// Speculatively executes the DO loop `target` (of `sub`) in parallel
 /// over `nthreads`, monitoring `arrays` for cross-iteration conflicts.
+/// Runs through the process-global, environment-configured session.
 ///
 /// On conflict, restores the monitored arrays and re-runs sequentially.
 /// Returns the outcome and the accumulated work units (speculation +
@@ -90,6 +91,10 @@ pub enum LrpdOutcome {
 ///
 /// Propagates interpreter errors (from either the speculative or the
 /// sequential run).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a configured session and use `Session::lrpd_execute` instead"
+)]
 pub fn lrpd_execute(
     machine: &Machine,
     sub: &Subroutine,
@@ -98,37 +103,24 @@ pub fn lrpd_execute(
     arrays: &[Sym],
     nthreads: usize,
 ) -> Result<(LrpdOutcome, u64), RunError> {
-    lrpd_execute_with(
-        machine,
-        sub,
-        target,
-        frame,
-        arrays,
-        nthreads,
-        Backend::TreeWalk,
-    )
+    crate::session::global().lrpd_execute_at(nthreads, machine, sub, target, frame, arrays)
 }
 
-/// [`lrpd_execute`] under an explicit execution backend: with
-/// [`Backend::Bytecode`] both the speculative parallel run and the
+/// The speculation driver behind [`crate::Session::lrpd_execute`]: on
+/// the bytecode backend both the speculative parallel run and the
 /// sequential recovery execute compiled bytecode — the shadow-array
 /// instrumentation sees the same per-iteration access stream either
 /// way, so commit/abort decisions are identical. The body compiles at
-/// most once per machine ([`crate::cache::MachineCache`]), so repeated
-/// speculation on the same loop skips straight to execution.
-///
-/// # Errors
-///
-/// Propagates interpreter/VM errors (from either the speculative or
-/// the sequential run).
-pub fn lrpd_execute_with(
+/// most once per machine (the session's
+/// [`crate::cache::MachineCache`]), so repeated speculation on the
+/// same loop skips straight to execution.
+pub(crate) fn lrpd_execute_impl(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
     frame: &Store,
     arrays: &[Sym],
-    nthreads: usize,
-    backend: Backend,
 ) -> Result<(LrpdOutcome, u64), RunError> {
     let Stmt::Do {
         var,
@@ -149,12 +141,12 @@ pub fn lrpd_execute_with(
         if machine.eval(sub, frame, e, &mut state)?.as_i64() != 1 {
             let mut seq_frame = frame.clone();
             let mut st = ExecState::default();
-            exec_stmt_seq(machine, sub, target, &mut seq_frame, &mut st, backend)?;
+            exec_stmt_seq(env, machine, sub, target, &mut seq_frame, &mut st)?;
             return Ok((LrpdOutcome::Committed, state.cost + st.cost));
         }
     }
-    let compiled = if backend.is_bytecode() {
-        CompiledBody::new(machine, sub, body, &[], &[*var])
+    let compiled = if env.backend.is_bytecode() {
+        CompiledBody::new(env.cache, machine, sub, body, &[], &[*var])
     } else {
         None
     };
@@ -187,7 +179,7 @@ pub fn lrpd_execute_with(
         .as_ref()
         .map(|cb| cb.chunk().scalar_slot(*var).expect("interned"));
     let cost = Mutex::new(state.cost);
-    parallel_chunks(nthreads, lo_v, hi_v, |_, c_lo, c_hi| {
+    parallel_chunks(env.nthreads, lo_v, hi_v, |_, c_lo, c_hi| {
         let mut local = frame.clone();
         let mut st = ExecState::default();
         let mut vm_frame = compiled.as_ref().map(|cb| cb.frame(&local));
@@ -223,7 +215,7 @@ pub fn lrpd_execute_with(
         }
         let mut seq_frame = frame.clone();
         let mut st = ExecState::default();
-        exec_stmt_seq(machine, sub, target, &mut seq_frame, &mut st, backend)?;
+        exec_stmt_seq(env, machine, sub, target, &mut seq_frame, &mut st)?;
         total_cost += st.cost;
         return Ok((LrpdOutcome::Aborted, total_cost));
     }
@@ -233,8 +225,14 @@ pub fn lrpd_execute_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Backend;
+    use crate::session::Session;
     use lip_ir::parse_program;
     use lip_symbolic::sym;
+
+    fn session2(backend: Backend) -> Session {
+        Session::builder().nthreads(2).backend(backend).build()
+    }
 
     fn setup(src: &str) -> (Machine, Subroutine, Stmt) {
         let prog = parse_program(src).expect("parses");
@@ -259,8 +257,9 @@ END
         let mut frame = Store::new();
         frame.set_int(sym("N"), 64);
         frame.alloc_real(sym("A"), 64);
-        let (outcome, _) =
-            lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")], 2).expect("runs");
+        let (outcome, _) = session2(Backend::TreeWalk)
+            .lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")])
+            .expect("runs");
         assert_eq!(outcome, LrpdOutcome::Committed);
         let a = frame.array(sym("A")).expect("A");
         assert_eq!(a.get_f64(9), 20.0);
@@ -284,8 +283,9 @@ END
         let mut frame = Store::new();
         frame.set_int(sym("N"), 100);
         frame.alloc_real(sym("A"), 4);
-        let (outcome, _) =
-            lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")], 2).expect("runs");
+        let (outcome, _) = session2(Backend::TreeWalk)
+            .lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")])
+            .expect("runs");
         assert_eq!(outcome, LrpdOutcome::Aborted);
         // The sequential re-run must produce the exact sum.
         let a = frame.array(sym("A")).expect("A");
@@ -313,9 +313,9 @@ END
             let mut frame = Store::new();
             frame.set_int(sym("N"), 10);
             frame.alloc_real(sym("A"), 10);
-            let (outcome, _) =
-                lrpd_execute_with(&machine, &sub, &target, &frame, &[sym("A")], 2, backend)
-                    .expect("runs");
+            let (outcome, _) = session2(backend)
+                .lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")])
+                .expect("runs");
             assert_eq!(outcome, LrpdOutcome::Committed);
             let a = frame.array(sym("A")).expect("A");
             for i in 1..=10usize {
@@ -346,8 +346,9 @@ END
         for i in 0..32 {
             b.set(i, Value::Int((i as i64) * 2 + 1)); // injective
         }
-        let (outcome, _) =
-            lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")], 2).expect("runs");
+        let (outcome, _) = session2(Backend::TreeWalk)
+            .lrpd_execute(&machine, &sub, &target, &frame, &[sym("A")])
+            .expect("runs");
         assert_eq!(outcome, LrpdOutcome::Committed);
     }
 }

@@ -1,0 +1,635 @@
+//! `Session` — the one configured entry point to the runtime.
+//!
+//! The paper's pipeline (analyze → cascade predicates → parallel
+//! execute → simulate) used to be spread across triplicated free
+//! functions (`run_loop`/`run_loop_with`/`run_loop_with_opts`, same
+//! for CIV, LRPD and costs) whose configuration leaked in through
+//! process-global environment variables read mid-call. A [`Session`]
+//! replaces that sprawl: a builder owns **all** configuration
+//! ([`SessionConfig`]: execution backend, predicate engine, pool
+//! width, predicate fork threshold, spawn cost, analysis options) plus
+//! the shared mutable state — the per-machine compile caches and the
+//! [`lip_pred::PredEngine`] with its verdict memo — and exposes the
+//! pipeline as methods.
+//!
+//! Two sessions are fully isolated: each owns its own cache registry,
+//! so two callers in one process can run different `(Backend,
+//! PredBackend)` pairs concurrently and still produce bit-identical
+//! tables (verdicts and charged work units never depend on the
+//! configuration, only wall-clock does).
+//!
+//! Environment variables remain supported, but they are read in
+//! exactly one place — [`SessionConfig::from_env`] — with *strict*
+//! parsing: `LIP_BACKEND=bytecoed` is a [`ConfigError`], never a
+//! silent fallback to the default backend.
+//!
+//! ```
+//! use lip_runtime::{Backend, PredBackend, Session};
+//!
+//! let session = Session::builder()
+//!     .backend(Backend::Bytecode)
+//!     .pred(PredBackend::Compiled)
+//!     .nthreads(8)
+//!     .par_min(1024)
+//!     .spawn_cost(4_000)
+//!     .build();
+//! assert!(session.config().backend.is_bytecode());
+//! ```
+
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use lip_analysis::{analyze_loop, AnalysisConfig, LoopAnalysis};
+use lip_ir::{Machine, Program, RunError, Stmt, Store, Subroutine};
+use lip_symbolic::Sym;
+
+use crate::backend::{Backend, ExecEnv, PredBackend};
+use crate::cache::MachineCache;
+use crate::exec::RunStats;
+use crate::lrpd::LrpdOutcome;
+use crate::sim::{SimResult, SimSpec};
+
+/// All configuration a [`Session`] owns. Construct via
+/// [`Session::builder`], [`SessionConfig::default`] or
+/// [`SessionConfig::from_env`].
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Which engine runs loop iterations (`LIP_BACKEND`).
+    pub backend: Backend,
+    /// Which engine evaluates runtime predicates (`LIP_PRED`).
+    pub pred: PredBackend,
+    /// Fork-join pool width for parallel execution and O(N) predicate
+    /// evaluation (defaults to the host's available parallelism).
+    pub nthreads: usize,
+    /// Trip-count threshold past which quantified O(N) predicate
+    /// stages fork across the pool (`LIP_PRED_PAR_MIN`; must be ≥ 1).
+    pub par_min: i64,
+    /// Work units charged per parallel-region spawn by the cost-model
+    /// simulator ([`crate::Session::simulate`]).
+    pub spawn_cost: u64,
+    /// Static-analysis options ([`lip_analysis::AnalysisConfig`],
+    /// folded in so `Session::analyze` needs no extra argument).
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            backend: Backend::default(),
+            pred: PredBackend::default(),
+            nthreads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            par_min: lip_pred::engine::DEFAULT_PAR_MIN,
+            spawn_cost: 4_000,
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// A rejected configuration value (strict parsing: unknown values are
+/// errors, not silent fallbacks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The variable (or builder field) that failed to parse.
+    pub var: String,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.var, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The environment variables [`SessionConfig::from_env`] honors.
+const ENV_VARS: [&str; 3] = ["LIP_BACKEND", "LIP_PRED", "LIP_PRED_PAR_MIN"];
+
+impl SessionConfig {
+    /// Reads the `LIP_*` environment variables — the **only** place in
+    /// the workspace that does. Unset variables keep their defaults;
+    /// set-but-invalid values are a [`ConfigError`] (e.g.
+    /// `LIP_BACKEND=bytecoed`, `LIP_PRED_PAR_MIN=0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on the first variable whose value does
+    /// not parse strictly.
+    pub fn from_env() -> Result<SessionConfig, ConfigError> {
+        let mut cfg = SessionConfig::default();
+        for var in ENV_VARS {
+            if let Ok(value) = std::env::var(var) {
+                cfg.apply(var, &value)?;
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Applies one `variable = value` pair under the same strict rules
+    /// as [`SessionConfig::from_env`] (exposed so the per-variable
+    /// parsers are unit-testable without touching the process
+    /// environment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an unknown variable or a value that
+    /// does not parse.
+    pub fn apply(&mut self, var: &str, value: &str) -> Result<(), ConfigError> {
+        let err = |reason: String| ConfigError {
+            var: var.to_owned(),
+            reason,
+        };
+        match var {
+            "LIP_BACKEND" => self.backend = value.parse().map_err(err)?,
+            "LIP_PRED" => self.pred = value.parse().map_err(err)?,
+            "LIP_PRED_PAR_MIN" => self.par_min = parse_par_min(value).map_err(err)?,
+            other => {
+                return Err(ConfigError {
+                    var: other.to_owned(),
+                    reason: format!(
+                        "unknown configuration variable (expected one of {ENV_VARS:?})"
+                    ),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_par_min(value: &str) -> Result<i64, String> {
+    match value.parse::<i64>() {
+        Ok(v) if v >= 1 => Ok(v),
+        Ok(v) => Err(format!(
+            "threshold must be at least 1 iteration, got {v} (use 1 to always fork)"
+        )),
+        Err(_) => Err(format!("not an integer: `{value}`")),
+    }
+}
+
+/// Builder for [`Session`]; start from [`Session::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct SessionBuilder {
+    cfg: SessionConfig,
+}
+
+impl SessionBuilder {
+    /// The engine that runs loop iterations.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> SessionBuilder {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// The engine that evaluates runtime predicates.
+    #[must_use]
+    pub fn pred(mut self, pred: PredBackend) -> SessionBuilder {
+        self.cfg.pred = pred;
+        self
+    }
+
+    /// Fork-join pool width (clamped to at least 1).
+    #[must_use]
+    pub fn nthreads(mut self, nthreads: usize) -> SessionBuilder {
+        self.cfg.nthreads = nthreads.max(1);
+        self
+    }
+
+    /// Trip-count threshold for parallel O(N) predicate evaluation
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn par_min(mut self, par_min: i64) -> SessionBuilder {
+        self.cfg.par_min = par_min.max(1);
+        self
+    }
+
+    /// Simulator work units charged per parallel-region spawn.
+    #[must_use]
+    pub fn spawn_cost(mut self, spawn_cost: u64) -> SessionBuilder {
+        self.cfg.spawn_cost = spawn_cost;
+        self
+    }
+
+    /// Static-analysis options used by [`Session::analyze`].
+    #[must_use]
+    pub fn analysis(mut self, analysis: AnalysisConfig) -> SessionBuilder {
+        self.cfg.analysis = analysis;
+        self
+    }
+
+    /// Replaces the whole configuration (e.g. one obtained from
+    /// [`SessionConfig::from_env`]) before further tweaks.
+    #[must_use]
+    pub fn config(mut self, cfg: SessionConfig) -> SessionBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Session {
+        Session {
+            cfg: self.cfg,
+            caches: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A configured runtime session: the single entry point for analyzing,
+/// executing and simulating loops. See the [module docs](self) for the
+/// design rationale.
+///
+/// The session owns the per-machine compile caches (bytecode programs,
+/// lowered blocks, compiled predicates, verdict memos) and the
+/// configuration of the fork-join pool, so repeated invocations — and
+/// [`Session::run_many`] batches — skip straight to execution.
+pub struct Session {
+    cfg: SessionConfig,
+    /// Per-program caches, keyed by program-handle identity; weak so
+    /// caches die with their programs.
+    caches: Mutex<Vec<(Weak<Program>, Arc<MachineCache>)>>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    /// Starts a builder with the default configuration (tree-walk
+    /// execution, tree-walk predicates, host parallelism).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A session configured from the `LIP_*` environment variables
+    /// (via [`SessionConfig::from_env`] — strict parsing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a set variable does not parse.
+    pub fn from_env() -> Result<Session, ConfigError> {
+        Ok(Session::builder()
+            .config(SessionConfig::from_env()?)
+            .build())
+    }
+
+    /// This session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The compilation/predicate cache for `machine`'s program within
+    /// this session, created on first use. Machines cloned from one
+    /// another (tracer-instrumented copies) share one cache; distinct
+    /// programs — and distinct sessions — never collide.
+    pub fn cache(&self, machine: &Machine) -> Arc<MachineCache> {
+        let handle = machine.program_handle();
+        let mut reg = self.caches.lock().expect("session cache lock");
+        reg.retain(|(w, _)| w.strong_count() > 0);
+        for (w, cache) in reg.iter() {
+            if let Some(p) = w.upgrade() {
+                if Arc::ptr_eq(&p, &handle) {
+                    return cache.clone();
+                }
+            }
+        }
+        let cache = Arc::new(MachineCache::with_par_min(self.cfg.par_min));
+        reg.push((Arc::downgrade(&handle), cache.clone()));
+        cache
+    }
+
+    /// The execution environment threaded through the internal drivers
+    /// (cache + seams), with an explicit pool width.
+    pub(crate) fn exec_env<'a>(&self, cache: &'a MachineCache, nthreads: usize) -> ExecEnv<'a> {
+        ExecEnv {
+            cache,
+            backend: self.cfg.backend,
+            pred: self.cfg.pred,
+            nthreads: nthreads.max(1),
+        }
+    }
+
+    /// Analyzes the loop labelled `label` in subroutine `sub_name`
+    /// under this session's [`AnalysisConfig`] (hybrid classification,
+    /// cascade construction). Returns `None` when the loop cannot be
+    /// found.
+    pub fn analyze(&self, prog: &Program, sub_name: Sym, label: &str) -> Option<LoopAnalysis> {
+        analyze_loop(prog, sub_name, label, &self.cfg.analysis)
+    }
+
+    /// Runs the analyzed loop against `frame`: CIV traces, predicate
+    /// cascade, then parallel / speculative / sequential execution —
+    /// all under this session's configuration (paper §5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/VM failures.
+    pub fn run_loop(
+        &self,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        analysis: &LoopAnalysis,
+        frame: &mut Store,
+    ) -> Result<RunStats, RunError> {
+        self.run_loop_at(self.cfg.nthreads, machine, sub, target, analysis, frame)
+    }
+
+    /// [`Session::run_loop`] with an explicit pool width (the
+    /// deprecated free `run_loop` still carries one).
+    pub(crate) fn run_loop_at(
+        &self,
+        nthreads: usize,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        analysis: &LoopAnalysis,
+        frame: &mut Store,
+    ) -> Result<RunStats, RunError> {
+        let cache = self.cache(machine);
+        crate::exec::run_loop_impl(
+            &self.exec_env(&cache, nthreads),
+            machine,
+            sub,
+            target,
+            analysis,
+            frame,
+        )
+    }
+
+    /// Runs a batch of loops through one session, reusing compiled
+    /// programs, lowered blocks and predicate verdict memos across
+    /// jobs (the warm-session path `bench_vm` tracks as
+    /// `session_reuse`). Returns one [`RunStats`] per job, in order;
+    /// the first error aborts the rest of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first interpreter/VM failure.
+    pub fn run_many<'a>(
+        &self,
+        jobs: impl IntoIterator<Item = LoopJob<'a>>,
+    ) -> Result<Vec<RunStats>, RunError> {
+        jobs.into_iter()
+            .map(|job| self.run_loop(job.machine, job.sub, job.target, job.analysis, job.frame))
+            .collect()
+    }
+
+    /// Materializes CIV traces by running the loop slice (CIV-COMP,
+    /// paper §3.3) on this session's backend. Returns the slice's
+    /// work-unit cost; traces are bound into `frame` under the trace
+    /// array names, and `niters_sym` (for while loops) receives the
+    /// trip count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/VM failures from the slice execution.
+    pub fn civ_traces(
+        &self,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        civs: &[(Sym, Sym)],
+        frame: &mut Store,
+        niters_sym: Option<Sym>,
+    ) -> Result<u64, RunError> {
+        let cache = self.cache(machine);
+        crate::civ::compute_civ_traces_impl(
+            &self.exec_env(&cache, self.cfg.nthreads),
+            machine,
+            sub,
+            target,
+            civs,
+            frame,
+            niters_sym,
+        )
+    }
+
+    /// Speculatively executes the DO loop in parallel under LRPD
+    /// shadow monitoring, restoring and re-running sequentially on
+    /// conflict. Returns the outcome and accumulated work units.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/VM errors from either run.
+    pub fn lrpd_execute(
+        &self,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        frame: &Store,
+        arrays: &[Sym],
+    ) -> Result<(LrpdOutcome, u64), RunError> {
+        self.lrpd_execute_at(self.cfg.nthreads, machine, sub, target, frame, arrays)
+    }
+
+    /// [`Session::lrpd_execute`] with an explicit pool width.
+    pub(crate) fn lrpd_execute_at(
+        &self,
+        nthreads: usize,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        frame: &Store,
+        arrays: &[Sym],
+    ) -> Result<(LrpdOutcome, u64), RunError> {
+        let cache = self.cache(machine);
+        crate::lrpd::lrpd_execute_impl(
+            &self.exec_env(&cache, nthreads),
+            machine,
+            sub,
+            target,
+            frame,
+            arrays,
+        )
+    }
+
+    /// Executes the loop once sequentially (mutating `frame`) on this
+    /// session's backend and returns the per-iteration work-unit costs
+    /// — the raw material for makespans at any processor count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/VM failures.
+    pub fn per_iteration_costs(
+        &self,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        frame: &mut Store,
+    ) -> Result<Vec<u64>, RunError> {
+        let cache = self.cache(machine);
+        crate::sim::per_iteration_costs_impl(
+            &self.exec_env(&cache, self.cfg.nthreads),
+            machine,
+            sub,
+            target,
+            frame,
+        )
+    }
+
+    /// Executes the loop once sequentially (mutating `frame`, so
+    /// program state stays correct for whatever follows) and derives
+    /// the simulated parallel timing on `spec.procs` virtual
+    /// processors, charging this session's `spawn_cost` per
+    /// parallel-region spawn.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter/VM failures.
+    pub fn simulate(
+        &self,
+        machine: &Machine,
+        sub: &Subroutine,
+        target: &Stmt,
+        frame: &mut Store,
+        spec: SimSpec,
+    ) -> Result<SimResult, RunError> {
+        let per_iter = self.per_iteration_costs(machine, sub, target, frame)?;
+        let seq_units: u64 = per_iter.iter().sum();
+        let spawn = self.cfg.spawn_cost;
+        let test_units = if spec.parallel_test {
+            crate::sim::charged_test_units(spec.test_seq_units, spec.procs, spawn)
+        } else {
+            spec.test_seq_units
+        };
+        let par_units = if spec.run_parallel && !per_iter.is_empty() {
+            crate::sim::makespan(&per_iter, spec.procs) + spawn
+        } else {
+            seq_units
+        };
+        Ok(SimResult {
+            seq_units,
+            par_units,
+            test_units,
+        })
+    }
+}
+
+/// One loop execution request for [`Session::run_many`].
+pub struct LoopJob<'a> {
+    /// Interpreter over the program.
+    pub machine: &'a Machine,
+    /// Subroutine containing the loop.
+    pub sub: &'a lip_ir::Subroutine,
+    /// The loop statement.
+    pub target: &'a lip_ir::Stmt,
+    /// Its hybrid analysis.
+    pub analysis: &'a LoopAnalysis,
+    /// Live program state (mutated by the run).
+    pub frame: &'a mut lip_ir::Store,
+}
+
+/// The process-global session behind the deprecated free functions
+/// (`run_loop` etc.), configured from the environment once. Invalid
+/// `LIP_*` values abort with a clear message — strict parsing has no
+/// silent fallback even on this compatibility path.
+pub(crate) fn global() -> &'static Session {
+    static GLOBAL: OnceLock<Session> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Session::from_env().unwrap_or_else(|e| panic!("invalid LIP_* environment: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_field() {
+        let s = Session::builder()
+            .backend(Backend::Bytecode)
+            .pred(PredBackend::Compiled)
+            .nthreads(3)
+            .par_min(64)
+            .spawn_cost(123)
+            .build();
+        let c = s.config();
+        assert_eq!(c.backend, Backend::Bytecode);
+        assert_eq!(c.pred, PredBackend::Compiled);
+        assert_eq!(c.nthreads, 3);
+        assert_eq!(c.par_min, 64);
+        assert_eq!(c.spawn_cost, 123);
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let s = Session::builder().nthreads(0).par_min(0).build();
+        assert_eq!(s.config().nthreads, 1);
+        assert_eq!(s.config().par_min, 1);
+    }
+
+    // One strict-parsing unit test per environment variable (without
+    // touching the process environment — `apply` is the seam).
+
+    #[test]
+    fn lip_backend_parses_strictly() {
+        let mut cfg = SessionConfig::default();
+        cfg.apply("LIP_BACKEND", "bytecode").expect("valid");
+        assert_eq!(cfg.backend, Backend::Bytecode);
+        cfg.apply("LIP_BACKEND", "treewalk").expect("valid");
+        assert_eq!(cfg.backend, Backend::TreeWalk);
+        let err = cfg.apply("LIP_BACKEND", "bytecoed").unwrap_err();
+        assert_eq!(err.var, "LIP_BACKEND");
+        assert!(err.reason.contains("bytecoed"), "{err}");
+        // The failed apply must not have clobbered the config.
+        assert_eq!(cfg.backend, Backend::TreeWalk);
+    }
+
+    #[test]
+    fn lip_pred_parses_strictly() {
+        let mut cfg = SessionConfig::default();
+        cfg.apply("LIP_PRED", "compiled").expect("valid");
+        assert_eq!(cfg.pred, PredBackend::Compiled);
+        cfg.apply("LIP_PRED", "tree").expect("valid");
+        assert_eq!(cfg.pred, PredBackend::Tree);
+        let err = cfg.apply("LIP_PRED", "compild").unwrap_err();
+        assert_eq!(err.var, "LIP_PRED");
+        assert!(err.reason.contains("compild"), "{err}");
+    }
+
+    #[test]
+    fn lip_pred_par_min_parses_strictly() {
+        let mut cfg = SessionConfig::default();
+        cfg.apply("LIP_PRED_PAR_MIN", "2048").expect("valid");
+        assert_eq!(cfg.par_min, 2048);
+        cfg.apply("LIP_PRED_PAR_MIN", "1").expect("valid");
+        assert_eq!(cfg.par_min, 1);
+        // Zero, negative and non-numeric are all errors.
+        for bad in ["0", "-5", "many", "1e3", ""] {
+            let err = cfg.apply("LIP_PRED_PAR_MIN", bad).unwrap_err();
+            assert_eq!(err.var, "LIP_PRED_PAR_MIN", "{bad}");
+        }
+        assert_eq!(cfg.par_min, 1);
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        let mut cfg = SessionConfig::default();
+        let err = cfg.apply("LIP_TYPO", "x").unwrap_err();
+        assert!(err.reason.contains("unknown configuration variable"));
+    }
+
+    #[test]
+    fn sessions_own_disjoint_caches_clones_share_within_one() {
+        let src = "
+SUBROUTINE t(A, N)
+  DIMENSION A(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(i) = 1.0
+  ENDDO
+END
+";
+        let m1 = Machine::new(lip_ir::parse_program(src).expect("parses"));
+        let m2 = m1.clone();
+        let m3 = Machine::new(lip_ir::parse_program(src).expect("parses"));
+        let s1 = Session::default();
+        let s2 = Session::default();
+        assert!(Arc::ptr_eq(&s1.cache(&m1), &s1.cache(&m2)));
+        assert!(!Arc::ptr_eq(&s1.cache(&m1), &s1.cache(&m3)));
+        assert!(!Arc::ptr_eq(&s1.cache(&m1), &s2.cache(&m1)));
+    }
+}

@@ -13,23 +13,35 @@
 
 use lip_ir::{ExecState, Machine, RunError, Stmt, Store, Subroutine, Value};
 
-use crate::backend::{exec_stmt_seq, machine_tracer, Backend, CompiledBody};
+use crate::backend::{exec_stmt_seq, machine_tracer, CompiledBody, ExecEnv};
 use crate::pool::chunk_bounds;
 
-/// Virtual machine parameters.
+/// What to simulate for one loop ([`crate::Session::simulate`]): the
+/// virtual processor count plus the runtime-test charge. The spawn
+/// overhead comes from the session's `spawn_cost` — configuration, not
+/// a per-call argument.
 #[derive(Copy, Clone, Debug)]
-pub struct SimConfig {
+pub struct SimSpec {
     /// Number of virtual processors.
     pub procs: usize,
-    /// Work units charged per parallel-region spawn (thread fork/join).
-    pub spawn_overhead: u64,
+    /// Sequential cost of the runtime tests (cascade stages evaluated
+    /// + CIV slices).
+    pub test_seq_units: u64,
+    /// Whether the test is and/or-reduced across processors (the
+    /// paper's generated code evaluates O(N) predicates in parallel).
+    pub parallel_test: bool,
+    /// Whether the loop body itself runs in parallel (false: the tests
+    /// failed — charge the sequential time).
+    pub run_parallel: bool,
 }
 
-impl Default for SimConfig {
-    fn default() -> SimConfig {
-        SimConfig {
+impl Default for SimSpec {
+    fn default() -> SimSpec {
+        SimSpec {
             procs: 4,
-            spawn_overhead: 4_000,
+            test_seq_units: 0,
+            parallel_test: false,
+            run_parallel: true,
         }
     }
 }
@@ -73,46 +85,6 @@ impl SimResult {
     }
 }
 
-/// Executes the DO loop once sequentially (mutating `frame`, so program
-/// state stays correct for whatever follows), recording per-iteration
-/// unit costs, and derives the simulated parallel makespan on
-/// `cfg.procs` processors. `test_seq_units` is the sequential cost of
-/// the runtime tests (cascade stages evaluated + CIV slices); it is
-/// parallelized as an and-reduction when `parallel_test` is set.
-///
-/// # Errors
-///
-/// Propagates interpreter failures.
-#[allow(clippy::too_many_arguments)] // mirrors the codegen template's parameter list
-pub fn simulate_loop(
-    machine: &Machine,
-    sub: &Subroutine,
-    target: &Stmt,
-    frame: &mut Store,
-    cfg: SimConfig,
-    test_seq_units: u64,
-    parallel_test: bool,
-    run_parallel: bool,
-) -> Result<SimResult, RunError> {
-    let per_iter = per_iteration_costs(machine, sub, target, frame)?;
-    let seq_units: u64 = per_iter.iter().sum();
-    let test_units = if parallel_test {
-        charged_test_units(test_seq_units, cfg.procs, cfg.spawn_overhead)
-    } else {
-        test_seq_units
-    };
-    let par_units = if run_parallel && !per_iter.is_empty() {
-        makespan(&per_iter, cfg.procs) + cfg.spawn_overhead
-    } else {
-        seq_units
-    };
-    Ok(SimResult {
-        seq_units,
-        par_units,
-        test_units,
-    })
-}
-
 /// Runtime-test units charged on the critical path: small (O(1)-ish)
 /// tests run inline; larger ones are and/or-reduced across processors
 /// at the price of one extra spawn. This is the single charging rule
@@ -133,37 +105,39 @@ pub fn charged_test_units(test_units: u64, procs: usize, spawn: u64) -> u64 {
 
 /// Executes the loop once sequentially (mutating `frame`) and returns
 /// the per-iteration unit costs — the raw material for computing
-/// makespans at several processor counts without re-running.
+/// makespans at several processor counts without re-running. Runs
+/// through the process-global, environment-configured session.
 ///
 /// # Errors
 ///
 /// Propagates interpreter failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a configured session and use `Session::per_iteration_costs` instead"
+)]
 pub fn per_iteration_costs(
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
     frame: &mut Store,
 ) -> Result<Vec<u64>, RunError> {
-    per_iteration_costs_with(machine, sub, target, frame, Backend::TreeWalk)
+    crate::session::global().per_iteration_costs(machine, sub, target, frame)
 }
 
-/// [`per_iteration_costs`] under an explicit execution backend (the
-/// per-iteration unit figures are identical; the bytecode backend just
+/// The measurement driver behind
+/// [`crate::Session::per_iteration_costs`] (the per-iteration unit
+/// figures are identical on both backends; the bytecode backend just
 /// produces them faster — this is where the measurement harness spends
 /// most of its wall-clock).
-///
-/// # Errors
-///
-/// Propagates interpreter/VM failures.
-pub fn per_iteration_costs_with(
+pub(crate) fn per_iteration_costs_impl(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
     frame: &mut Store,
-    backend: Backend,
 ) -> Result<Vec<u64>, RunError> {
-    if backend.is_bytecode() {
-        if let Some(r) = per_iteration_costs_vm(machine, sub, target, frame, backend) {
+    if env.backend.is_bytecode() {
+        if let Some(r) = per_iteration_costs_vm(env, machine, sub, target, frame) {
             return r;
         }
     }
@@ -212,17 +186,17 @@ pub fn per_iteration_costs_with(
 
 /// The VM measurement driver; `None` means "fall back to tree-walk".
 fn per_iteration_costs_vm(
+    env: &ExecEnv<'_>,
     machine: &Machine,
     sub: &Subroutine,
     target: &Stmt,
     frame: &mut Store,
-    backend: Backend,
 ) -> Option<Result<Vec<u64>, RunError>> {
     match target {
         Stmt::Do {
             var, lo, hi, body, ..
         } => {
-            let cb = CompiledBody::new(machine, sub, body, &[], &[*var])?;
+            let cb = CompiledBody::new(env.cache, machine, sub, body, &[], &[*var])?;
             Some((|| {
                 let mut state = ExecState::default();
                 let lo_v = machine.eval(sub, frame, lo, &mut state)?.as_i64();
@@ -246,7 +220,7 @@ fn per_iteration_costs_vm(
             })())
         }
         Stmt::While { cond, body, .. } => {
-            let cb = CompiledBody::new(machine, sub, body, &[cond], &[])?;
+            let cb = CompiledBody::new(env.cache, machine, sub, body, &[cond], &[])?;
             Some((|| {
                 let mut state = ExecState::default();
                 let vm = cb.vm(machine);
@@ -277,7 +251,7 @@ fn per_iteration_costs_vm(
         other => {
             let mut state = ExecState::default();
             Some(
-                exec_stmt_seq(machine, sub, other, frame, &mut state, backend)
+                exec_stmt_seq(env, machine, sub, other, frame, &mut state)
                     .map(|()| vec![state.cost]),
             )
         }
@@ -305,6 +279,7 @@ pub fn makespan(per_iter: &[u64], procs: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use lip_ir::parse_program;
     use lip_symbolic::sym;
 
@@ -339,20 +314,20 @@ END
         let mut frame = Store::new();
         frame.set_int(sym("N"), 20_000);
         frame.alloc_real(sym("A"), 20_000);
-        let r = simulate_loop(
-            &machine,
-            &sub,
-            &target,
-            &mut frame,
-            SimConfig {
-                procs: 4,
-                spawn_overhead: 1_000,
-            },
-            0,
-            false,
-            true,
-        )
-        .expect("simulates");
+        let r = Session::builder()
+            .spawn_cost(1_000)
+            .build()
+            .simulate(
+                &machine,
+                &sub,
+                &target,
+                &mut frame,
+                SimSpec {
+                    procs: 4,
+                    ..SimSpec::default()
+                },
+            )
+            .expect("simulates");
         let s = r.speedup();
         assert!(s > 3.0 && s <= 4.0, "speedup {s}");
     }
@@ -379,20 +354,20 @@ END
         let mut frame = Store::new();
         frame.set_int(sym("N"), 16);
         frame.alloc_real(sym("A"), 16);
-        let r = simulate_loop(
-            &machine,
-            &sub,
-            &target,
-            &mut frame,
-            SimConfig {
-                procs: 4,
-                spawn_overhead: 4_000,
-            },
-            0,
-            false,
-            true,
-        )
-        .expect("simulates");
+        let r = Session::builder()
+            .spawn_cost(4_000)
+            .build()
+            .simulate(
+                &machine,
+                &sub,
+                &target,
+                &mut frame,
+                SimSpec {
+                    procs: 4,
+                    ..SimSpec::default()
+                },
+            )
+            .expect("simulates");
         assert!(r.speedup() < 1.0, "speedup {}", r.speedup());
     }
 

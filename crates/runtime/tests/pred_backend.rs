@@ -1,12 +1,12 @@
-//! The predicate-engine seam end to end: `run_loop_with_opts` must
-//! produce identical outcomes, charged test units and program state
-//! under `PredBackend::Tree` and `PredBackend::Compiled`, across the
-//! cascade-pass, cascade-fail and exact-USR-fallback paths — and the
-//! per-machine caches must make repeat invocations cheap.
+//! The predicate-engine seam end to end: sessions pinning different
+//! `PredBackend`s must produce identical outcomes, charged test units
+//! and program state across the cascade-pass, cascade-fail and
+//! exact-USR-fallback paths — and the session-owned caches must make
+//! repeat invocations cheap.
 
 use lip_analysis::{analyze_loop, AnalysisConfig, LoopAnalysis};
 use lip_ir::{parse_program, Machine, Stmt, Store, Value};
-use lip_runtime::{machine_cache, run_loop_with_opts, Backend, ExecOutcome, PredBackend};
+use lip_runtime::{Backend, ExecOutcome, PredBackend, Session};
 use lip_symbolic::sym;
 
 fn setup(src: &str, label: &str) -> (Machine, lip_ir::Subroutine, Stmt, LoopAnalysis) {
@@ -16,6 +16,14 @@ fn setup(src: &str, label: &str) -> (Machine, lip_ir::Subroutine, Stmt, LoopAnal
     let analysis =
         analyze_loop(&prog, sub.name, label, &AnalysisConfig::default()).expect("analyzed");
     (Machine::new(prog), sub, target, analysis)
+}
+
+fn session(backend: Backend, pred: PredBackend) -> Session {
+    Session::builder()
+        .nthreads(2)
+        .backend(backend)
+        .pred(pred)
+        .build()
 }
 
 const OFFSET_SRC: &str = "
@@ -39,8 +47,8 @@ fn offset_frame(n: i64, m: i64) -> Store {
     frame
 }
 
-/// Runs one analyzed loop under both predicate backends and asserts
-/// stats and final state agree element for element.
+/// Runs one analyzed loop under both predicate backends (one session
+/// each) and asserts stats and final state agree element for element.
 fn assert_backends_agree(
     machine: &Machine,
     sub: &lip_ir::Subroutine,
@@ -49,29 +57,13 @@ fn assert_backends_agree(
     mk_frame: impl Fn() -> Store,
 ) -> ExecOutcome {
     let mut tree_frame = mk_frame();
-    let tree = run_loop_with_opts(
-        machine,
-        sub,
-        target,
-        analysis,
-        &mut tree_frame,
-        2,
-        Backend::TreeWalk,
-        PredBackend::Tree,
-    )
-    .expect("tree runs");
+    let tree = session(Backend::TreeWalk, PredBackend::Tree)
+        .run_loop(machine, sub, target, analysis, &mut tree_frame)
+        .expect("tree runs");
     let mut comp_frame = mk_frame();
-    let comp = run_loop_with_opts(
-        machine,
-        sub,
-        target,
-        analysis,
-        &mut comp_frame,
-        2,
-        Backend::TreeWalk,
-        PredBackend::Compiled,
-    )
-    .expect("compiled runs");
+    let comp = session(Backend::TreeWalk, PredBackend::Compiled)
+        .run_loop(machine, sub, target, analysis, &mut comp_frame)
+        .expect("compiled runs");
     assert_eq!(tree.outcome, comp.outcome);
     assert_eq!(tree.test_units, comp.test_units, "charged units diverged");
     assert_eq!(tree.loop_units, comp.loop_units);
@@ -135,26 +127,18 @@ END
 }
 
 #[test]
-fn repeat_invocations_hit_the_caches() {
+fn repeat_invocations_hit_the_session_caches() {
     let (machine, sub, target, analysis) = setup(OFFSET_SRC, "l1");
-    let run = || {
+    let sess = session(Backend::Bytecode, PredBackend::Compiled);
+    let run = |sess: &Session| {
         let mut frame = offset_frame(256, 256);
-        run_loop_with_opts(
-            &machine,
-            &sub,
-            &target,
-            &analysis,
-            &mut frame,
-            2,
-            Backend::Bytecode,
-            PredBackend::Compiled,
-        )
-        .expect("runs")
+        sess.run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs")
     };
-    let first = run();
-    let engine = machine_cache(&machine);
+    let first = run(&sess);
+    let engine = sess.cache(&machine);
     let stats_after_first = engine.pred().stats();
-    let second = run();
+    let second = run(&sess);
     let stats_after_second = engine.pred().stats();
     assert_eq!(first.outcome, second.outcome);
     assert_eq!(first.test_units, second.test_units);
@@ -167,4 +151,22 @@ fn repeat_invocations_hit_the_caches() {
         "unchanged inputs must memo-hit"
     );
     assert_eq!(stats_after_second.evals, stats_after_first.evals);
+}
+
+#[test]
+fn sessions_do_not_share_predicate_state() {
+    // A fresh session must start cold even after another session ran
+    // the same machine: caches are session-owned, not process-global.
+    let (machine, sub, target, analysis) = setup(OFFSET_SRC, "l1");
+    let warm = session(Backend::Bytecode, PredBackend::Compiled);
+    let mut frame = offset_frame(128, 128);
+    warm.run_loop(&machine, &sub, &target, &analysis, &mut frame)
+        .expect("runs");
+    assert!(warm.cache(&machine).pred().stats().compiles > 0);
+    let cold = session(Backend::Bytecode, PredBackend::Compiled);
+    assert_eq!(
+        cold.cache(&machine).pred().stats().compiles,
+        0,
+        "a fresh session must own a fresh predicate engine"
+    );
 }

@@ -6,11 +6,10 @@
 //! Whole-benchmark times add the unmeasured remainder `(1−SC)` as
 //! sequential work (Amdahl), scaled from the measured loops.
 
-use lip_analysis::{analyze_loop, baseline_parallel, AnalysisConfig, LoopClass};
+use lip_analysis::{baseline_parallel, LoopClass};
 use lip_ir::{Stmt, StoreCtx};
-use lip_runtime::civ::compute_civ_traces_with;
-use lip_runtime::sim::{charged_test_units, makespan, per_iteration_costs_with};
-use lip_runtime::{machine_cache, store_fingerprint, Backend, PredBackend};
+use lip_runtime::sim::{charged_test_units, makespan};
+use lip_runtime::{store_fingerprint, Session};
 use lip_symbolic::sym;
 
 use crate::bench_def::BenchDef;
@@ -77,30 +76,26 @@ impl LoopMeasurement {
     }
 }
 
-/// Measures one loop of a benchmark.
+/// Measures one loop of a benchmark through `session`.
 pub fn measure_loop(
+    session: &Session,
     shape: &'static KernelShape,
     size: usize,
     weight: f64,
     expected: &'static str,
 ) -> LoopMeasurement {
     // Kernel iterations (CIV slices + the measurement pass) execute on
-    // the backend `LIP_BACKEND` selects, and cascade predicates on the
-    // engine `LIP_PRED` selects; work units and verdicts are identical
-    // either way, only wall-clock differs — Tables 1–3 are
-    // bit-identical across all four combinations.
-    let backend = Backend::from_env();
-    let pred_backend = PredBackend::from_env();
-    let nthreads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    // the session's backend, and cascade predicates on its predicate
+    // engine; work units and verdicts are identical either way, only
+    // wall-clock differs — Tables 1–3 are bit-identical across all
+    // four combinations (and across concurrent sessions).
+    let nthreads = session.config().nthreads;
     let mut p = shape.prepared(size);
     let prog = p.machine.program().clone();
     let sub = prog.subroutine(sym(p.sub)).expect("subroutine").clone();
     let target = sub.find_loop(p.label).expect("loop").clone();
 
-    let analysis =
-        analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default()).expect("analysis");
+    let analysis = session.analyze(&prog, sub.name, p.label).expect("analysis");
     let base = baseline_parallel(&sub, &target);
 
     // Runtime tests on the live workload.
@@ -108,16 +103,16 @@ pub fn measure_loop(
     if !analysis.civs.is_empty() || matches!(target, Stmt::While { .. }) {
         let niters = matches!(target, Stmt::While { .. })
             .then(|| sym(&format!("{}@niters", analysis.label)));
-        test_units += compute_civ_traces_with(
-            &p.machine,
-            &sub,
-            &target,
-            &analysis.civs,
-            &mut p.frame,
-            niters,
-            backend,
-        )
-        .expect("civ slice");
+        test_units += session
+            .civ_traces(
+                &p.machine,
+                &sub,
+                &target,
+                &analysis.civs,
+                &mut p.frame,
+                niters,
+            )
+            .expect("civ slice");
     }
     let mut tls_speculated = false;
     let parallel = match &analysis.class {
@@ -126,11 +121,11 @@ pub fn measure_loop(
         LoopClass::Predicated { .. } => {
             let ctx = StoreCtx(&p.frame);
             let frame = &p.frame;
-            let (hit, units) = machine_cache(&p.machine).pred().first_success(
+            let (hit, units) = session.cache(&p.machine).pred().first_success(
                 &analysis.cascade,
                 &ctx,
                 100_000_000,
-                pred_backend,
+                session.config().pred,
                 nthreads,
                 &mut |prog| {
                     Some(store_fingerprint(
@@ -173,7 +168,8 @@ pub fn measure_loop(
         LoopClass::NeedsFallback(_) => true,
     };
 
-    let per_iter = per_iteration_costs_with(&p.machine, &sub, &target, &mut p.frame, backend)
+    let per_iter = session
+        .per_iteration_costs(&p.machine, &sub, &target, &mut p.frame)
         .expect("measure");
     if tls_speculated {
         test_units += per_iter.iter().sum::<u64>() / 4;
@@ -293,12 +289,12 @@ impl BenchTiming {
     }
 }
 
-/// Measures a whole benchmark.
-pub fn measure_benchmark(def: &BenchDef) -> BenchTiming {
+/// Measures a whole benchmark through `session`.
+pub fn measure_benchmark(session: &Session, def: &BenchDef) -> BenchTiming {
     let loops = def
         .loops
         .iter()
-        .map(|l| measure_loop(l.shape, l.size, l.weight, l.expected))
+        .map(|l| measure_loop(session, l.shape, l.size, l.weight, l.expected))
         .collect();
     BenchTiming {
         name: def.name,
@@ -314,7 +310,13 @@ mod tests {
 
     #[test]
     fn dyfesm_solvh_matches_paper_classification() {
-        let m = measure_loop(&crate::kernels::SOLVH, 40, 0.142, "F/OI O(1)/O(N)");
+        let m = measure_loop(
+            &Session::default(),
+            &crate::kernels::SOLVH,
+            40,
+            0.142,
+            "F/OI O(1)/O(N)",
+        );
         // The paper reports runtime flow/output tests for SOLVH_do20.
         assert!(
             matches!(m.class, LoopClass::Predicated { .. })
@@ -328,7 +330,13 @@ mod tests {
 
     #[test]
     fn stencils_are_static_parallel_for_both() {
-        let m = measure_loop(&crate::kernels::STENCIL, 200, 0.5, "STATIC-PAR");
+        let m = measure_loop(
+            &Session::default(),
+            &crate::kernels::STENCIL,
+            200,
+            0.5,
+            "STATIC-PAR",
+        );
         assert_eq!(m.class, LoopClass::StaticParallel);
         assert!(m.parallel);
         assert!(m.baseline_parallel);
@@ -337,7 +345,13 @@ mod tests {
 
     #[test]
     fn offset_crossover_needs_runtime_and_passes() {
-        let m = measure_loop(&crate::kernels::OFFSET_CROSSOVER, 256, 0.4, "FI O(1)");
+        let m = measure_loop(
+            &Session::default(),
+            &crate::kernels::OFFSET_CROSSOVER,
+            256,
+            0.4,
+            "FI O(1)",
+        );
         assert!(matches!(m.class, LoopClass::Predicated { .. }));
         assert!(m.parallel, "cascade should pass on the workload");
         assert!(!m.baseline_parallel);
@@ -346,7 +360,13 @@ mod tests {
 
     #[test]
     fn sequential_recurrence_stays_sequential() {
-        let m = measure_loop(&crate::kernels::SEQ_RECURRENCE, 128, 0.3, "STATIC-SEQ");
+        let m = measure_loop(
+            &Session::default(),
+            &crate::kernels::SEQ_RECURRENCE,
+            128,
+            0.3,
+            "STATIC-SEQ",
+        );
         assert!(!m.parallel);
         assert!(!m.baseline_parallel);
     }
@@ -359,7 +379,7 @@ mod tests {
             .iter()
             .find(|b| b.name == "swim")
             .expect("swim");
-        let t = measure_benchmark(swim);
+        let t = measure_benchmark(&Session::default(), swim);
         let seq = t.seq_units() as f64;
         let p8 = t.par_units(8, 2000) as f64;
         assert!(seq / p8 > 4.0, "swim 8-proc speedup {}", seq / p8);
@@ -371,7 +391,7 @@ mod tests {
             .iter()
             .find(|b| b.name == "ocean")
             .expect("ocean");
-        let t = measure_benchmark(ocean);
+        let t = measure_benchmark(&Session::default(), ocean);
         let seq = t.seq_units() as f64;
         let ours = t.par_units(4, 2000) as f64;
         let base = t.baseline_units(4, 2000) as f64;
@@ -385,7 +405,7 @@ mod tests {
             .iter()
             .find(|b| b.name == "trfd")
             .expect("trfd");
-        let t = measure_benchmark(trfd);
+        let t = measure_benchmark(&Session::default(), trfd);
         let rtov = t.rt_overhead(4, 2000);
         assert!(rtov < 0.08, "trfd RTov {rtov}");
     }
@@ -400,7 +420,7 @@ mod shape_report {
     #[test]
     fn report_all_shapes() {
         for shape in crate::kernels::all_shapes() {
-            let m = measure_loop(shape, 64, 0.3, "-");
+            let m = measure_loop(&Session::default(), shape, 64, 0.3, "-");
             println!(
                 "{:<18} class={:?} parallel={} baseline={} test_units={} seq={}",
                 shape.name,
@@ -426,8 +446,9 @@ mod solvh_debug {
         let p = shape.prepared(16);
         let prog = p.machine.program().clone();
         let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
-        let analysis =
-            analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default()).expect("a");
+        let analysis = Session::default()
+            .analyze(&prog, sub.name, p.label)
+            .expect("a");
         let ctx = StoreCtx(&p.frame);
         for (k, st) in analysis.cascade.stages.iter().enumerate() {
             println!(

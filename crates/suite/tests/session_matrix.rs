@@ -1,0 +1,145 @@
+//! Sessions across the full `(Backend, PredBackend)` matrix, in one
+//! process: every combination must produce bit-identical measurements
+//! (the PR 3 acceptance check, now exercised through `Session` instead
+//! of env-var CI legs) — including when the sessions run concurrently
+//! from separate threads, which the old process-global configuration
+//! could not even express.
+
+use lip_runtime::{Backend, LoopJob, PredBackend, Session};
+use lip_suite::{measure_loop, KernelShape, LoopMeasurement};
+use lip_symbolic::sym;
+
+/// The four seam combinations.
+fn matrix() -> Vec<(Backend, PredBackend)> {
+    vec![
+        (Backend::TreeWalk, PredBackend::Tree),
+        (Backend::TreeWalk, PredBackend::Compiled),
+        (Backend::Bytecode, PredBackend::Tree),
+        (Backend::Bytecode, PredBackend::Compiled),
+    ]
+}
+
+fn session(backend: Backend, pred: PredBackend) -> Session {
+    Session::builder()
+        .backend(backend)
+        .pred(pred)
+        .nthreads(2)
+        .par_min(64) // small threshold so the parallel predicate path runs
+        .build()
+}
+
+/// The kernels the differential sweep measures: a static-parallel
+/// stencil, O(1)/O(N) predicated loops, an interprocedural kernel, an
+/// index reduction and a CIV compaction.
+fn kernels() -> Vec<(&'static KernelShape, usize)> {
+    vec![
+        (&lip_suite::STENCIL, 96),
+        (&lip_suite::OFFSET_CROSSOVER, 96),
+        (&lip_suite::MONOTONE_WINDOWS, 48),
+        (&lip_suite::SOLVH, 24),
+        (&lip_suite::INDEX_REDUCTION, 64),
+        (&lip_suite::CIV_CONDITIONAL, 64),
+    ]
+}
+
+/// The observable table row of one measurement (everything Tables 1–3
+/// derive from).
+fn row(m: &LoopMeasurement) -> (String, String, bool, bool, Vec<u64>, u64) {
+    (
+        format!("{}_{} {:?}", m.shape, m.label, m.class),
+        m.techniques.clone(),
+        m.parallel,
+        m.baseline_parallel,
+        m.per_iter.clone(),
+        m.test_units,
+    )
+}
+
+fn measure_all(session: &Session) -> Vec<(String, String, bool, bool, Vec<u64>, u64)> {
+    kernels()
+        .into_iter()
+        .map(|(shape, n)| row(&measure_loop(session, shape, n, 0.3, "-")))
+        .collect()
+}
+
+#[test]
+fn all_backend_combinations_measure_identically_in_one_process() {
+    let reference = measure_all(&session(Backend::TreeWalk, PredBackend::Tree));
+    for (backend, pred) in matrix() {
+        let got = measure_all(&session(backend, pred));
+        assert_eq!(reference, got, "tables diverged under ({backend}, {pred})");
+    }
+}
+
+#[test]
+fn concurrent_sessions_with_different_seams_are_bit_identical() {
+    // Baseline: each combination measured alone, sequentially.
+    let baseline: Vec<_> = matrix()
+        .into_iter()
+        .map(|(b, p)| measure_all(&session(b, p)))
+        .collect();
+
+    // All four sessions measuring the same kernels at the same time
+    // from separate threads — two callers in one process with
+    // different backends, the scenario env-var seams made impossible.
+    let concurrent: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = matrix()
+            .into_iter()
+            .map(|(b, p)| scope.spawn(move || measure_all(&session(b, p))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("measurement thread panicked"))
+            .collect()
+    });
+
+    for (k, (base, conc)) in baseline.iter().zip(concurrent.iter()).enumerate() {
+        assert_eq!(base, conc, "combination {k} diverged under concurrency");
+    }
+}
+
+#[test]
+fn concurrent_executions_produce_identical_frames() {
+    // Beyond the tables: actually *execute* a predicated loop through
+    // run_loop from concurrent sessions and compare the final array
+    // state element for element against a single-session run.
+    let shape = &lip_suite::OFFSET_CROSSOVER;
+    let n = 256usize;
+    let run = |backend: Backend, pred: PredBackend| {
+        let sess = session(backend, pred);
+        let mut p = shape.prepared(n);
+        let prog = p.machine.program().clone();
+        let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+        let target = sub.find_loop(p.label).expect("loop").clone();
+        let analysis = sess.analyze(&prog, sub.name, p.label).expect("analysis");
+        let stats = sess
+            .run_many([LoopJob {
+                machine: &p.machine,
+                sub: &sub,
+                target: &target,
+                analysis: &analysis,
+                frame: &mut p.frame,
+            }])
+            .expect("runs")
+            .pop()
+            .expect("one result");
+        let a = p.frame.array(sym("A")).expect("A");
+        let snapshot: Vec<f64> = (0..a.buf.len()).map(|i| a.get_f64(i)).collect();
+        (stats.outcome, stats.test_units, stats.loop_units, snapshot)
+    };
+
+    let reference = run(Backend::TreeWalk, PredBackend::Tree);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = matrix()
+            .into_iter()
+            .map(|(b, p)| scope.spawn(move || run(b, p)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for (k, got) in results.iter().enumerate() {
+        assert_eq!(&reference, got, "combination {k} diverged");
+    }
+}

@@ -17,7 +17,7 @@
 //! * [`node`] — the [`Usr`] DAG and simplifying smart constructors,
 //! * [`summary`] — RO/WF/RW triples and the data-flow equations of Fig. 2,
 //! * [`equations`] — the FIND/OIND independence equations (Eq. 2–3),
-//! * [`reshape`] — Fig. 8's accuracy-enabling transformations
+//! * [`mod@reshape`] — Fig. 8's accuracy-enabling transformations
 //!   (subtraction reassociation and UMEG preservation),
 //! * [`eval`] — exact runtime evaluation against concrete bindings.
 

@@ -12,8 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use lip_analysis::{analyze_loop, AnalysisConfig};
 use lip_ir::{AccessTracer, ExecState, Machine, Store, Value};
-use lip_runtime::exec::{run_loop_with, ExecOutcome};
-use lip_runtime::Backend;
+use lip_runtime::{Backend, ExecOutcome, Session};
 use lip_suite::Prepared;
 use lip_symbolic::{sym, Sym};
 use lip_vm::{add_block, compile_program, Frame, Vm};
@@ -129,17 +128,11 @@ fn differential_run_loop(shape: &'static lip_suite::KernelShape, n: usize) {
     let analysis =
         analyze_loop(&prog, sub.name, p0.label, &AnalysisConfig::default()).expect("analysis");
     let run = |backend: Backend| {
+        let session = Session::builder().backend(backend).nthreads(2).build();
         let mut p = shape.prepared(n);
-        let stats = run_loop_with(
-            &p.machine,
-            &sub,
-            &target,
-            &analysis,
-            &mut p.frame,
-            2,
-            backend,
-        )
-        .unwrap_or_else(|e| panic!("{ctx}: {backend} failed: {e}"));
+        let stats = session
+            .run_loop(&p.machine, &sub, &target, &analysis, &mut p.frame)
+            .unwrap_or_else(|e| panic!("{ctx}: {backend} failed: {e}"));
         (stats, p.frame)
     };
     let (tw, tw_frame) = run(Backend::TreeWalk);
@@ -185,6 +178,7 @@ END
         let m = if m_factor == 1 { n } else { 1 };
         let ctx = format!("quickstart M={m}");
         let run = |backend: Backend| {
+            let session = Session::builder().backend(backend).nthreads(2).build();
             let machine = Machine::new(prog.clone());
             let mut frame = Store::new();
             frame.set_int(sym("N"), n).set_int(sym("M"), m);
@@ -192,7 +186,8 @@ END
             for i in 0..(2 * n) as usize {
                 a.set(i, Value::Real(i as f64));
             }
-            let stats = run_loop_with(&machine, &sub, &target, &analysis, &mut frame, 2, backend)
+            let stats = session
+                .run_loop(&machine, &sub, &target, &analysis, &mut frame)
                 .expect("runs");
             (stats, frame)
         };

@@ -10,18 +10,20 @@
 //! trace by executing the CIV slice (CIV-COMP) and the §3.3 window
 //! predicate validates output independence.
 
-use lip::analysis::{analyze_loop, AnalysisConfig, Technique};
+use lip::analysis::Technique;
 use lip::ir::{Machine, Store, Value};
-use lip::runtime::run_loop;
 use lip::symbolic::sym;
+use lip::Session;
 
 fn main() {
+    let session = Session::builder().nthreads(2).build();
     let prepared = lip::suite::CIV_CONDITIONAL.prepared(0);
     let prog = prepared.machine.program().clone();
     let sub = prog.subroutine(sym("actfor")).expect("sub").clone();
     let target = sub.find_loop("do240").expect("loop").clone();
-    let analysis =
-        analyze_loop(&prog, sub.name, "do240", &AnalysisConfig::default()).expect("analyzable");
+    let analysis = session
+        .analyze(&prog, sub.name, "do240")
+        .expect("analyzable");
     println!("classification: {:?}", analysis.class);
     assert!(analysis.techniques.contains(&Technique::CivAgg));
     println!(
@@ -45,7 +47,9 @@ fn main() {
     for i in 0..n {
         c.set(i, Value::Int(i64::from(i % 3 == 0)));
     }
-    let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+    let stats = session
+        .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+        .expect("runs");
     println!(
         "outcome {:?}; CIV slice + cascade cost {} units vs loop {} units",
         stats.outcome, stats.test_units, stats.loop_units

@@ -11,18 +11,19 @@
 //! index) and buffered per-thread reduction (colliding index). Both
 //! paths produce exact results.
 
-use lip::analysis::{analyze_loop, AnalysisConfig};
 use lip::ir::{Machine, Store, Value};
-use lip::runtime::run_loop;
 use lip::symbolic::sym;
+use lip::Session;
 
 fn main() {
+    let session = Session::builder().nthreads(2).build();
     let prepared = lip::suite::INDEX_REDUCTION.prepared(0);
     let prog = prepared.machine.program().clone();
     let sub = prog.subroutine(sym("inl1130")).expect("sub").clone();
     let target = sub.find_loop("do1130").expect("loop").clone();
-    let analysis =
-        analyze_loop(&prog, sub.name, "do1130", &AnalysisConfig::default()).expect("analyzable");
+    let analysis = session
+        .analyze(&prog, sub.name, "do1130")
+        .expect("analyzable");
     println!("classification: {:?}", analysis.class);
     println!(
         "techniques: {:?}",
@@ -44,7 +45,9 @@ fn main() {
     for i in 0..n {
         j.set(i, Value::Int(3 * i as i64 + 1));
     }
-    let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+    let stats = session
+        .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+        .expect("runs");
     println!("injective J: outcome {:?}", stats.outcome);
     let f = frame.array(sym("F")).expect("F");
     assert_eq!(f.get_f64(0), 0.5);
@@ -58,7 +61,9 @@ fn main() {
     for i in 0..n {
         j2.set(i, Value::Int((i % 4) as i64 * 3 + 1));
     }
-    let stats2 = run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
+    let stats2 = session
+        .run_loop(&machine, &sub, &target, &analysis, &mut frame2)
+        .expect("runs");
     println!("colliding J: outcome {:?}", stats2.outcome);
     let f2 = frame2.array(sym("F")).expect("F");
     let total: f64 = (0..16).map(|k| f2.get_f64(k)).sum();

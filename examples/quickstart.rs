@@ -8,12 +8,15 @@
 //! undecidable at compile time, decided by an O(1) predicate at runtime
 //! (paper §1's hybrid-analysis pitch in miniature).
 
-use lip::analysis::{analyze_loop, AnalysisConfig};
 use lip::ir::{parse_program, Machine, Store, Value};
-use lip::runtime::{run_loop, ExecOutcome};
+use lip::runtime::ExecOutcome;
 use lip::symbolic::sym;
+use lip::Session;
 
 fn main() {
+    // One configured entry point for the whole pipeline; see
+    // `Session::builder()` for backend/engine/thread knobs.
+    let session = Session::builder().nthreads(2).build();
     let src = "
 SUBROUTINE kernel(A, N, M)
   DIMENSION A(*)
@@ -29,8 +32,9 @@ END
 
     // 1. Hybrid analysis: summaries -> independence USRs -> factorized
     //    predicate cascade.
-    let analysis =
-        analyze_loop(&prog, sub.name, "main_loop", &AnalysisConfig::default()).expect("analyzable");
+    let analysis = session
+        .analyze(&prog, sub.name, "main_loop")
+        .expect("analyzable");
     println!("classification: {:?}", analysis.class);
     for (i, stage) in analysis.cascade.stages.iter().enumerate() {
         println!("  stage {i} (O(N^{})): {}", stage.complexity, stage.pred);
@@ -47,7 +51,9 @@ END
     for i in 0..2 * n {
         a.set(i, Value::Real(i as f64));
     }
-    let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+    let stats = session
+        .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+        .expect("runs");
     println!(
         "M = N: outcome {:?}, test units {}, loop units {}",
         stats.outcome, stats.test_units, stats.loop_units
@@ -62,6 +68,8 @@ END
     for i in 0..=n {
         a2.set(i, Value::Real(0.0));
     }
-    let stats2 = run_loop(&machine, &sub, &target, &analysis, &mut frame2, 2).expect("runs");
+    let stats2 = session
+        .run_loop(&machine, &sub, &target, &analysis, &mut frame2)
+        .expect("runs");
     println!("M = 1: outcome {:?}", stats2.outcome);
 }

@@ -60,13 +60,9 @@ fn main() {
     // And the full interprocedural kernel classifies + runs end to end.
     let prepared = lip::suite::SOLVH.prepared(32);
     let prog = prepared.machine.program().clone();
-    let analysis = lip::analysis::analyze_loop(
-        &prog,
-        sym(prepared.sub),
-        prepared.label,
-        &lip::analysis::AnalysisConfig::default(),
-    )
-    .expect("analyzable");
+    let analysis = lip::Session::default()
+        .analyze(&prog, sym(prepared.sub), prepared.label)
+        .expect("analyzable");
     println!(
         "SOLVH_do20: {:?}, techniques {:?}",
         analysis.class,

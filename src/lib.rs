@@ -19,6 +19,15 @@
 //! * [`runtime`] — parallel executor, runtime tests, cost-model simulator,
 //! * [`suite`] — the PERFECT-CLUB / SPEC benchmark kernels.
 //!
+//! The configured entry point to the whole pipeline is [`Session`]
+//! (re-exported from [`runtime`]): a builder owning the execution
+//! backend, the predicate engine, the pool width and the per-machine
+//! compile caches, with `analyze` / `run_loop` / `run_many` /
+//! `civ_traces` / `lrpd_execute` / `per_iteration_costs` / `simulate`
+//! methods. Environment variables (`LIP_BACKEND`, `LIP_PRED`,
+//! `LIP_PRED_PAR_MIN`) are read in exactly one place,
+//! [`SessionConfig::from_env`], with strict parsing.
+//!
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
 
 pub use lip_analysis as analysis;
@@ -31,3 +40,5 @@ pub use lip_suite as suite;
 pub use lip_symbolic as symbolic;
 pub use lip_usr as usr;
 pub use lip_vm as vm;
+
+pub use lip_runtime::{ConfigError, LoopJob, Session, SessionBuilder, SessionConfig};

@@ -3,19 +3,25 @@
 //! cascade → runtime execution (threads) — checked against sequential
 //! semantics.
 
-use lip::analysis::{analyze_loop, AnalysisConfig, LoopClass, Technique};
+use lip::analysis::{LoopClass, Technique};
 use lip::ir::{parse_program, ExecState, Machine, Store, Value};
-use lip::runtime::{run_loop, ExecOutcome};
+use lip::runtime::ExecOutcome;
 use lip::symbolic::sym;
+use lip::Session;
+
+/// A default two-thread session for the parity checks.
+fn session2() -> Session {
+    Session::builder().nthreads(2).build()
+}
 
 /// Runs the loop sequentially and in parallel on cloned state; the
 /// shared arrays must end identical.
 fn parity_check(src: &str, sub_name: &str, label: &str, setup: impl Fn(&mut Store)) {
+    let session = session2();
     let prog = parse_program(src).expect("parses");
     let sub = prog.subroutine(sym(sub_name)).expect("sub").clone();
     let target = sub.find_loop(label).expect("loop").clone();
-    let analysis =
-        analyze_loop(&prog, sub.name, label, &AnalysisConfig::default()).expect("analyzable");
+    let analysis = session.analyze(&prog, sub.name, label).expect("analyzable");
     let machine = Machine::new(prog);
 
     let mut seq_frame = Store::new();
@@ -27,7 +33,9 @@ fn parity_check(src: &str, sub_name: &str, label: &str, setup: impl Fn(&mut Stor
 
     let mut par_frame = Store::new();
     setup(&mut par_frame);
-    run_loop(&machine, &sub, &target, &analysis, &mut par_frame, 2).expect("parallel run");
+    session
+        .run_loop(&machine, &sub, &target, &analysis, &mut par_frame)
+        .expect("parallel run");
 
     for (name, seq_view) in seq_frame.arrays() {
         let par_view = par_frame.array(name).expect("array bound in both");
@@ -170,7 +178,8 @@ fn expected_classifications_match_paper_rows() {
     for (shape, ok) in cases {
         let p = shape.prepared(32);
         let prog = p.machine.program().clone();
-        let analysis = analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default())
+        let analysis = Session::default()
+            .analyze(&prog, sym(p.sub), p.label)
             .expect("analyzable");
         assert!(ok(&analysis.class), "{}: {:?}", shape.name, analysis.class);
     }
@@ -181,8 +190,9 @@ fn o1_predicate_has_constant_cost() {
     // The FTRVMT-style test must not scale with N (paper: RTov ≈ 0%).
     let p = lip::suite::OFFSET_CROSSOVER.prepared(64);
     let prog = p.machine.program().clone();
-    let analysis =
-        analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default()).expect("analyzable");
+    let analysis = Session::default()
+        .analyze(&prog, sym(p.sub), p.label)
+        .expect("analyzable");
     let ctx = lip::ir::StoreCtx(&p.frame);
     let first = &analysis.cascade.stages[0];
     assert_eq!(first.complexity, 0);
@@ -192,14 +202,18 @@ fn o1_predicate_has_constant_cost() {
 #[test]
 fn lrpd_fallback_commits_on_benign_data() {
     // INT(real) indexing defeats every predicate; speculation decides.
+    let session = session2();
     let p = lip::suite::TLS_FEEDBACK.prepared(128);
     let prog = p.machine.program().clone();
     let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
     let target = sub.find_loop(p.label).expect("loop").clone();
-    let analysis =
-        analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default()).expect("analyzable");
+    let analysis = session
+        .analyze(&prog, sym(p.sub), p.label)
+        .expect("analyzable");
     let mut frame = p.frame.clone();
-    let stats = run_loop(&p.machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
+    let stats = session
+        .run_loop(&p.machine, &sub, &target, &analysis, &mut frame)
+        .expect("runs");
     match stats.outcome {
         ExecOutcome::Speculated(_)
         | ExecOutcome::Sequential
@@ -215,10 +229,11 @@ fn techniques_cover_paper_vocabulary() {
     // technique vocabulary.
     use std::collections::BTreeSet;
     let mut seen: BTreeSet<Technique> = BTreeSet::new();
+    let session = Session::default();
     for shape in lip::suite::all_shapes() {
         let p = shape.prepared(24);
         let prog = p.machine.program().clone();
-        if let Some(a) = analyze_loop(&prog, sym(p.sub), p.label, &AnalysisConfig::default()) {
+        if let Some(a) = session.analyze(&prog, sym(p.sub), p.label) {
             seen.extend(a.techniques.iter().copied());
         }
     }
