@@ -1,5 +1,7 @@
 //! Emits `BENCH_vm.json`: wall-clock and work-unit figures for the hot
-//! suite kernels under both execution backends, per-kernel
+//! suite kernels under both execution backends, unfused vs
+//! peephole-fused bytecode dispatch (`fused_results` — the
+//! superinstruction pass win, with op counts), per-kernel
 //! predicate-evaluation timings for the O(N) cascade stages (tree-walk
 //! `Pdag::eval` vs the compiled `lip_pred` engine, sequential and
 //! chunk-parallel), and cold-vs-warm `Session` timings (cache reuse
@@ -99,6 +101,110 @@ fn measure(shape: &'static KernelShape, n: usize) -> (Row, Row) {
             speedup_vs_treewalk: tw_ns / vm_ns,
         },
     )
+}
+
+struct FusedRow {
+    kernel: &'static str,
+    unfused_wall_ns: f64,
+    fused_wall_ns: f64,
+    speedup_vs_unfused: f64,
+    ops_unfused: usize,
+    ops_fused: usize,
+}
+
+/// Times the kernel's target loop block on raw bytecode vs the
+/// peephole-fused stream (the superinstruction pass), asserting
+/// identical work units. The op counts record how far the stream
+/// shrank — the dispatch-count reduction the wall-clock win comes
+/// from. Unlike the backend rows, the two streams here differ by tens
+/// of percent, not integer factors, so they are timed *interleaved*
+/// (alternating rounds, best round per stream) to cancel machine
+/// drift.
+fn measure_fused(shape: &'static KernelShape, n: usize) -> FusedRow {
+    let p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+
+    struct Stream {
+        compiled: lip_vm::CompiledProgram,
+        block: lip_vm::BlockId,
+        frame: lip_vm::Frame,
+        machine: lip_ir::Machine,
+        nops: usize,
+    }
+    let build = |fuse: bool| {
+        let q = shape.prepared(n);
+        let mut compiled = lip_vm::compile_program(&prog).expect("compiles");
+        let block = lip_vm::add_block(&mut compiled, &sub, std::slice::from_ref(&target), &[])
+            .expect("block compiles");
+        if fuse {
+            lip_vm::optimize_block(&mut compiled, block);
+        }
+        let nops = compiled.block(block).chunk.ops.len();
+        let frame = lip_vm::Frame::for_chunk(&compiled.block(block).chunk, &q.frame);
+        Stream {
+            compiled,
+            block,
+            frame,
+            machine: q.machine,
+            nops,
+        }
+    };
+    let mut unfused = build(false);
+    let mut fused = build(true);
+    let run = |s: &mut Stream| {
+        let vm = lip_vm::Vm::for_machine(&s.compiled, &s.machine);
+        let mut st = ExecState::default();
+        vm.run_block(s.block, &mut s.frame, &mut st, None)
+            .expect("vm");
+        st.cost
+    };
+    let unfused_units = run(&mut unfused);
+    let fused_units = run(&mut fused);
+    assert_eq!(
+        unfused_units, fused_units,
+        "{}: fused work units diverged",
+        shape.name
+    );
+
+    // Calibrate on the unfused stream, then alternate fixed-size
+    // rounds and keep each stream's best round.
+    let calib = Instant::now();
+    let mut calib_iters = 0u64;
+    while calib.elapsed() < Duration::from_millis(5) && calib_iters < 1_000 {
+        run(&mut unfused);
+        calib_iters += 1;
+    }
+    let per_iter = calib.elapsed().as_secs_f64() / calib_iters as f64;
+    let rounds = 15u32;
+    let per_round = sample_budget().as_secs_f64() / f64::from(2 * rounds);
+    let iters = ((per_round / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..rounds {
+        // Alternate which stream goes first so a monotone frequency
+        // drift cannot systematically favor one of them.
+        let mut order = [(0usize, &mut unfused), (1usize, &mut fused)];
+        if round % 2 == 1 {
+            order.swap(0, 1);
+        }
+        for (slot, s) in order {
+            let start = Instant::now();
+            for _ in 0..iters {
+                run(s);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            best[slot] = best[slot].min(ns);
+        }
+    }
+    FusedRow {
+        kernel: shape.name,
+        unfused_wall_ns: best[0],
+        fused_wall_ns: best[1],
+        speedup_vs_unfused: best[0] / best[1],
+        ops_unfused: unfused.nops,
+        ops_fused: fused.nops,
+    }
 }
 
 struct PredRow {
@@ -256,6 +362,21 @@ fn main() {
         rows.push(vm);
     }
 
+    let mut fused_rows = Vec::new();
+    for (shape, n) in lip_bench::vm_hot_kernels() {
+        let r = measure_fused(shape, n);
+        println!(
+            "{:<18} unfused {:>12.0} ns  fused {:>12.0} ns  fusion win {:>5.2}x  (ops {} -> {})",
+            r.kernel,
+            r.unfused_wall_ns,
+            r.fused_wall_ns,
+            r.speedup_vs_unfused,
+            r.ops_unfused,
+            r.ops_fused
+        );
+        fused_rows.push(r);
+    }
+
     let mut pred_rows = Vec::new();
     for (shape, n) in lip_bench::pred_kernels() {
         let kernel_rows = measure_pred(shape, n);
@@ -298,6 +419,20 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
+    json.push_str("  ],\n  \"fused_results\": [\n");
+    for (i, r) in fused_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"unfused_wall_ns\": {:.1}, \"fused_wall_ns\": {:.1}, \"speedup_vs_unfused\": {:.3}, \"ops_unfused\": {}, \"ops_fused\": {}}}{}",
+            r.kernel,
+            r.unfused_wall_ns,
+            r.fused_wall_ns,
+            r.speedup_vs_unfused,
+            r.ops_unfused,
+            r.ops_fused,
+            if i + 1 == fused_rows.len() { "" } else { "," }
+        );
+    }
     json.push_str("  ],\n  \"pred_results\": [\n");
     for (i, r) in pred_rows.iter().enumerate() {
         let _ = writeln!(
@@ -327,8 +462,9 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
     println!(
-        "wrote BENCH_vm.json ({} vm rows, {} pred rows, {} session-reuse rows)",
+        "wrote BENCH_vm.json ({} vm rows, {} fused rows, {} pred rows, {} session-reuse rows)",
         rows.len(),
+        fused_rows.len(),
         pred_rows.len(),
         reuse_rows.len()
     );

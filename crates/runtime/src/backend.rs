@@ -31,6 +31,7 @@ use lip_vm::{Frame, Vm};
 use crate::cache::{CachedBody, MachineCache};
 
 pub use lip_pred::PredBackend;
+pub use lip_vm::OptLevel;
 
 /// Which execution engine runs loop iterations.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]

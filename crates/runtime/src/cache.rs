@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use lip_ir::{Expr, Machine, Stmt, Store, Subroutine};
 use lip_pred::PredEngine;
 use lip_symbolic::Sym;
-use lip_vm::{BlockId, CompiledProgram};
+use lip_vm::{BlockId, CompiledProgram, OptLevel};
 
 /// A cached standalone block: the compiled program it lives in plus its
 /// block id. Shared (`Arc`) across invocations and worker threads.
@@ -45,24 +45,30 @@ pub struct MachineCache {
     blocks: Mutex<HashMap<String, Option<Arc<CachedBody>>>>,
     /// The predicate engine (compile cache + verdict memo).
     pred: PredEngine,
+    /// Whether compiled chunks get the superinstruction peephole pass
+    /// (cache-wide, injected by the owning session — so a program is
+    /// fused exactly once per machine and every consumer of this cache
+    /// sees the same stream).
+    opt_level: OptLevel,
 }
 
 impl Default for MachineCache {
     fn default() -> MachineCache {
-        MachineCache::with_par_min(lip_pred::engine::DEFAULT_PAR_MIN)
+        MachineCache::new(lip_pred::engine::DEFAULT_PAR_MIN, OptLevel::default())
     }
 }
 
 impl MachineCache {
     /// A cache whose predicate engine parallelizes quantifiers of at
-    /// least `par_min` iterations (the owning session injects its
-    /// configured threshold here — the engine never reads the
-    /// environment).
-    pub fn with_par_min(par_min: i64) -> MachineCache {
+    /// least `par_min` iterations and whose compiled chunks are
+    /// post-processed at `opt_level` (the owning session injects both
+    /// — the cache never reads the environment).
+    pub fn new(par_min: i64, opt_level: OptLevel) -> MachineCache {
         MachineCache {
             base: OnceLock::new(),
             blocks: Mutex::new(HashMap::new()),
             pred: PredEngine::with_par_min(par_min),
+            opt_level,
         }
     }
 
@@ -94,8 +100,13 @@ impl MachineCache {
         let built = self.base(machine).and_then(|base| {
             // Clone the compiled subs (cheap next to recompiling the
             // whole program) and lower just this block into the copy.
+            // The cloned subs are already fused; only the fresh block
+            // needs the pass.
             let mut prog = (*base).clone();
             let block = lip_vm::add_block_with_exprs(&mut prog, sub, stmts, exprs, extra).ok()?;
+            if self.opt_level.fuses() {
+                lip_vm::optimize_block(&mut prog, block);
+            }
             Some(Arc::new(CachedBody {
                 prog: Arc::new(prog),
                 block,
@@ -109,13 +120,19 @@ impl MachineCache {
         built
     }
 
-    /// The whole program compiled once.
+    /// The whole program compiled (and, at the session's opt level,
+    /// fused) once.
     fn base(&self, machine: &Machine) -> Option<Arc<CompiledProgram>> {
         self.base
             .get_or_init(|| {
                 lip_vm::compile_program(machine.program())
                     .ok()
-                    .map(Arc::new)
+                    .map(|mut prog| {
+                        if self.opt_level.fuses() {
+                            lip_vm::optimize_program(&mut prog);
+                        }
+                        Arc::new(prog)
+                    })
             })
             .clone()
     }

@@ -186,34 +186,9 @@ fn expr_syms(e: &lip_ir::Expr) -> BTreeSet<Sym> {
     out
 }
 
-/// Runs the CIV slice sequentially and records, for each traced scalar,
-/// its value at the entry of every iteration (plus one final entry for
-/// the post-loop value). Returns the traces (bound into `frame` under
-/// the trace-array names) and the slice's work-unit cost. Runs through
-/// the process-global, environment-configured session.
-///
-/// For a `DO` loop the slice runs `lo..=hi`; for a `DO WHILE` it runs
-/// until the condition fails, additionally binding `<label>@niters`.
-///
-/// # Errors
-///
-/// Propagates interpreter failures from the slice execution.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a configured session and use `Session::civ_traces` instead"
-)]
-pub fn compute_civ_traces(
-    machine: &Machine,
-    sub: &Subroutine,
-    target: &Stmt,
-    civs: &[(Sym, Sym)],
-    frame: &mut Store,
-    niters_sym: Option<Sym>,
-) -> Result<u64, RunError> {
-    crate::session::global().civ_traces(machine, sub, target, civs, frame, niters_sym)
-}
-
-/// The slice driver behind [`crate::Session::civ_traces`]: on the
+/// The slice driver behind [`crate::Session::civ_traces`]: runs the
+/// CIV slice sequentially and records each traced scalar's value at
+/// every iteration entry (plus the post-loop value). On the
 /// bytecode backend the slice runs through the VM (identical traces
 /// and work units, faster wall-clock — the slice is the dominant
 /// runtime-test cost for the `track`-style while loops), compiled once

@@ -74,27 +74,6 @@ pub enum ExecPlan {
     ReductionBuffer(BinOp),
 }
 
-/// Runs the analyzed loop against `frame` through the process-global,
-/// environment-configured session.
-///
-/// # Errors
-///
-/// Propagates interpreter failures.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a configured session and use `Session::run_loop` (or `run_many`) instead"
-)]
-pub fn run_loop(
-    machine: &Machine,
-    sub: &lip_ir::Subroutine,
-    target: &Stmt,
-    analysis: &LoopAnalysis,
-    frame: &mut Store,
-    nthreads: usize,
-) -> Result<RunStats, RunError> {
-    crate::session::global().run_loop_at(nthreads, machine, sub, target, analysis, frame)
-}
-
 /// The executor driver behind [`crate::Session::run_loop`]: the
 /// session absorbs what used to be a `(nthreads, backend, pred)`
 /// argument sprawl across three public variants.
@@ -790,25 +769,38 @@ END
     }
 
     #[test]
-    #[allow(deprecated)] // the shim must keep working for one release
-    fn deprecated_free_function_still_runs() {
+    fn run_loop_matches_across_opt_levels() {
         let src = "
 SUBROUTINE t(A, N)
   DIMENSION A(*)
   INTEGER i, N
   DO l1 i = 1, N
-    A(i) = 3.0
+    A(i) = A(i) + 3.0
   ENDDO
 END
 ";
         let (machine, sub, target, analysis) = full_setup(src, "l1");
-        let mut frame = Store::new();
-        frame.set_int(sym("N"), 64);
-        frame.alloc_real(sym("A"), 64);
-        let stats = run_loop(&machine, &sub, &target, &analysis, &mut frame, 2).expect("runs");
-        assert_eq!(stats.outcome, ExecOutcome::StaticParallel);
-        let a = frame.array(sym("A")).expect("A");
-        assert_eq!(a.get_f64(63), 3.0);
+        let run = |opt| {
+            let session = Session::builder()
+                .backend(crate::Backend::Bytecode)
+                .opt_level(opt)
+                .nthreads(2)
+                .build();
+            let mut frame = Store::new();
+            frame.set_int(sym("N"), 64);
+            frame.alloc_real(sym("A"), 64);
+            let stats = session
+                .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+                .expect("runs");
+            let a = frame.array(sym("A")).expect("A");
+            let snap: Vec<f64> = (0..64).map(|i| a.get_f64(i)).collect();
+            (stats.outcome, stats.test_units, stats.loop_units, snap)
+        };
+        let unfused = run(crate::backend::OptLevel::None);
+        let fused = run(crate::backend::OptLevel::Fuse);
+        assert_eq!(unfused, fused);
+        assert_eq!(fused.0, ExecOutcome::StaticParallel);
+        assert_eq!(fused.3[63], 3.0);
     }
 
     #[test]

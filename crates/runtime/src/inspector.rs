@@ -144,7 +144,8 @@ pub fn inspect(
 
 /// Inspector/executor: inspect on disposable state, then execute the
 /// loop — in parallel when independent, sequentially otherwise. Unlike
-/// [`crate::lrpd::lrpd_execute`] there is never anything to roll back.
+/// [`crate::Session::lrpd_execute`] there is never anything to roll
+/// back.
 ///
 /// Returns the verdict and total work units (inspection + execution).
 ///

@@ -16,12 +16,13 @@
 //!
 //! All of it is driven through one configured entry point: a
 //! [`Session`] (see [`session`]) owns the backend/predicate-engine
-//! selection, the pool width, the per-machine compile caches and the
+//! selection, the bytecode opt level (the `lip_vm` superinstruction
+//! pass), the pool width, the per-machine compile caches and the
 //! simulator's spawn cost. Environment variables (`LIP_BACKEND`,
-//! `LIP_PRED`, `LIP_PRED_PAR_MIN`) are read in exactly one place,
-//! [`SessionConfig::from_env`], with strict parsing; a handful of free
-//! functions remain as deprecated shims over a process-global session
-//! for one release.
+//! `LIP_OPT`, `LIP_PRED`, `LIP_PRED_PAR_MIN`) are read in exactly one
+//! place, [`SessionConfig::from_env`], with strict parsing. The free
+//! functions deprecated in 0.2 (`run_loop` et al.) are gone as of
+//! 0.3 — every path goes through a `Session`.
 
 pub mod backend;
 pub mod cache;
@@ -33,7 +34,7 @@ pub mod pool;
 pub mod session;
 pub mod sim;
 
-pub use backend::{Backend, PredBackend};
+pub use backend::{Backend, OptLevel, PredBackend};
 pub use cache::{store_fingerprint, MachineCache};
 pub use civ::extract_slice;
 pub use exec::{ExecOutcome, ExecPlan, RunStats};
@@ -42,14 +43,3 @@ pub use lrpd::LrpdOutcome;
 pub use pool::parallel_chunks;
 pub use session::{ConfigError, LoopJob, Session, SessionBuilder, SessionConfig};
 pub use sim::{charged_test_units, makespan, SimResult, SimSpec};
-
-// Deprecated shims (one release): the free pipeline entry points over
-// the process-global, environment-configured session.
-#[allow(deprecated)]
-pub use civ::compute_civ_traces;
-#[allow(deprecated)]
-pub use exec::run_loop;
-#[allow(deprecated)]
-pub use lrpd::lrpd_execute;
-#[allow(deprecated)]
-pub use sim::per_iteration_costs;

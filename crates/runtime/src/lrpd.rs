@@ -79,33 +79,6 @@ pub enum LrpdOutcome {
     Aborted,
 }
 
-/// Speculatively executes the DO loop `target` (of `sub`) in parallel
-/// over `nthreads`, monitoring `arrays` for cross-iteration conflicts.
-/// Runs through the process-global, environment-configured session.
-///
-/// On conflict, restores the monitored arrays and re-runs sequentially.
-/// Returns the outcome and the accumulated work units (speculation +
-/// possible sequential re-run).
-///
-/// # Errors
-///
-/// Propagates interpreter errors (from either the speculative or the
-/// sequential run).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a configured session and use `Session::lrpd_execute` instead"
-)]
-pub fn lrpd_execute(
-    machine: &Machine,
-    sub: &Subroutine,
-    target: &Stmt,
-    frame: &Store,
-    arrays: &[Sym],
-    nthreads: usize,
-) -> Result<(LrpdOutcome, u64), RunError> {
-    crate::session::global().lrpd_execute_at(nthreads, machine, sub, target, frame, arrays)
-}
-
 /// The speculation driver behind [`crate::Session::lrpd_execute`]: on
 /// the bytecode backend both the speculative parallel run and the
 /// sequential recovery execute compiled bytecode — the shadow-array

@@ -6,11 +6,12 @@
 //! for CIV, LRPD and costs) whose configuration leaked in through
 //! process-global environment variables read mid-call. A [`Session`]
 //! replaces that sprawl: a builder owns **all** configuration
-//! ([`SessionConfig`]: execution backend, predicate engine, pool
-//! width, predicate fork threshold, spawn cost, analysis options) plus
-//! the shared mutable state — the per-machine compile caches and the
-//! [`lip_pred::PredEngine`] with its verdict memo — and exposes the
-//! pipeline as methods.
+//! ([`SessionConfig`]: execution backend, bytecode opt level,
+//! predicate engine, pool width, predicate fork threshold, spawn cost,
+//! analysis options) plus the shared mutable state — the per-machine
+//! compile caches and the [`lip_pred::PredEngine`] with its verdict
+//! memo — and exposes the pipeline as methods. (The free-function
+//! shims deprecated in 0.2 are gone as of 0.3.)
 //!
 //! Two sessions are fully isolated: each owns its own cache registry,
 //! so two callers in one process can run different `(Backend,
@@ -36,13 +37,13 @@
 //! assert!(session.config().backend.is_bytecode());
 //! ```
 
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::sync::{Arc, Mutex, Weak};
 
 use lip_analysis::{analyze_loop, AnalysisConfig, LoopAnalysis};
 use lip_ir::{Machine, Program, RunError, Stmt, Store, Subroutine};
 use lip_symbolic::Sym;
 
-use crate::backend::{Backend, ExecEnv, PredBackend};
+use crate::backend::{Backend, ExecEnv, OptLevel, PredBackend};
 use crate::cache::MachineCache;
 use crate::exec::RunStats;
 use crate::lrpd::LrpdOutcome;
@@ -55,6 +56,10 @@ use crate::sim::{SimResult, SimSpec};
 pub struct SessionConfig {
     /// Which engine runs loop iterations (`LIP_BACKEND`).
     pub backend: Backend,
+    /// Whether compiled bytecode gets the superinstruction peephole
+    /// pass (`LIP_OPT`; default on — `OptLevel::None` keeps the raw
+    /// compiler stream reachable for differential testing).
+    pub opt_level: OptLevel,
     /// Which engine evaluates runtime predicates (`LIP_PRED`).
     pub pred: PredBackend,
     /// Fork-join pool width for parallel execution and O(N) predicate
@@ -75,6 +80,7 @@ impl Default for SessionConfig {
     fn default() -> SessionConfig {
         SessionConfig {
             backend: Backend::default(),
+            opt_level: OptLevel::default(),
             pred: PredBackend::default(),
             nthreads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -105,7 +111,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// The environment variables [`SessionConfig::from_env`] honors.
-const ENV_VARS: [&str; 3] = ["LIP_BACKEND", "LIP_PRED", "LIP_PRED_PAR_MIN"];
+const ENV_VARS: [&str; 4] = ["LIP_BACKEND", "LIP_OPT", "LIP_PRED", "LIP_PRED_PAR_MIN"];
 
 impl SessionConfig {
     /// Reads the `LIP_*` environment variables — the **only** place in
@@ -143,6 +149,7 @@ impl SessionConfig {
         };
         match var {
             "LIP_BACKEND" => self.backend = value.parse().map_err(err)?,
+            "LIP_OPT" => self.opt_level = value.parse().map_err(err)?,
             "LIP_PRED" => self.pred = value.parse().map_err(err)?,
             "LIP_PRED_PAR_MIN" => self.par_min = parse_par_min(value).map_err(err)?,
             other => {
@@ -179,6 +186,14 @@ impl SessionBuilder {
     #[must_use]
     pub fn backend(mut self, backend: Backend) -> SessionBuilder {
         self.cfg.backend = backend;
+        self
+    }
+
+    /// Whether compiled bytecode gets the superinstruction peephole
+    /// pass (default [`OptLevel::Fuse`]).
+    #[must_use]
+    pub fn opt_level(mut self, opt_level: OptLevel) -> SessionBuilder {
+        self.cfg.opt_level = opt_level;
         self
     }
 
@@ -295,7 +310,7 @@ impl Session {
                 }
             }
         }
-        let cache = Arc::new(MachineCache::with_par_min(self.cfg.par_min));
+        let cache = Arc::new(MachineCache::new(self.cfg.par_min, self.cfg.opt_level));
         reg.push((Arc::downgrade(&handle), cache.clone()));
         cache
     }
@@ -334,23 +349,9 @@ impl Session {
         analysis: &LoopAnalysis,
         frame: &mut Store,
     ) -> Result<RunStats, RunError> {
-        self.run_loop_at(self.cfg.nthreads, machine, sub, target, analysis, frame)
-    }
-
-    /// [`Session::run_loop`] with an explicit pool width (the
-    /// deprecated free `run_loop` still carries one).
-    pub(crate) fn run_loop_at(
-        &self,
-        nthreads: usize,
-        machine: &Machine,
-        sub: &Subroutine,
-        target: &Stmt,
-        analysis: &LoopAnalysis,
-        frame: &mut Store,
-    ) -> Result<RunStats, RunError> {
         let cache = self.cache(machine);
         crate::exec::run_loop_impl(
-            &self.exec_env(&cache, nthreads),
+            &self.exec_env(&cache, self.cfg.nthreads),
             machine,
             sub,
             target,
@@ -422,22 +423,9 @@ impl Session {
         frame: &Store,
         arrays: &[Sym],
     ) -> Result<(LrpdOutcome, u64), RunError> {
-        self.lrpd_execute_at(self.cfg.nthreads, machine, sub, target, frame, arrays)
-    }
-
-    /// [`Session::lrpd_execute`] with an explicit pool width.
-    pub(crate) fn lrpd_execute_at(
-        &self,
-        nthreads: usize,
-        machine: &Machine,
-        sub: &Subroutine,
-        target: &Stmt,
-        frame: &Store,
-        arrays: &[Sym],
-    ) -> Result<(LrpdOutcome, u64), RunError> {
         let cache = self.cache(machine);
         crate::lrpd::lrpd_execute_impl(
-            &self.exec_env(&cache, nthreads),
+            &self.exec_env(&cache, self.cfg.nthreads),
             machine,
             sub,
             target,
@@ -522,17 +510,6 @@ pub struct LoopJob<'a> {
     pub frame: &'a mut lip_ir::Store,
 }
 
-/// The process-global session behind the deprecated free functions
-/// (`run_loop` etc.), configured from the environment once. Invalid
-/// `LIP_*` values abort with a clear message — strict parsing has no
-/// silent fallback even on this compatibility path.
-pub(crate) fn global() -> &'static Session {
-    static GLOBAL: OnceLock<Session> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
-        Session::from_env().unwrap_or_else(|e| panic!("invalid LIP_* environment: {e}"))
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +518,7 @@ mod tests {
     fn builder_sets_every_field() {
         let s = Session::builder()
             .backend(Backend::Bytecode)
+            .opt_level(OptLevel::None)
             .pred(PredBackend::Compiled)
             .nthreads(3)
             .par_min(64)
@@ -548,10 +526,13 @@ mod tests {
             .build();
         let c = s.config();
         assert_eq!(c.backend, Backend::Bytecode);
+        assert_eq!(c.opt_level, OptLevel::None);
         assert_eq!(c.pred, PredBackend::Compiled);
         assert_eq!(c.nthreads, 3);
         assert_eq!(c.par_min, 64);
         assert_eq!(c.spawn_cost, 123);
+        // Fusion is on by default.
+        assert_eq!(SessionConfig::default().opt_level, OptLevel::Fuse);
     }
 
     #[test]
@@ -576,6 +557,24 @@ mod tests {
         assert!(err.reason.contains("bytecoed"), "{err}");
         // The failed apply must not have clobbered the config.
         assert_eq!(cfg.backend, Backend::TreeWalk);
+    }
+
+    #[test]
+    fn lip_opt_parses_strictly() {
+        let mut cfg = SessionConfig::default();
+        cfg.apply("LIP_OPT", "none").expect("valid");
+        assert_eq!(cfg.opt_level, OptLevel::None);
+        cfg.apply("LIP_OPT", "fuse").expect("valid");
+        assert_eq!(cfg.opt_level, OptLevel::Fuse);
+        cfg.apply("LIP_OPT", "0").expect("valid");
+        assert_eq!(cfg.opt_level, OptLevel::None);
+        cfg.apply("LIP_OPT", "1").expect("valid");
+        assert_eq!(cfg.opt_level, OptLevel::Fuse);
+        let err = cfg.apply("LIP_OPT", "fuze").unwrap_err();
+        assert_eq!(err.var, "LIP_OPT");
+        assert!(err.reason.contains("fuze"), "{err}");
+        // The failed apply must not have clobbered the config.
+        assert_eq!(cfg.opt_level, OptLevel::Fuse);
     }
 
     #[test]

@@ -103,27 +103,6 @@ pub fn charged_test_units(test_units: u64, procs: usize, spawn: u64) -> u64 {
     }
 }
 
-/// Executes the loop once sequentially (mutating `frame`) and returns
-/// the per-iteration unit costs — the raw material for computing
-/// makespans at several processor counts without re-running. Runs
-/// through the process-global, environment-configured session.
-///
-/// # Errors
-///
-/// Propagates interpreter failures.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a configured session and use `Session::per_iteration_costs` instead"
-)]
-pub fn per_iteration_costs(
-    machine: &Machine,
-    sub: &Subroutine,
-    target: &Stmt,
-    frame: &mut Store,
-) -> Result<Vec<u64>, RunError> {
-    crate::session::global().per_iteration_costs(machine, sub, target, frame)
-}
-
 /// The measurement driver behind
 /// [`crate::Session::per_iteration_costs`] (the per-iteration unit
 /// figures are identical on both backends; the bytecode backend just

@@ -1,0 +1,143 @@
+//! Charge-accounting invariants across opt levels: the peephole pass
+//! folds `Charge` ops into superinstructions, so the one thing it must
+//! never change is what gets charged. Every figure the repo reproduces
+//! is denominated in work units, so per-iteration costs, test units
+//! and loop units have to be bit-identical whether the session runs
+//! tree-walk, raw bytecode, or fused bytecode.
+
+use lip_ir::{parse_program, Machine, Store, Value};
+use lip_runtime::{Backend, OptLevel, Session};
+use lip_symbolic::sym;
+
+/// `(backend, opt_level)` legs that must all agree. Tree-walk ignores
+/// the opt level by construction but runs at both settings anyway —
+/// the knob must be inert there.
+fn legs() -> Vec<(Backend, OptLevel)> {
+    vec![
+        (Backend::TreeWalk, OptLevel::None),
+        (Backend::TreeWalk, OptLevel::Fuse),
+        (Backend::Bytecode, OptLevel::None),
+        (Backend::Bytecode, OptLevel::Fuse),
+    ]
+}
+
+fn session(backend: Backend, opt: OptLevel) -> Session {
+    Session::builder()
+        .backend(backend)
+        .opt_level(opt)
+        .nthreads(2)
+        .build()
+}
+
+/// A kernel that exercises most fusion rules per iteration: indexed
+/// RMW (both constant and scalar operands), scalar reductions, an
+/// inner loop, and a conditional.
+const SRC: &str = "
+SUBROUTINE t(A, W, N, M)
+  DIMENSION A(*), W(*)
+  INTEGER i, j, N, M
+  s = 0.0
+  DO l1 i = 1, N
+    A(i) = A(i) + 0.5
+    A(i) = A(i) * x
+    DO j = 1, M
+      W(j) = A(i) * 0.25 + j
+    ENDDO
+    IF (A(i) .GT. 2.0) THEN
+      s = s + A(i)
+    ENDIF
+  ENDDO
+END
+";
+
+fn prepared(n: i64, m: i64) -> (Machine, lip_ir::Subroutine, lip_ir::Stmt, Store) {
+    let prog = parse_program(SRC).expect("parses");
+    let sub = prog.units[0].clone();
+    let target = sub.find_loop("l1").expect("loop").clone();
+    let machine = Machine::new(prog);
+    let mut frame = Store::new();
+    frame.set_int(sym("N"), n).set_int(sym("M"), m);
+    frame.set_scalar(sym("x"), Value::Real(1.5));
+    frame.set_scalar(sym("s"), Value::Real(0.0));
+    let a = frame.alloc_real(sym("A"), n as usize);
+    for i in 0..n as usize {
+        a.set(i, Value::Real(i as f64));
+    }
+    frame.alloc_real(sym("W"), m as usize);
+    (machine, sub, target, frame)
+}
+
+#[test]
+fn per_iteration_costs_identical_at_every_opt_level() {
+    let mut reference: Option<Vec<u64>> = None;
+    for (backend, opt) in legs() {
+        let (machine, sub, target, mut frame) = prepared(48, 6);
+        let costs = session(backend, opt)
+            .per_iteration_costs(&machine, &sub, &target, &mut frame)
+            .expect("costs");
+        assert_eq!(costs.len(), 48, "({backend}, {opt})");
+        match &reference {
+            None => reference = Some(costs),
+            Some(r) => assert_eq!(r, &costs, "({backend}, {opt}) diverged"),
+        }
+    }
+}
+
+#[test]
+fn run_loop_stats_and_frames_identical_at_every_opt_level() {
+    let mut reference = None;
+    for (backend, opt) in legs() {
+        let (machine, sub, target, mut frame) = prepared(64, 4);
+        let sess = session(backend, opt);
+        let analysis = sess
+            .analyze(machine.program(), sub.name, "l1")
+            .expect("analysis");
+        let stats = sess
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
+        let a = frame.array(sym("A")).expect("A");
+        let snap: Vec<u64> = (0..64).map(|i| a.get_f64(i).to_bits()).collect();
+        let row = (
+            format!("{:?}", stats.outcome),
+            stats.test_units,
+            stats.loop_units,
+            frame.scalar(sym("s")).map(|v| v.as_f64().to_bits()),
+            snap,
+        );
+        match &reference {
+            None => reference = Some(row),
+            Some(r) => assert_eq!(r, &row, "({backend}, {opt}) diverged"),
+        }
+    }
+}
+
+/// The fused stream must charge exactly like the unfused one even when
+/// a budget trips mid-loop: same error, same point, same accumulated
+/// cost (charge folding moves charges onto fused ops but never merges
+/// or reorders them).
+#[test]
+fn budget_trips_identically_on_fused_and_unfused_streams() {
+    let prog = parse_program(SRC).expect("parses");
+    let mut compiled = lip_vm::compile_program(&prog).expect("compiles");
+    let mut fused = compiled.clone();
+    lip_vm::optimize_program(&mut fused);
+    // Entry is the whole subroutine; run with a budget that trips
+    // mid-iteration.
+    compiled.entry = Some(0);
+    fused.entry = Some(0);
+    let run = |cp: &lip_vm::CompiledProgram| {
+        let mut store = Store::new();
+        store.set_int(sym("N"), 32).set_int(sym("M"), 4);
+        store.set_scalar(sym("x"), Value::Real(1.5));
+        store.alloc_real(sym("A"), 32);
+        store.alloc_real(sym("W"), 4);
+        let mut state = lip_ir::ExecState::with_budget(500);
+        let r = lip_vm::Vm::new(cp).run_with_state(&mut store, &mut state, None);
+        (r, state.cost)
+    };
+    let (ru, cu) = run(&compiled);
+    let (rf, cf) = run(&fused);
+    assert_eq!(ru, rf, "error diverged");
+    assert_eq!(cu, cf, "trip-point cost diverged");
+    assert_eq!(ru, Err(lip_ir::RunError::StepLimit));
+}

@@ -1,28 +1,35 @@
-//! Sessions across the full `(Backend, PredBackend)` matrix, in one
-//! process: every combination must produce bit-identical measurements
-//! (the PR 3 acceptance check, now exercised through `Session` instead
-//! of env-var CI legs) — including when the sessions run concurrently
-//! from separate threads, which the old process-global configuration
-//! could not even express.
+//! Sessions across the full `(Backend, PredBackend, OptLevel)` matrix,
+//! in one process: every combination must produce bit-identical
+//! measurements (the PR 3 acceptance check, now exercised through
+//! `Session` instead of env-var CI legs) — including when the sessions
+//! run concurrently from separate threads, which the old
+//! process-global configuration could not even express. The opt-level
+//! axis pins the superinstruction peephole pass: fused and unfused
+//! bytecode must measure identically (only wall-clock may differ).
 
-use lip_runtime::{Backend, LoopJob, PredBackend, Session};
+use lip_runtime::{Backend, LoopJob, OptLevel, PredBackend, Session};
 use lip_suite::{measure_loop, KernelShape, LoopMeasurement};
 use lip_symbolic::sym;
 
-/// The four seam combinations.
-fn matrix() -> Vec<(Backend, PredBackend)> {
-    vec![
-        (Backend::TreeWalk, PredBackend::Tree),
-        (Backend::TreeWalk, PredBackend::Compiled),
-        (Backend::Bytecode, PredBackend::Tree),
-        (Backend::Bytecode, PredBackend::Compiled),
-    ]
+/// The eight seam combinations (`2 backends × 2 predicate engines × 2
+/// opt levels`; the opt level must be inert on the tree-walk legs).
+fn matrix() -> Vec<(Backend, PredBackend, OptLevel)> {
+    let mut m = Vec::new();
+    for backend in [Backend::TreeWalk, Backend::Bytecode] {
+        for pred in [PredBackend::Tree, PredBackend::Compiled] {
+            for opt in [OptLevel::None, OptLevel::Fuse] {
+                m.push((backend, pred, opt));
+            }
+        }
+    }
+    m
 }
 
-fn session(backend: Backend, pred: PredBackend) -> Session {
+fn session(backend: Backend, pred: PredBackend, opt: OptLevel) -> Session {
     Session::builder()
         .backend(backend)
         .pred(pred)
+        .opt_level(opt)
         .nthreads(2)
         .par_min(64) // small threshold so the parallel predicate path runs
         .build()
@@ -64,10 +71,17 @@ fn measure_all(session: &Session) -> Vec<(String, String, bool, bool, Vec<u64>, 
 
 #[test]
 fn all_backend_combinations_measure_identically_in_one_process() {
-    let reference = measure_all(&session(Backend::TreeWalk, PredBackend::Tree));
-    for (backend, pred) in matrix() {
-        let got = measure_all(&session(backend, pred));
-        assert_eq!(reference, got, "tables diverged under ({backend}, {pred})");
+    let reference = measure_all(&session(
+        Backend::TreeWalk,
+        PredBackend::Tree,
+        OptLevel::None,
+    ));
+    for (backend, pred, opt) in matrix() {
+        let got = measure_all(&session(backend, pred, opt));
+        assert_eq!(
+            reference, got,
+            "tables diverged under ({backend}, {pred}, {opt})"
+        );
     }
 }
 
@@ -76,16 +90,16 @@ fn concurrent_sessions_with_different_seams_are_bit_identical() {
     // Baseline: each combination measured alone, sequentially.
     let baseline: Vec<_> = matrix()
         .into_iter()
-        .map(|(b, p)| measure_all(&session(b, p)))
+        .map(|(b, p, o)| measure_all(&session(b, p, o)))
         .collect();
 
-    // All four sessions measuring the same kernels at the same time
+    // All eight sessions measuring the same kernels at the same time
     // from separate threads — two callers in one process with
     // different backends, the scenario env-var seams made impossible.
     let concurrent: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = matrix()
             .into_iter()
-            .map(|(b, p)| scope.spawn(move || measure_all(&session(b, p))))
+            .map(|(b, p, o)| scope.spawn(move || measure_all(&session(b, p, o))))
             .collect();
         handles
             .into_iter()
@@ -105,8 +119,8 @@ fn concurrent_executions_produce_identical_frames() {
     // state element for element against a single-session run.
     let shape = &lip_suite::OFFSET_CROSSOVER;
     let n = 256usize;
-    let run = |backend: Backend, pred: PredBackend| {
-        let sess = session(backend, pred);
+    let run = |backend: Backend, pred: PredBackend, opt: OptLevel| {
+        let sess = session(backend, pred, opt);
         let mut p = shape.prepared(n);
         let prog = p.machine.program().clone();
         let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
@@ -128,11 +142,11 @@ fn concurrent_executions_produce_identical_frames() {
         (stats.outcome, stats.test_units, stats.loop_units, snapshot)
     };
 
-    let reference = run(Backend::TreeWalk, PredBackend::Tree);
+    let reference = run(Backend::TreeWalk, PredBackend::Tree, OptLevel::None);
     let results: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = matrix()
             .into_iter()
-            .map(|(b, p)| scope.spawn(move || run(b, p)))
+            .map(|(b, p, o)| scope.spawn(move || run(b, p, o)))
             .collect();
         handles
             .into_iter()

@@ -89,6 +89,231 @@ pub enum Op {
     /// callee, arity mismatch — kept as late failures for interpreter
     /// parity).
     Fail { site: u16 },
+
+    // ---- Superinstructions ------------------------------------------
+    //
+    // Emitted only by [`crate::peephole`], never by the compiler: each
+    // one replaces a dominant dispatch sequence with a single op while
+    // preserving the unfused stream's observable semantics exactly —
+    // the same work-unit charges in the same order (`charge` is a
+    // folded leading [`Op::Charge`], applied first), the same traced
+    // array accesses, the same errors at the same points, and the same
+    // writes to every register another instruction can observe
+    // (eliminated writes are only to dead operand temporaries, which
+    // the stack-disciplined allocator guarantees nothing reads).
+    /// Fused `Charge? + LoadScalar + LoadScalar + Bin`:
+    /// `regs[dst] = scalars[a_slot] op scalars[b_slot]`.
+    FusedBinSS {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Result register.
+        dst: Reg,
+        /// Left operand scalar slot.
+        a_slot: u16,
+        /// Right operand scalar slot.
+        b_slot: u16,
+    },
+    /// Fused `Charge? + LoadScalar + Bin` (scalar right operand):
+    /// `regs[dst] = regs[a] op scalars[b_slot]`.
+    FusedBinRS {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Result register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand scalar slot.
+        b_slot: u16,
+    },
+    /// Fused `Charge? + Const + Bin` (constant right operand):
+    /// `regs[dst] = regs[a] op consts[k]`.
+    FusedBinRK {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Result register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand constant-pool index.
+        k: u16,
+    },
+    /// Fused `Charge? + (LoadScalar+LoadElem) + Bin` (rank-1 element
+    /// right operand): `regs[dst] = regs[a] op arr[scalars[idx_slot]]`
+    /// (traced read).
+    FusedBinRE {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Result register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Array slot of the right operand.
+        arr: u16,
+        /// Scalar slot holding the subscript.
+        idx_slot: u16,
+    },
+    /// Fused `Charge? + Bin + StoreScalar`:
+    /// `regs[dst] = regs[a] op regs[b]; scalars[slot] = regs[dst]`
+    /// (with the slot's declared-type coercion).
+    FusedBinStore {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Destination scalar slot.
+        slot: u16,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// Fused `Charge? + LoadScalar + LoadElem` (rank-1, scalar-slot
+    /// subscript): `regs[dst] = arr[scalars[idx_slot]]` (traced read).
+    FusedLoadElemS {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// Result register.
+        dst: Reg,
+        /// Array slot.
+        arr: u16,
+        /// Scalar slot holding the subscript.
+        idx_slot: u16,
+    },
+    /// Fused `Charge? + LoadScalar + StoreElem` (rank-1, scalar-slot
+    /// subscript): `arr[scalars[idx_slot]] = regs[src]` (traced write).
+    FusedStoreElemS {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// Array slot.
+        arr: u16,
+        /// Scalar slot holding the subscript.
+        idx_slot: u16,
+        /// Value register.
+        src: Reg,
+    },
+    /// Fused rank-1 read-modify-write with a constant operand:
+    /// `arr[scalars[idx_slot]] = arr[scalars[idx_slot]] op consts[k]`
+    /// (traced read then write at the same linearized index; replaces
+    /// the whole `LoadScalar+LoadElem+Const+Bin+LoadScalar+StoreElem`
+    /// statement body).
+    FusedElemUpdateK {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Array slot.
+        arr: u16,
+        /// Scalar slot holding the subscript.
+        idx_slot: u16,
+        /// Right operand constant-pool index.
+        k: u16,
+    },
+    /// [`Op::FusedElemUpdateK`] with a scalar-slot right operand:
+    /// `arr[scalars[idx_slot]] = arr[scalars[idx_slot]] op
+    /// scalars[b_slot]`.
+    FusedElemUpdateS {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The binary operator.
+        op: BinOp,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Array slot.
+        arr: u16,
+        /// Scalar slot holding the subscript.
+        idx_slot: u16,
+        /// Right operand scalar slot.
+        b_slot: u16,
+    },
+    /// Fused `Charge + Const` (a statement whose first value is a
+    /// literal): charge, then `regs[dst] = consts[k]`.
+    ChargedConst {
+        /// Folded leading charge (always > 0 — the pass only builds
+        /// this from an actual `Charge`).
+        charge: u32,
+        /// Result register.
+        dst: Reg,
+        /// Constant-pool index.
+        k: u16,
+    },
+    /// Fused `Charge + LoadScalar` (a statement whose first value is a
+    /// scalar): charge, then `regs[dst] = scalars[slot]`.
+    ChargedLoadScalar {
+        /// Folded leading charge (always > 0).
+        charge: u32,
+        /// Result register.
+        dst: Reg,
+        /// Scalar slot.
+        slot: u16,
+    },
+    /// Fused indirect rank-1 load through an index array:
+    /// `regs[dst] = arr[idx_arr[scalars[idx_slot]]]` (two traced
+    /// reads, index array first) — the `F(J(i))` access shape of the
+    /// irregular suite kernels.
+    FusedLoadElemE {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// Result register.
+        dst: Reg,
+        /// Array slot of the index array.
+        idx_arr: u16,
+        /// Scalar slot holding the index array's subscript.
+        idx_slot: u16,
+        /// Array slot of the loaded array.
+        arr: u16,
+    },
+    /// Fused indirect rank-1 store through an index array:
+    /// `arr[idx_arr[scalars[idx_slot]]] = regs[src]` (traced read of
+    /// the index array, then traced write).
+    FusedStoreElemE {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// Array slot of the index array.
+        idx_arr: u16,
+        /// Scalar slot holding the index array's subscript.
+        idx_slot: u16,
+        /// Array slot of the stored array.
+        arr: u16,
+        /// Value register.
+        src: Reg,
+    },
+    /// Fused `LoopTest + SetVarRaw`: test the loop bounds, and either
+    /// publish the control register to the loop variable's scalar slot
+    /// (continuing) or jump to `exit`.
+    LoopTestSet {
+        /// Loop counter register.
+        i: Reg,
+        /// Upper bound register.
+        hi: Reg,
+        /// Step register.
+        step: Reg,
+        /// Exit target when the loop is done.
+        exit: u32,
+        /// Scalar slot of the loop variable.
+        var_slot: u16,
+    },
+    /// Fused `LoopIncr + Jump`: bump the counter and jump back to the
+    /// loop head.
+    LoopIncrJump {
+        /// Loop counter register.
+        i: Reg,
+        /// Step register.
+        step: Reg,
+        /// The loop-head target.
+        target: u32,
+    },
 }
 
 /// How one actual argument reaches a callee.
@@ -184,6 +409,232 @@ impl Chunk {
     /// The array slot bound to `s`, if any.
     pub fn array_slot(&self, s: Sym) -> Option<u16> {
         self.arrays.iter().position(|t| *t == s).map(|i| i as u16)
+    }
+
+    /// A readable rendering of the instruction stream, one op per line
+    /// with slot indices resolved to names — the substrate for the
+    /// golden fusion tests (`crates/vm/tests/peephole_golden.rs`), so
+    /// an accidental peephole regression shows up as a line diff.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!("{i:>3}  {}\n", self.render_op(op)));
+        }
+        out
+    }
+
+    fn scalar_name(&self, slot: u16) -> String {
+        self.scalars[slot as usize].0.name()
+    }
+
+    fn array_name(&self, arr: u16) -> String {
+        self.arrays[arr as usize].name()
+    }
+
+    fn render_op(&self, op: &Op) -> String {
+        let charge = |c: &u32| {
+            if *c > 0 {
+                format!("charge {c}; ")
+            } else {
+                String::new()
+            }
+        };
+        match op {
+            Op::Charge(u) => format!("charge {u}"),
+            Op::Const { dst, k } => {
+                format!("r{dst} = const[{k}] {:?}", self.consts[*k as usize])
+            }
+            Op::LoadScalar { dst, slot } => format!("r{dst} = {}", self.scalar_name(*slot)),
+            Op::StoreScalar { slot, src } => format!("{} := r{src}", self.scalar_name(*slot)),
+            Op::SetVarRaw { slot, src } => format!("{} :=raw r{src}", self.scalar_name(*slot)),
+            Op::LoadElem { dst, arr, base, n } => {
+                format!("r{dst} = {}[r{base}..+{n}]", self.array_name(*arr))
+            }
+            Op::StoreElem { arr, base, n, src } => {
+                format!("{}[r{base}..+{n}] = r{src}", self.array_name(*arr))
+            }
+            Op::Un { op, dst, src } => format!("r{dst} = {op:?} r{src}"),
+            Op::Bin { op, dst, a, b } => format!("r{dst} = r{a} {op:?} r{b}"),
+            Op::Intrin { intr, dst, base, n } => {
+                format!("r{dst} = {intr:?}(r{base}..+{n})")
+            }
+            Op::Jump { target } => format!("jump {target}"),
+            Op::JumpIfFalse { cond, target } => format!("jump {target} if !r{cond}"),
+            Op::LoopInit {
+                i,
+                hi,
+                step,
+                var_slot,
+            } => format!(
+                "loop.init r{i} to r{hi} by r{step} ({})",
+                self.scalar_name(*var_slot)
+            ),
+            Op::LoopTest { i, hi, step, exit } => {
+                format!("loop.test r{i} r{hi} r{step} exit {exit}")
+            }
+            Op::LoopIncr { i, step } => format!("r{i} += r{step}"),
+            Op::Call { site } => format!("call site {site}"),
+            Op::Read { site } => format!("read site {site}"),
+            Op::Fail { site } => format!("fail site {site}"),
+            Op::FusedBinSS {
+                charge: c,
+                op,
+                dst,
+                a_slot,
+                b_slot,
+            } => format!(
+                "{}r{dst} = {} {op:?} {}",
+                charge(c),
+                self.scalar_name(*a_slot),
+                self.scalar_name(*b_slot)
+            ),
+            Op::FusedBinRS {
+                charge: c,
+                op,
+                dst,
+                a,
+                b_slot,
+            } => format!(
+                "{}r{dst} = r{a} {op:?} {}",
+                charge(c),
+                self.scalar_name(*b_slot)
+            ),
+            Op::FusedBinRK {
+                charge: c,
+                op,
+                dst,
+                a,
+                k,
+            } => format!(
+                "{}r{dst} = r{a} {op:?} const[{k}] {:?}",
+                charge(c),
+                self.consts[*k as usize]
+            ),
+            Op::FusedBinRE {
+                charge: c,
+                op,
+                dst,
+                a,
+                arr,
+                idx_slot,
+            } => format!(
+                "{}r{dst} = r{a} {op:?} {}[{}]",
+                charge(c),
+                self.array_name(*arr),
+                self.scalar_name(*idx_slot)
+            ),
+            Op::FusedBinStore {
+                charge: c,
+                op,
+                slot,
+                dst,
+                a,
+                b,
+            } => format!(
+                "{}{} := r{dst} = r{a} {op:?} r{b}",
+                charge(c),
+                self.scalar_name(*slot)
+            ),
+            Op::FusedLoadElemS {
+                charge: c,
+                dst,
+                arr,
+                idx_slot,
+            } => format!(
+                "{}r{dst} = {}[{}]",
+                charge(c),
+                self.array_name(*arr),
+                self.scalar_name(*idx_slot)
+            ),
+            Op::FusedStoreElemS {
+                charge: c,
+                arr,
+                idx_slot,
+                src,
+            } => format!(
+                "{}{}[{}] = r{src}",
+                charge(c),
+                self.array_name(*arr),
+                self.scalar_name(*idx_slot)
+            ),
+            Op::FusedElemUpdateK {
+                charge: c,
+                op,
+                dst,
+                arr,
+                idx_slot,
+                k,
+            } => format!(
+                "{}{}[{}] {op:?}= const[{k}] {:?} (r{dst})",
+                charge(c),
+                self.array_name(*arr),
+                self.scalar_name(*idx_slot),
+                self.consts[*k as usize]
+            ),
+            Op::FusedElemUpdateS {
+                charge: c,
+                op,
+                dst,
+                arr,
+                idx_slot,
+                b_slot,
+            } => format!(
+                "{}{}[{}] {op:?}= {} (r{dst})",
+                charge(c),
+                self.array_name(*arr),
+                self.scalar_name(*idx_slot),
+                self.scalar_name(*b_slot)
+            ),
+            Op::ChargedConst { charge: c, dst, k } => format!(
+                "{}r{dst} = const[{k}] {:?}",
+                charge(c),
+                self.consts[*k as usize]
+            ),
+            Op::ChargedLoadScalar {
+                charge: c,
+                dst,
+                slot,
+            } => format!("{}r{dst} = {}", charge(c), self.scalar_name(*slot)),
+            Op::FusedLoadElemE {
+                charge: c,
+                dst,
+                idx_arr,
+                idx_slot,
+                arr,
+            } => format!(
+                "{}r{dst} = {}[{}[{}]]",
+                charge(c),
+                self.array_name(*arr),
+                self.array_name(*idx_arr),
+                self.scalar_name(*idx_slot)
+            ),
+            Op::FusedStoreElemE {
+                charge: c,
+                idx_arr,
+                idx_slot,
+                arr,
+                src,
+            } => format!(
+                "{}{}[{}[{}]] = r{src}",
+                charge(c),
+                self.array_name(*arr),
+                self.array_name(*idx_arr),
+                self.scalar_name(*idx_slot)
+            ),
+            Op::LoopTestSet {
+                i,
+                hi,
+                step,
+                exit,
+                var_slot,
+            } => format!(
+                "loop.test-set r{i} r{hi} r{step} -> {}, exit {exit}",
+                self.scalar_name(*var_slot)
+            ),
+            Op::LoopIncrJump { i, step, target } => {
+                format!("r{i} += r{step}; jump {target}")
+            }
+        }
     }
 }
 

@@ -274,7 +274,14 @@ impl<'p> ChunkBuilder<'p> {
     }
 
     fn const_slot(&mut self, v: lip_ir::Value) -> Result<u16, CompileError> {
-        if let Some(k) = self.chunk.consts.iter().position(|c| *c == v) {
+        // Bit-exact dedup: f64's `==` would alias -0.0 with +0.0 and
+        // hand a folded `-(0.0)` the wrong sign bit.
+        let same = |a: &Value, b: &Value| match (a, b) {
+            (Value::Int(x), Value::Int(y)) => x == y,
+            (Value::Real(x), Value::Real(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        };
+        if let Some(k) = self.chunk.consts.iter().position(|c| same(c, &v)) {
             return Ok(k as u16);
         }
         if self.chunk.consts.len() > u16::MAX as usize {

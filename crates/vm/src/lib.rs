@@ -49,10 +49,12 @@
 
 pub mod chunk;
 pub mod compile;
+pub mod peephole;
 pub mod vm;
 
 pub use chunk::{BlockId, Chunk, CompileError, CompiledProgram, Op};
 pub use compile::{add_block, add_block_with_exprs, compile_program, expr_cost};
+pub use peephole::{optimize_block, optimize_chunk, optimize_program, OptLevel};
 pub use vm::{Frame, Vm};
 
 #[cfg(test)]

@@ -1,0 +1,1032 @@
+//! Superinstruction peephole pass over compiled chunks.
+//!
+//! `BENCH_vm.json` shows the dispatch loop is the bytecode backend's
+//! hot path: once per-node accounting and `HashMap` lookups are gone,
+//! most of a kernel's wall-clock is the `match` in [`crate::vm`]
+//! turning over short, highly regular instruction sequences. This pass
+//! rewrites a compiled [`Chunk`] after the fact, fusing those dominant
+//! sequences into the dedicated superinstructions of [`crate::chunk`]:
+//!
+//! * `Charge + LoadScalar + Bin` (and the scalar/scalar, reg/const,
+//!   reg/element operand shapes) → `FusedBin*`,
+//! * `Bin + StoreScalar` → `FusedBinStore`,
+//! * rank-1 `LoadScalar + LoadElem` / `LoadScalar + StoreElem` →
+//!   `FusedLoadElemS` / `FusedStoreElemS`,
+//! * the whole indexed read-modify-write statement
+//!   `LoadScalar+LoadElem+{Const,LoadScalar}+Bin+LoadScalar+StoreElem`
+//!   → `FusedElemUpdate{K,S}`,
+//! * the per-iteration loop overhead `LoopTest + SetVarRaw` and
+//!   `LoopIncr + Jump` → `LoopTestSet` / `LoopIncrJump`.
+//!
+//! Correctness obligations, checked by the three-way differential
+//! suites (`crates/vm/tests/proptest_programs.rs`, `peephole_golden.rs`
+//! and the unit tests below):
+//!
+//! * **Charging is exact.** A fused op carries the folded leading
+//!   [`Op::Charge`] and applies it first, so work-unit totals and the
+//!   budget-trip point are bit-identical. Distinct `Charge` ops are
+//!   never merged (no new saturation paths), and a pattern never spans
+//!   an interior `Charge` (statement boundaries stay intact).
+//! * **Branch targets survive.** A window never swallows an op that is
+//!   the target of any jump except as its own first op; all targets
+//!   are remapped after each rewrite.
+//! * **Observable state is identical.** Traced reads/writes happen in
+//!   the unfused order, errors are raised at the same points, and
+//!   every register a later instruction could read is still written —
+//!   fusion only elides writes to operand temporaries its own window
+//!   consumes, which the stack-disciplined allocator makes dead.
+//!
+//! The pass is selected per session (`Session::builder().opt_level(..)`
+//! in `lip_runtime`, default [`OptLevel::Fuse`]; `LIP_OPT` in the
+//! environment) and applied once per machine by the session's compile
+//! cache, so both the fused and unfused streams stay reachable for
+//! differential testing.
+
+use crate::chunk::{BlockId, Chunk, CompiledProgram, DimCode, Op};
+
+/// How aggressively compiled programs are post-processed before
+/// execution. Parsed strictly (`LIP_OPT`): unknown values are errors,
+/// never a silent fallback.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum OptLevel {
+    /// Run the compiler's raw instruction stream (the differential
+    /// reference for the fused stream).
+    None,
+    /// Apply the superinstruction peephole pass (the default).
+    #[default]
+    Fuse,
+}
+
+impl OptLevel {
+    /// Whether this level runs the fusion pass.
+    pub fn fuses(self) -> bool {
+        self == OptLevel::Fuse
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<OptLevel, String> {
+        if s == "0" || s.eq_ignore_ascii_case("none") {
+            Ok(OptLevel::None)
+        } else if s == "1" || s.eq_ignore_ascii_case("fuse") {
+            Ok(OptLevel::Fuse)
+        } else {
+            Err(format!(
+                "unknown opt level `{s}` (expected `0`/`none` or `1`/`fuse`)"
+            ))
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptLevel::None => write!(f, "none"),
+            OptLevel::Fuse => write!(f, "fuse"),
+        }
+    }
+}
+
+/// Fuses every chunk of `prog`: subroutine bodies, standalone blocks,
+/// attached expression fragments, and the reshape/local-allocation
+/// dimension fragments. Idempotent.
+pub fn optimize_program(prog: &mut CompiledProgram) {
+    for sub in &mut prog.subs {
+        optimize_chunk(&mut sub.chunk);
+        for pm in &mut sub.params {
+            if let Some(dims) = &mut pm.reshape {
+                optimize_dims(dims);
+            }
+        }
+        for local in &mut sub.locals {
+            optimize_dims(&mut local.dims);
+        }
+    }
+    for b in 0..prog.blocks.len() {
+        optimize_block(prog, BlockId(b));
+    }
+}
+
+/// Fuses one standalone block (chunk + attached expression fragments)
+/// — what the per-machine cache runs after lowering a new block into
+/// an already-fused program copy.
+pub fn optimize_block(prog: &mut CompiledProgram, b: BlockId) {
+    let block = &mut prog.blocks[b.0];
+    optimize_chunk(&mut block.chunk);
+    for code in &mut block.exprs {
+        optimize_ops(&mut code.ops);
+    }
+}
+
+/// Fuses one chunk's instruction stream in place.
+pub fn optimize_chunk(chunk: &mut Chunk) {
+    optimize_ops(&mut chunk.ops);
+}
+
+fn optimize_dims(dims: &mut [DimCode]) {
+    for d in dims {
+        if let DimCode::Fixed(code) = d {
+            optimize_ops(&mut code.ops);
+        }
+    }
+}
+
+/// Rewrites to fixpoint: second-level fusions (e.g. a `FusedLoadElemS`
+/// produced in pass one feeding a `Bin` in pass two) need another
+/// scan, and every rewrite strictly shrinks the stream, so this
+/// terminates.
+fn optimize_ops(ops: &mut Vec<Op>) {
+    while rewrite_pass(ops) {}
+}
+
+/// Indices that are the target of some jump (including one past the
+/// end — exit jumps may point there).
+fn jump_targets(ops: &[Op]) -> Vec<bool> {
+    let mut t = vec![false; ops.len() + 1];
+    for op in ops {
+        match op {
+            Op::Jump { target }
+            | Op::JumpIfFalse { target, .. }
+            | Op::LoopTest { exit: target, .. }
+            | Op::LoopTestSet { exit: target, .. }
+            | Op::LoopIncrJump { target, .. } => t[*target as usize] = true,
+            _ => {}
+        }
+    }
+    t
+}
+
+/// No interior op of the window `[i, i + len)` may be a jump target
+/// (the window's first op keeps its address, so landing there is
+/// fine).
+fn window_clear(targets: &[bool], i: usize, len: usize) -> bool {
+    (i + 1..i + len).all(|j| !targets[j])
+}
+
+fn rewrite_pass(ops: &mut Vec<Op>) -> bool {
+    let targets = jump_targets(ops);
+    let mut out: Vec<Op> = Vec::with_capacity(ops.len());
+    let mut map = vec![0usize; ops.len() + 1];
+    let mut i = 0;
+    let mut changed = false;
+    while i < ops.len() {
+        if let Some((fused, len)) = try_fuse(ops, i, &targets) {
+            // Interior indices are never jump targets (checked), so
+            // mapping them to the fused op is only for completeness.
+            for m in map.iter_mut().skip(i).take(len) {
+                *m = out.len();
+            }
+            out.push(fused);
+            i += len;
+            changed = true;
+        } else {
+            map[i] = out.len();
+            out.push(ops[i].clone());
+            i += 1;
+        }
+    }
+    map[ops.len()] = out.len();
+    if changed {
+        for op in &mut out {
+            match op {
+                Op::Jump { target }
+                | Op::JumpIfFalse { target, .. }
+                | Op::LoopTest { exit: target, .. }
+                | Op::LoopTestSet { exit: target, .. }
+                | Op::LoopIncrJump { target, .. } => *target = map[*target as usize] as u32,
+                _ => {}
+            }
+        }
+        *ops = out;
+    }
+    changed
+}
+
+/// The longest fusion starting at `i`, if any: `(fused op, ops
+/// consumed)`.
+fn try_fuse(ops: &[Op], i: usize, targets: &[bool]) -> Option<(Op, usize)> {
+    if let Op::Charge(c) = ops[i] {
+        // A leading charge folds into the fused op (which charges
+        // first), but only when the op carries no charge yet — two
+        // `Charge`s are never merged, so budget-trip points and
+        // saturation behavior stay bit-identical.
+        if let Some((fused, len)) = fuse_body(&ops[i + 1..]) {
+            if window_clear(targets, i, 1 + len) {
+                if let Some(f) = fold_charge(&fused, c) {
+                    return Some((f, 1 + len));
+                }
+            }
+        }
+        if i + 1 < ops.len() && window_clear(targets, i, 2) {
+            if let Some(f) = fold_charge(&ops[i + 1], c) {
+                return Some((f, 2));
+            }
+            // Last resort: statements that open with a bare literal or
+            // scalar load still save the `Charge` dispatch.
+            match ops[i + 1] {
+                Op::Const { dst, k } => {
+                    return Some((Op::ChargedConst { charge: c, dst, k }, 2));
+                }
+                Op::LoadScalar { dst, slot } => {
+                    return Some((
+                        Op::ChargedLoadScalar {
+                            charge: c,
+                            dst,
+                            slot,
+                        },
+                        2,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    let (fused, len) = fuse_body(&ops[i..])?;
+    window_clear(targets, i, len).then_some((fused, len))
+}
+
+/// Re-homes a leading `Charge` onto a charge-carrying superinstruction
+/// that has none yet.
+fn fold_charge(op: &Op, c: u32) -> Option<Op> {
+    match *op {
+        Op::FusedBinSS {
+            charge: 0,
+            op,
+            dst,
+            a_slot,
+            b_slot,
+        } => Some(Op::FusedBinSS {
+            charge: c,
+            op,
+            dst,
+            a_slot,
+            b_slot,
+        }),
+        Op::FusedBinRS {
+            charge: 0,
+            op,
+            dst,
+            a,
+            b_slot,
+        } => Some(Op::FusedBinRS {
+            charge: c,
+            op,
+            dst,
+            a,
+            b_slot,
+        }),
+        Op::FusedBinRK {
+            charge: 0,
+            op,
+            dst,
+            a,
+            k,
+        } => Some(Op::FusedBinRK {
+            charge: c,
+            op,
+            dst,
+            a,
+            k,
+        }),
+        Op::FusedBinRE {
+            charge: 0,
+            op,
+            dst,
+            a,
+            arr,
+            idx_slot,
+        } => Some(Op::FusedBinRE {
+            charge: c,
+            op,
+            dst,
+            a,
+            arr,
+            idx_slot,
+        }),
+        Op::FusedBinStore {
+            charge: 0,
+            op,
+            slot,
+            dst,
+            a,
+            b,
+        } => Some(Op::FusedBinStore {
+            charge: c,
+            op,
+            slot,
+            dst,
+            a,
+            b,
+        }),
+        Op::FusedLoadElemS {
+            charge: 0,
+            dst,
+            arr,
+            idx_slot,
+        } => Some(Op::FusedLoadElemS {
+            charge: c,
+            dst,
+            arr,
+            idx_slot,
+        }),
+        Op::FusedStoreElemS {
+            charge: 0,
+            arr,
+            idx_slot,
+            src,
+        } => Some(Op::FusedStoreElemS {
+            charge: c,
+            arr,
+            idx_slot,
+            src,
+        }),
+        Op::FusedElemUpdateK {
+            charge: 0,
+            op,
+            dst,
+            arr,
+            idx_slot,
+            k,
+        } => Some(Op::FusedElemUpdateK {
+            charge: c,
+            op,
+            dst,
+            arr,
+            idx_slot,
+            k,
+        }),
+        Op::FusedElemUpdateS {
+            charge: 0,
+            op,
+            dst,
+            arr,
+            idx_slot,
+            b_slot,
+        } => Some(Op::FusedElemUpdateS {
+            charge: c,
+            op,
+            dst,
+            arr,
+            idx_slot,
+            b_slot,
+        }),
+        _ => None,
+    }
+}
+
+/// Matches the charge-less rewrite rules at the head of `rest`,
+/// longest window first.
+fn fuse_body(rest: &[Op]) -> Option<(Op, usize)> {
+    // The whole rank-1 read-modify-write statement:
+    //   r = idx; r = arr[r]; o = opnd; r = r op o; t = idx; arr[t] = r
+    // with a constant or scalar operand. The subscript slot is read
+    // twice in the original with no interposed write, so one
+    // linearization is exact.
+    if let [Op::LoadScalar {
+        dst: r_idx,
+        slot: idx_slot,
+    }, Op::LoadElem {
+        dst: le_dst,
+        arr,
+        base: le_base,
+        n: 1,
+    }, opnd, Op::Bin {
+        op,
+        dst: b_dst,
+        a: b_a,
+        b: b_b,
+    }, Op::LoadScalar {
+        dst: r_idx2,
+        slot: idx_slot2,
+    }, Op::StoreElem {
+        arr: s_arr,
+        base: s_base,
+        n: 1,
+        src,
+    }, ..] = rest
+    {
+        if le_dst == r_idx
+            && le_base == r_idx
+            && b_dst == r_idx
+            && b_a == r_idx
+            && b_b != r_idx
+            && idx_slot2 == idx_slot
+            && s_arr == arr
+            && s_base == r_idx2
+            && src == r_idx
+        {
+            match opnd {
+                Op::Const { dst: o_dst, k } if o_dst == b_b => {
+                    return Some((
+                        Op::FusedElemUpdateK {
+                            charge: 0,
+                            op: *op,
+                            dst: *r_idx,
+                            arr: *arr,
+                            idx_slot: *idx_slot,
+                            k: *k,
+                        },
+                        6,
+                    ));
+                }
+                Op::LoadScalar { dst: o_dst, slot } if o_dst == b_b => {
+                    return Some((
+                        Op::FusedElemUpdateS {
+                            charge: 0,
+                            op: *op,
+                            dst: *r_idx,
+                            arr: *arr,
+                            idx_slot: *idx_slot,
+                            b_slot: *slot,
+                        },
+                        6,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    // Two scalar loads feeding a binary op.
+    if let [Op::LoadScalar {
+        dst: ra,
+        slot: a_slot,
+    }, Op::LoadScalar {
+        dst: rb,
+        slot: b_slot,
+    }, Op::Bin { op, dst, a, b }, ..] = rest
+    {
+        if a == ra && b == rb && dst == ra && ra != rb {
+            return Some((
+                Op::FusedBinSS {
+                    charge: 0,
+                    op: *op,
+                    dst: *dst,
+                    a_slot: *a_slot,
+                    b_slot: *b_slot,
+                },
+                3,
+            ));
+        }
+    }
+    let [first, second, ..] = rest else {
+        return None;
+    };
+    let fused = match (first, second) {
+        // Rank-1 indexed load: the subscript register is the element
+        // destination, so no write is even elided.
+        (
+            Op::LoadScalar { dst: r, slot },
+            Op::LoadElem {
+                dst,
+                arr,
+                base,
+                n: 1,
+            },
+        ) if dst == r && base == r => Op::FusedLoadElemS {
+            charge: 0,
+            dst: *r,
+            arr: *arr,
+            idx_slot: *slot,
+        },
+        // Rank-1 indexed store (the subscript temp is dead after).
+        (
+            Op::LoadScalar { dst: r, slot },
+            Op::StoreElem {
+                arr,
+                base,
+                n: 1,
+                src,
+            },
+        ) if base == r && src != r => Op::FusedStoreElemS {
+            charge: 0,
+            arr: *arr,
+            idx_slot: *slot,
+            src: *src,
+        },
+        // Scalar right operand.
+        (Op::LoadScalar { dst: rb, slot }, Op::Bin { op, dst, a, b })
+            if b == rb && dst == a && a != rb =>
+        {
+            Op::FusedBinRS {
+                charge: 0,
+                op: *op,
+                dst: *dst,
+                a: *a,
+                b_slot: *slot,
+            }
+        }
+        // Constant right operand.
+        (Op::Const { dst: rk, k }, Op::Bin { op, dst, a, b }) if b == rk && dst == a && a != rk => {
+            Op::FusedBinRK {
+                charge: 0,
+                op: *op,
+                dst: *dst,
+                a: *a,
+                k: *k,
+            }
+        }
+        // Indirect load through an index array, `F(J(i))` (second
+        // level: the pass-one `FusedLoadElemS` loads the index, the
+        // raw `LoadElem` consumes it as its only subscript).
+        (
+            Op::FusedLoadElemS {
+                charge,
+                dst: r,
+                arr: idx_arr,
+                idx_slot,
+            },
+            Op::LoadElem {
+                dst,
+                arr,
+                base,
+                n: 1,
+            },
+        ) if dst == r && base == r => Op::FusedLoadElemE {
+            charge: *charge,
+            dst: *r,
+            idx_arr: *idx_arr,
+            idx_slot: *idx_slot,
+            arr: *arr,
+        },
+        // Indirect store through an index array, `F(J(i)) = v`.
+        (
+            Op::FusedLoadElemS {
+                charge,
+                dst: r,
+                arr: idx_arr,
+                idx_slot,
+            },
+            Op::StoreElem {
+                arr,
+                base,
+                n: 1,
+                src,
+            },
+        ) if base == r && src != r => Op::FusedStoreElemE {
+            charge: *charge,
+            idx_arr: *idx_arr,
+            idx_slot: *idx_slot,
+            arr: *arr,
+            src: *src,
+        },
+        // Element right operand (second-level: consumes a pass-one
+        // `FusedLoadElemS`, inheriting its folded charge).
+        (
+            Op::FusedLoadElemS {
+                charge,
+                dst: r,
+                arr,
+                idx_slot,
+            },
+            Op::Bin { op, dst, a, b },
+        ) if b == r && dst == a && a != r => Op::FusedBinRE {
+            charge: *charge,
+            op: *op,
+            dst: *dst,
+            a: *a,
+            arr: *arr,
+            idx_slot: *idx_slot,
+        },
+        // Binary op straight into a scalar slot.
+        (Op::Bin { op, dst, a, b }, Op::StoreScalar { slot, src }) if src == dst => {
+            Op::FusedBinStore {
+                charge: 0,
+                op: *op,
+                slot: *slot,
+                dst: *dst,
+                a: *a,
+                b: *b,
+            }
+        }
+        // Per-iteration DO overhead: head test + variable publish...
+        (Op::LoopTest { i, hi, step, exit }, Op::SetVarRaw { slot, src }) if src == i => {
+            Op::LoopTestSet {
+                i: *i,
+                hi: *hi,
+                step: *step,
+                exit: *exit,
+                var_slot: *slot,
+            }
+        }
+        // ...and tail increment + back-jump.
+        (Op::LoopIncr { i, step }, Op::Jump { target }) => Op::LoopIncrJump {
+            i: *i,
+            step: *step,
+            target: *target,
+        },
+        _ => return None,
+    };
+    Some((fused, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lip_ir::{parse_program, BinOp, Machine, Store, Ty};
+    use lip_symbolic::sym;
+
+    /// Compiles `src`, returning the entry chunk unfused and fused.
+    fn compile_both(src: &str) -> (Chunk, Chunk) {
+        let prog = parse_program(src).expect("parses");
+        let compiled = crate::compile::compile_program(&prog).expect("compiles");
+        let unfused = compiled.subs[0].chunk.clone();
+        let mut fused = unfused.clone();
+        optimize_chunk(&mut fused);
+        (unfused, fused)
+    }
+
+    /// Runs both streams of a whole program and asserts identical
+    /// stores and work units.
+    fn assert_differential(src: &str) {
+        let prog = parse_program(src).expect("parses");
+        let compiled = crate::compile::compile_program(&prog).expect("compiles");
+        let mut fused = compiled.clone();
+        optimize_program(&mut fused);
+        let machine = Machine::new(prog);
+        let mut is = Store::new();
+        let ic = machine.run(&mut is).expect("interp");
+        let mut us = Store::new();
+        let uc = crate::vm::Vm::new(&compiled).run(&mut us).expect("unfused");
+        let mut fs = Store::new();
+        let fc = crate::vm::Vm::new(&fused).run(&mut fs).expect("fused");
+        assert_eq!(ic, uc, "unfused work units");
+        assert_eq!(ic, fc, "fused work units");
+        for (s, v) in is.scalars() {
+            assert_eq!(us.scalar(s), Some(v), "unfused scalar {s}");
+            assert_eq!(fs.scalar(s), Some(v), "fused scalar {s}");
+        }
+        for (s, view) in is.arrays() {
+            let (u, f) = (us.array(s).expect("u"), fs.array(s).expect("f"));
+            for k in 0..view.buf.len() {
+                assert_eq!(view.buf.get(k), u.buf.get(k), "unfused {s}[{k}]");
+                assert_eq!(view.buf.get(k), f.buf.get(k), "fused {s}[{k}]");
+            }
+        }
+    }
+
+    fn count(chunk: &Chunk, pred: impl Fn(&Op) -> bool) -> usize {
+        chunk.ops.iter().filter(|op| pred(op)).count()
+    }
+
+    #[test]
+    fn scalar_scalar_bin_fuses_with_charge() {
+        let src = "
+SUBROUTINE main()
+  INTEGER n, m, t
+  n = 2
+  m = 3
+  t = n + m
+END
+";
+        let (unfused, fused) = compile_both(src);
+        assert!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedBinSS {
+                    charge,
+                    op: BinOp::Add,
+                    ..
+                } if *charge > 0
+            )) == 1
+        );
+        assert!(fused.ops.len() < unfused.ops.len());
+        assert_differential(src);
+    }
+
+    #[test]
+    fn reg_scalar_and_reg_const_bins_fuse() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(8)
+  INTEGER i
+  i = 3
+  A(i) = A(i) * 0.5 + 1.0
+END
+";
+        let (_, fused) = compile_both(src);
+        // `A(i)` loads fuse, `* 0.5` and `+ 1.0` become reg-const
+        // bins, the store becomes an indexed store.
+        assert_eq!(
+            count(&fused, |op| matches!(op, Op::FusedLoadElemS { .. })),
+            1
+        );
+        assert_eq!(count(&fused, |op| matches!(op, Op::FusedBinRK { .. })), 2);
+        assert_eq!(
+            count(&fused, |op| matches!(op, Op::FusedStoreElemS { .. })),
+            1
+        );
+        assert_differential(src);
+    }
+
+    #[test]
+    fn element_operand_bin_fuses_second_level() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION U(8), V(8), W(8)
+  INTEGER i
+  i = 2
+  W(i) = U(i) + V(i)
+END
+";
+        let (_, fused) = compile_both(src);
+        // U(i) stays a fused load; V(i) disappears into the Bin.
+        assert_eq!(count(&fused, |op| matches!(op, Op::FusedBinRE { .. })), 1);
+        assert_eq!(
+            count(&fused, |op| matches!(op, Op::FusedLoadElemS { .. })),
+            1
+        );
+        assert_differential(src);
+    }
+
+    #[test]
+    fn rank1_rmw_statement_fuses_whole() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(8)
+  INTEGER i
+  x = 2.0
+  i = 3
+  A(i) = A(i) + 0.5
+  A(i) = A(i) * x
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedElemUpdateK { charge, .. } if *charge > 0
+            )),
+            1
+        );
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedElemUpdateS { charge, .. } if *charge > 0
+            )),
+            1
+        );
+        assert_differential(src);
+    }
+
+    #[test]
+    fn bin_store_scalar_fuses() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(8)
+  INTEGER i, t
+  i = 2
+  t = A(i) * A(i)
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(op, Op::FusedBinStore { .. })),
+            1
+        );
+        assert_differential(src);
+    }
+
+    #[test]
+    fn do_loop_overhead_fuses() {
+        let src = "
+SUBROUTINE main()
+  INTEGER i, s
+  s = 0
+  DO i = 1, 10
+    s = s + i
+  ENDDO
+END
+";
+        let (unfused, fused) = compile_both(src);
+        assert_eq!(count(&unfused, |op| matches!(op, Op::LoopTest { .. })), 1);
+        assert_eq!(count(&fused, |op| matches!(op, Op::LoopTestSet { .. })), 1);
+        assert_eq!(count(&fused, |op| matches!(op, Op::LoopIncrJump { .. })), 1);
+        assert_eq!(count(&fused, |op| matches!(op, Op::LoopTest { .. })), 0);
+        assert_eq!(count(&fused, |op| matches!(op, Op::LoopIncr { .. })), 0);
+        assert_differential(src);
+    }
+
+    #[test]
+    fn control_flow_differentials_stay_clean() {
+        assert_differential(
+            "
+SUBROUTINE main()
+  DIMENSION A(16)
+  INTEGER i, k
+  k = 1
+  DO WHILE (k .LT. 12)
+    A(k) = A(k) + 2.0
+    k = k + 2
+  ENDDO
+  DO i = 1, 16
+    IF (A(i) .GT. 1.0) THEN
+      A(i) = A(i) - 1.0
+    ELSE
+      A(i) = 0.5
+    ENDIF
+  ENDDO
+END
+",
+        );
+    }
+
+    fn test_chunk(ops: Vec<Op>) -> Chunk {
+        Chunk {
+            ops,
+            consts: vec![lip_ir::Value::Int(7)],
+            nregs: 4,
+            scalars: vec![(sym("s0"), Ty::Int), (sym("s1"), Ty::Int)],
+            arrays: vec![sym("A")],
+            calls: vec![],
+            reads: vec![],
+            fails: vec![],
+        }
+    }
+
+    /// A jump target in the interior of a window must block the
+    /// fusion (re-entering mid-sequence needs the op to exist).
+    #[test]
+    fn branch_target_in_window_blocks_fusion() {
+        let ops = vec![
+            Op::LoadScalar { dst: 0, slot: 0 },
+            Op::LoadScalar { dst: 1, slot: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Op::Jump { target: 2 },
+        ];
+        let mut chunk = test_chunk(ops);
+        optimize_chunk(&mut chunk);
+        // Neither the 3-op window (interior target at 2) nor the
+        // 2-op LoadScalar+Bin window at 1 (same interior target) may
+        // fuse; only ops at-or-after the target could, and `Bin +
+        // Jump` is no pattern.
+        assert!(
+            chunk
+                .ops
+                .iter()
+                .all(|op| !matches!(op, Op::FusedBinSS { .. } | Op::FusedBinRS { .. })),
+            "fused across a branch target: {:?}",
+            chunk.ops
+        );
+    }
+
+    /// A branch target at the window *head* is fine — the fused op
+    /// keeps the address — and every target is remapped to the
+    /// shrunken stream.
+    #[test]
+    fn branch_target_at_window_head_fuses_and_remaps() {
+        let ops = vec![
+            Op::Jump { target: 1 },
+            Op::LoadScalar { dst: 0, slot: 0 },
+            Op::LoadScalar { dst: 1, slot: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Op::Jump { target: 4 },
+        ];
+        let mut chunk = test_chunk(ops);
+        optimize_chunk(&mut chunk);
+        // Window [1..4) has its head at the target 1 and a clear
+        // interior, so it fuses whole and keeps address 1; the exit
+        // jump's target 4 shrinks to 2.
+        assert!(
+            matches!(chunk.ops[1], Op::FusedBinSS { .. }),
+            "{:?}",
+            chunk.ops
+        );
+        assert!(matches!(chunk.ops[0], Op::Jump { target: 1 }));
+        assert!(matches!(chunk.ops[2], Op::Jump { target: 2 }));
+        assert_eq!(chunk.ops.len(), 3);
+    }
+
+    /// An interior `Charge` is a statement boundary: patterns must not
+    /// match across it, and two charges never merge.
+    #[test]
+    fn charge_boundary_splits_window() {
+        let ops = vec![
+            Op::LoadScalar { dst: 0, slot: 0 },
+            Op::Charge(1),
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 0,
+            },
+        ];
+        let mut chunk = test_chunk(ops.clone());
+        optimize_chunk(&mut chunk);
+        assert_eq!(chunk.ops.len(), 3, "{:?}", chunk.ops);
+
+        let mut chunk = test_chunk(vec![Op::Charge(2), Op::Charge(3), Op::Charge(4)]);
+        optimize_chunk(&mut chunk);
+        assert_eq!(chunk.ops.len(), 3, "charges merged: {:?}", chunk.ops);
+    }
+
+    /// A charge must not fold into an op sitting on a jump target:
+    /// re-entering the loop head would charge the fold amount again.
+    #[test]
+    fn charge_does_not_fold_onto_a_jump_target() {
+        let ops = vec![
+            Op::Charge(5),
+            Op::LoadScalar { dst: 0, slot: 0 },
+            Op::LoadScalar { dst: 1, slot: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+            Op::JumpIfFalse { cond: 0, target: 1 },
+        ];
+        let mut chunk = test_chunk(ops);
+        optimize_chunk(&mut chunk);
+        assert!(
+            matches!(chunk.ops[0], Op::Charge(5)),
+            "charge folded across a target: {:?}",
+            chunk.ops
+        );
+        assert!(matches!(
+            chunk.ops[1],
+            Op::FusedBinSS { charge: 0, .. } | Op::LoadScalar { .. }
+        ));
+    }
+
+    /// `charge_amount` saturation (`u32::MAX`) survives folding: the
+    /// fused op charges exactly what the `Charge` op did.
+    #[test]
+    fn saturated_charge_folds_exactly() {
+        let ops = vec![
+            Op::Charge(u32::MAX),
+            Op::LoadScalar { dst: 0, slot: 0 },
+            Op::LoadScalar { dst: 1, slot: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
+        ];
+        let mut chunk = test_chunk(ops.clone());
+        optimize_chunk(&mut chunk);
+        assert!(matches!(
+            chunk.ops[0],
+            Op::FusedBinSS {
+                charge: u32::MAX,
+                ..
+            }
+        ));
+        // Execute both streams: identical cost (and no budget set, so
+        // no trip).
+        let run = |ops: Vec<Op>| {
+            let chunk = test_chunk(ops);
+            let prog = CompiledProgram {
+                subs: vec![crate::chunk::CompiledSub {
+                    name: sym("main"),
+                    chunk,
+                    params: vec![],
+                    locals: vec![],
+                }],
+                blocks: vec![],
+                entry: Some(0),
+            };
+            let mut store = Store::new();
+            store.set_int(sym("s0"), 1);
+            store.set_int(sym("s1"), 2);
+            crate::vm::Vm::new(&prog).run(&mut store).expect("runs")
+        };
+        assert_eq!(run(ops), u64::from(u32::MAX));
+        assert_eq!(run(chunk.ops), u64::from(u32::MAX));
+    }
+
+    /// The pass is idempotent: a second run changes nothing.
+    #[test]
+    fn optimize_is_idempotent() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(8)
+  INTEGER i, s
+  s = 0
+  DO i = 1, 8
+    A(i) = A(i) + 0.5
+    s = s + i
+  ENDDO
+END
+";
+        let prog = parse_program(src).expect("parses");
+        let mut compiled = crate::compile::compile_program(&prog).expect("compiles");
+        optimize_program(&mut compiled);
+        let once = format!("{:?}", compiled.subs[0].chunk.ops);
+        optimize_program(&mut compiled);
+        assert_eq!(once, format!("{:?}", compiled.subs[0].chunk.ops));
+    }
+}

@@ -285,6 +285,36 @@ impl<'p> Vm<'p> {
         })
     }
 
+    /// Reads a scalar slot, erroring like `Op::LoadScalar` when
+    /// unbound (the fused ops inline their operand loads).
+    #[inline]
+    fn slot_value(chunk: &Chunk, frame: &Frame, slot: u16) -> Result<Value, RunError> {
+        frame.scalars[slot as usize]
+            .ok_or_else(|| RunError::UnboundScalar(chunk.scalars[slot as usize].0))
+    }
+
+    /// Rank-1 linearization with the subscript taken straight from a
+    /// scalar slot (the fused element ops). Error order matches the
+    /// unfused `LoadScalar`-then-`LoadElem` stream: unbound subscript
+    /// first, then unbound array, then bounds.
+    fn linearize_slot<'f>(
+        chunk: &Chunk,
+        frame: &'f Frame,
+        arr: u16,
+        idx_slot: u16,
+    ) -> Result<(Sym, usize, &'f ArrayView), RunError> {
+        let i = Self::slot_value(chunk, frame, idx_slot)?.as_i64();
+        let name = chunk.arrays[arr as usize];
+        let view = frame.arrays[arr as usize]
+            .as_ref()
+            .ok_or(RunError::UnboundArray(name))?;
+        let abs = view.offset as i64 + (i - 1);
+        if abs < 0 || abs as usize >= view.buf.len() {
+            return Err(RunError::BadIndex(name));
+        }
+        Ok((name, abs as usize, view))
+    }
+
     fn linearize<'f>(
         chunk: &Chunk,
         frame: &'f Frame,
@@ -428,6 +458,281 @@ impl<'p> Vm<'p> {
                     }
                 }
                 Op::Fail { site } => return Err(chunk.fails[*site as usize].clone()),
+
+                // Superinstructions ([`crate::peephole`]): each arm
+                // replays its unfused sequence exactly — folded charge
+                // first, then operand loads, traced accesses and
+                // register writes in the original order.
+                Op::FusedBinSS {
+                    charge,
+                    op,
+                    dst,
+                    a_slot,
+                    b_slot,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let a = Self::slot_value(chunk, frame, *a_slot)?;
+                    let b = Self::slot_value(chunk, frame, *b_slot)?;
+                    frame.regs[*dst as usize] = apply_bin(*op, a, b);
+                }
+                Op::FusedBinRS {
+                    charge,
+                    op,
+                    dst,
+                    a,
+                    b_slot,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let b = Self::slot_value(chunk, frame, *b_slot)?;
+                    frame.regs[*dst as usize] = apply_bin(*op, frame.regs[*a as usize], b);
+                }
+                Op::FusedBinRK {
+                    charge,
+                    op,
+                    dst,
+                    a,
+                    k,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    frame.regs[*dst as usize] =
+                        apply_bin(*op, frame.regs[*a as usize], chunk.consts[*k as usize]);
+                }
+                Op::FusedBinRE {
+                    charge,
+                    op,
+                    dst,
+                    a,
+                    arr,
+                    idx_slot,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let b = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        view.buf.get(lin)
+                    };
+                    frame.regs[*dst as usize] = apply_bin(*op, frame.regs[*a as usize], b);
+                }
+                Op::FusedBinStore {
+                    charge,
+                    op,
+                    slot,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = apply_bin(*op, frame.regs[*a as usize], frame.regs[*b as usize]);
+                    frame.regs[*dst as usize] = v;
+                    frame.scalars[*slot as usize] = Some(match chunk.scalars[*slot as usize].1 {
+                        Ty::Int => Value::Int(v.as_i64()),
+                        Ty::Real => Value::Real(v.as_f64()),
+                    });
+                }
+                Op::FusedLoadElemS {
+                    charge,
+                    dst,
+                    arr,
+                    idx_slot,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        view.buf.get(lin)
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
+                Op::FusedStoreElemS {
+                    charge,
+                    arr,
+                    idx_slot,
+                    src,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = frame.regs[*src as usize];
+                    let (name, lin, view) = Self::linearize_slot(chunk, frame, *arr, *idx_slot)?;
+                    if let Some(t) = tracer {
+                        t.write(name, lin);
+                    }
+                    view.buf.set(lin, v);
+                }
+                Op::FusedElemUpdateK {
+                    charge,
+                    op,
+                    dst,
+                    arr,
+                    idx_slot,
+                    k,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        let v = apply_bin(*op, view.buf.get(lin), chunk.consts[*k as usize]);
+                        if let Some(t) = tracer {
+                            t.write(name, lin);
+                        }
+                        view.buf.set(lin, v);
+                        v
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
+                Op::FusedElemUpdateS {
+                    charge,
+                    op,
+                    dst,
+                    arr,
+                    idx_slot,
+                    b_slot,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        let cur = view.buf.get(lin);
+                        // The operand load sits between the traced
+                        // read and write in the unfused stream, so an
+                        // unbound operand errors after the read.
+                        let b = Self::slot_value(chunk, frame, *b_slot)?;
+                        let v = apply_bin(*op, cur, b);
+                        if let Some(t) = tracer {
+                            t.write(name, lin);
+                        }
+                        view.buf.set(lin, v);
+                        v
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
+                Op::ChargedConst { charge, dst, k } => {
+                    state.charge(u64::from(*charge))?;
+                    frame.regs[*dst as usize] = chunk.consts[*k as usize];
+                }
+                Op::ChargedLoadScalar { charge, dst, slot } => {
+                    state.charge(u64::from(*charge))?;
+                    frame.regs[*dst as usize] = Self::slot_value(chunk, frame, *slot)?;
+                }
+                Op::FusedLoadElemE {
+                    charge,
+                    dst,
+                    idx_arr,
+                    idx_slot,
+                    arr,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let idx = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *idx_arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        view.buf.get(lin).as_i64()
+                    };
+                    let name = chunk.arrays[*arr as usize];
+                    let v = {
+                        let view = frame.arrays[*arr as usize]
+                            .as_ref()
+                            .ok_or(RunError::UnboundArray(name))?;
+                        let abs = view.offset as i64 + (idx - 1);
+                        if abs < 0 || abs as usize >= view.buf.len() {
+                            return Err(RunError::BadIndex(name));
+                        }
+                        if let Some(t) = tracer {
+                            t.read(name, abs as usize);
+                        }
+                        view.buf.get(abs as usize)
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
+                Op::FusedStoreElemE {
+                    charge,
+                    idx_arr,
+                    idx_slot,
+                    arr,
+                    src,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let idx = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *idx_arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        view.buf.get(lin).as_i64()
+                    };
+                    let v = frame.regs[*src as usize];
+                    let name = chunk.arrays[*arr as usize];
+                    let view = frame.arrays[*arr as usize]
+                        .as_ref()
+                        .ok_or(RunError::UnboundArray(name))?;
+                    let abs = view.offset as i64 + (idx - 1);
+                    if abs < 0 || abs as usize >= view.buf.len() {
+                        return Err(RunError::BadIndex(name));
+                    }
+                    if let Some(t) = tracer {
+                        t.write(name, abs as usize);
+                    }
+                    view.buf.set(abs as usize, v);
+                }
+                Op::LoopTestSet {
+                    i,
+                    hi,
+                    step,
+                    exit,
+                    var_slot,
+                } => {
+                    let iv = frame.regs[*i as usize].as_i64();
+                    let hv = frame.regs[*hi as usize].as_i64();
+                    let sv = frame.regs[*step as usize].as_i64();
+                    if (sv > 0 && iv <= hv) || (sv < 0 && iv >= hv) {
+                        frame.scalars[*var_slot as usize] = Some(frame.regs[*i as usize]);
+                    } else {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Op::LoopIncrJump { i, step, target } => {
+                    let v = frame.regs[*i as usize]
+                        .as_i64()
+                        .wrapping_add(frame.regs[*step as usize].as_i64());
+                    frame.regs[*i as usize] = Value::Int(v);
+                    pc = *target as usize;
+                    continue;
+                }
             }
             pc += 1;
         }

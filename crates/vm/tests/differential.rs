@@ -64,8 +64,9 @@ fn assert_stores_match(interp: &Store, vm: &Store, ctx: &str) {
     }
 }
 
-/// Runs a prepared kernel's target loop sequentially under both
-/// backends with full tracing; asserts identical everything.
+/// Runs a prepared kernel's target loop sequentially under the
+/// interpreter, the unfused VM and the peephole-fused VM with full
+/// tracing; asserts identical everything, three ways.
 fn differential_sequential(mk: impl Fn() -> Prepared, ctx: &str) {
     let mut p = mk();
     let prog = p.machine.program().clone();
@@ -79,29 +80,35 @@ fn differential_sequential(mk: impl Fn() -> Prepared, ctx: &str) {
         .exec_stmt(&sub, &mut p.frame, &target, &mut interp_state)
         .unwrap_or_else(|e| panic!("{ctx}: interp failed: {e}"));
 
-    let mut q = mk();
-    let mut compiled = compile_program(&prog).expect("compiles");
-    let block =
-        add_block(&mut compiled, &sub, std::slice::from_ref(&target), &[]).expect("block compiles");
-    let vm = Vm::for_machine(&compiled, &q.machine);
-    let chunk = &compiled.block(block).chunk;
-    let mut frame = Frame::for_chunk(chunk, &q.frame);
-    let vm_rec = Recorder::default();
-    let mut vm_state = ExecState::default();
-    vm.run_block(block, &mut frame, &mut vm_state, Some(&vm_rec))
-        .unwrap_or_else(|e| panic!("{ctx}: vm failed: {e}"));
-    frame.writeback_scalars(chunk, &mut q.frame);
+    for fused in [false, true] {
+        let leg = if fused { "fused vm" } else { "vm" };
+        let mut q = mk();
+        let mut compiled = compile_program(&prog).expect("compiles");
+        let block = add_block(&mut compiled, &sub, std::slice::from_ref(&target), &[])
+            .expect("block compiles");
+        if fused {
+            lip_vm::optimize_block(&mut compiled, block);
+        }
+        let vm = Vm::for_machine(&compiled, &q.machine);
+        let chunk = &compiled.block(block).chunk;
+        let mut frame = Frame::for_chunk(chunk, &q.frame);
+        let vm_rec = Recorder::default();
+        let mut vm_state = ExecState::default();
+        vm.run_block(block, &mut frame, &mut vm_state, Some(&vm_rec))
+            .unwrap_or_else(|e| panic!("{ctx}: {leg} failed: {e}"));
+        frame.writeback_scalars(chunk, &mut q.frame);
 
-    assert_eq!(
-        interp_state.cost, vm_state.cost,
-        "{ctx}: work units diverged"
-    );
-    assert_eq!(
-        *interp_rec.events.lock().unwrap(),
-        *vm_rec.events.lock().unwrap(),
-        "{ctx}: observable access trace diverged"
-    );
-    assert_stores_match(&p.frame, &q.frame, ctx);
+        assert_eq!(
+            interp_state.cost, vm_state.cost,
+            "{ctx}: {leg} work units diverged"
+        );
+        assert_eq!(
+            *interp_rec.events.lock().unwrap(),
+            *vm_rec.events.lock().unwrap(),
+            "{ctx}: {leg} observable access trace diverged"
+        );
+        assert_stores_match(&p.frame, &q.frame, &format!("{ctx} ({leg})"));
+    }
 }
 
 #[test]

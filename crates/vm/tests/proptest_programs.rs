@@ -1,21 +1,40 @@
 //! Property: on randomly generated straight-line/loop programs, the
-//! bytecode VM and the tree-walk interpreter agree on every scalar,
-//! every array element and the exact work-unit count.
+//! tree-walk interpreter, the unfused bytecode VM and the
+//! peephole-fused bytecode VM agree three ways on every scalar, every
+//! array element, the exact work-unit count **and** the exact traced
+//! access stream (reads and writes, in order).
 //!
 //! Programs are built directly as ASTs from a seeded splitmix64 stream:
 //! scalar and element assignments, IF/THEN/ELSE, nested DO loops (and
 //! occasional DO WHILE), arithmetic over two scalars pools (int + real),
 //! intrinsics, and a 16-element array whose subscripts are clamped into
 //! bounds with `1 + MOD(ABS(e), 15)` so every generated program runs to
-//! completion on both backends.
+//! completion on every engine.
+
+use std::sync::{Arc, Mutex};
 
 use lip_ir::{
-    BinOp, Decl, DimDecl, Expr, Intrinsic, LValue, Machine, Program, Stmt, Store, Subroutine, Ty,
-    UnOp,
+    AccessTracer, BinOp, Decl, DimDecl, Expr, Intrinsic, LValue, Machine, Program, Stmt, Store,
+    Subroutine, Ty, UnOp,
 };
 use lip_symbolic::{sym, Sym};
-use lip_vm::{compile_program, Vm};
+use lip_vm::{compile_program, optimize_program, Vm};
 use proptest::prelude::*;
+
+/// Records every traced access in order.
+#[derive(Default)]
+struct Recorder {
+    events: Mutex<Vec<(char, Sym, usize)>>,
+}
+
+impl AccessTracer for Recorder {
+    fn read(&self, arr: Sym, idx: usize) {
+        self.events.lock().unwrap().push(('r', arr, idx));
+    }
+    fn write(&self, arr: Sym, idx: usize) {
+        self.events.lock().unwrap().push(('w', arr, idx));
+    }
+}
 
 struct Gen {
     state: u64,
@@ -235,46 +254,139 @@ fn gen_program(seed: u64) -> Program {
     }
 }
 
+/// One engine's observable outcome: result, store snapshot, work
+/// units, trace. Values snapshot as `(type tag, payload bits)` so the
+/// compare is fully lossless: Int/Real confusion is visible, integers
+/// beyond 2^53 stay exact, and an agreed-upon NaN still matches.
+type Observed = (
+    Result<(), lip_ir::RunError>,
+    Vec<(Sym, Option<(u8, u64)>)>,
+    Vec<(u8, u64)>,
+    u64,
+    Vec<(char, Sym, usize)>,
+);
+
+fn value_bits(v: lip_ir::Value) -> (u8, u64) {
+    match v {
+        lip_ir::Value::Int(i) => (0, i as u64),
+        lip_ir::Value::Real(r) => (1, r.to_bits()),
+    }
+}
+
+fn observe(
+    store: &Store,
+    result: Result<(), lip_ir::RunError>,
+    cost: u64,
+    rec: &Recorder,
+) -> Observed {
+    let scalars = int_scalars()
+        .into_iter()
+        .chain(real_scalars())
+        .map(|s| (s, store.scalar(s).map(value_bits)))
+        .collect();
+    let elems = store
+        .array(arr())
+        .map(|a| (0..16).map(|k| value_bits(a.buf.get(k))).collect())
+        .unwrap_or_default();
+    let events = std::mem::take(&mut *rec.events.lock().unwrap());
+    (result, scalars, elems, cost, events)
+}
+
+const BUDGET: u64 = 2_000_000;
+
+fn run_interp(prog: &Program) -> Observed {
+    let rec = Arc::new(Recorder::default());
+    let machine = Machine::new(prog.clone()).with_tracer(rec.clone());
+    let mut store = Store::new();
+    let mut state = lip_ir::ExecState::with_budget(BUDGET);
+    let result = machine.run_with_state(&mut store, &mut state);
+    observe(&store, result, state.cost, &rec)
+}
+
+fn run_vm(prog: &Program, fused: bool) -> Observed {
+    let mut compiled = compile_program(prog).expect("compiles");
+    if fused {
+        optimize_program(&mut compiled);
+    }
+    let rec = Recorder::default();
+    let mut store = Store::new();
+    let mut state = lip_ir::ExecState::with_budget(BUDGET);
+    let result = Vm::new(&compiled).run_with_state(&mut store, &mut state, Some(&rec));
+    observe(&store, result, state.cost, &rec)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // A 384-case corpus (three engines each): deterministic via the
+    // in-tree splitmix64 proptest stand-in, so CI failures replay.
+    #![proptest_config(ProptestConfig::with_cases(384))]
     #[test]
-    fn vm_matches_interpreter_on_random_programs(seed in 0u64..1_000_000_000u64) {
+    fn vm_streams_match_interpreter_three_ways(seed in 0u64..1_000_000_000u64) {
         let prog = gen_program(seed);
         // A generous step budget caps even pathological programs; when
-        // it trips, it trips on both backends (total cost is equal).
-        let machine = Machine::new(prog.clone());
-        let mut interp_store = Store::new();
-        let mut interp_state = lip_ir::ExecState::with_budget(2_000_000);
-        let interp = machine.run_with_state(&mut interp_store, &mut interp_state);
-
-        let compiled = compile_program(&prog).expect("compiles");
-        let mut vm_store = Store::new();
-        let mut vm_state = lip_ir::ExecState::with_budget(2_000_000);
-        let vm = Vm::new(&compiled).run_with_state(&mut vm_store, &mut vm_state, None);
-
-        match (interp, vm) {
-            (Ok(()), Ok(())) => {
-                prop_assert_eq!(interp_state.cost, vm_state.cost,
-                    "work units diverged (seed {})", seed);
-                // Bit-compare reals so an agreed-upon NaN still passes.
-                for s in int_scalars().into_iter().chain(real_scalars()) {
-                    prop_assert_eq!(
-                        interp_store.scalar(s).map(|v| v.as_f64().to_bits()),
-                        vm_store.scalar(s).map(|v| v.as_f64().to_bits()),
-                        "scalar {} diverged (seed {})", s, seed
-                    );
-                }
-                let ia = interp_store.array(arr()).expect("A");
-                let va = vm_store.array(arr()).expect("A");
-                for k in 0..16 {
-                    prop_assert_eq!(
-                        ia.get_f64(k).to_bits(), va.get_f64(k).to_bits(),
-                        "A[{}] diverged (seed {})", k, seed
-                    );
-                }
-            }
-            (Err(ie), Err(ve)) => prop_assert_eq!(ie, ve, "errors diverged (seed {})", seed),
-            (i, v) => prop_assert!(false, "one backend failed (seed {}): interp {:?} vm {:?}", seed, i, v),
+        // it trips, it trips identically on every engine (total cost
+        // and the trip point are equal).
+        let interp = run_interp(&prog);
+        let unfused = run_vm(&prog, false);
+        let fused = run_vm(&prog, true);
+        // The two bytecode streams charge at identical points, so they
+        // must agree bit for bit even on a mid-program error.
+        prop_assert_eq!(&unfused, &fused, "unfused vs fused diverged (seed {})", seed);
+        if interp.0.is_ok() && unfused.0.is_ok() {
+            prop_assert_eq!(&interp, &unfused, "interp vs bytecode diverged (seed {})", seed);
+        } else {
+            // On failure only the error is comparable: the interpreter
+            // charges per node mid-statement, the VM per statement up
+            // front, so a budget trip leaves different partial state.
+            prop_assert_eq!(&interp.0, &unfused.0, "errors diverged (seed {})", seed);
         }
     }
+}
+
+/// Replay one corpus seed with a component-by-component report
+/// (`DBG_SEED=<seed> cargo test -p lip_vm --test proptest_programs
+/// dbg_seed -- --ignored --nocapture`). This is how the -0.0
+/// constant-pool aliasing fixed in `ChunkBuilder::const_slot` was
+/// localized.
+#[test]
+#[ignore = "diagnostic; needs DBG_SEED"]
+fn dbg_seed() {
+    let Some(seed) = std::env::var("DBG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    else {
+        return;
+    };
+    let prog = gen_program(seed);
+    let interp = run_interp(&prog);
+    let unfused = run_vm(&prog, false);
+    println!("result  i={:?} u={:?}", interp.0, unfused.0);
+    println!("cost    i={} u={}", interp.3, unfused.3);
+    for (a, b) in interp.1.iter().zip(unfused.1.iter()) {
+        if a != b {
+            println!("scalar {:?} vs {:?}", a, b);
+        }
+    }
+    for (k, (a, b)) in interp.2.iter().zip(unfused.2.iter()).enumerate() {
+        if a != b {
+            println!("elem {k}: {a:?} vs {b:?}");
+        }
+    }
+    let n = interp.4.len().max(unfused.4.len());
+    for k in 0..n {
+        let (a, b) = (interp.4.get(k), unfused.4.get(k));
+        if a != b {
+            println!("trace[{k}]: i={:?} u={:?}", a, b);
+            println!(
+                "  i context: {:?}",
+                &interp.4[k.saturating_sub(3)..(k + 3).min(interp.4.len())]
+            );
+            println!(
+                "  u context: {:?}",
+                &unfused.4[k.saturating_sub(3)..(k + 3).min(unfused.4.len())]
+            );
+            break;
+        }
+    }
+    println!("trace len i={} u={}", interp.4.len(), unfused.4.len());
+    println!("{prog:#?}");
 }

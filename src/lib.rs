@@ -21,12 +21,13 @@
 //!
 //! The configured entry point to the whole pipeline is [`Session`]
 //! (re-exported from [`runtime`]): a builder owning the execution
-//! backend, the predicate engine, the pool width and the per-machine
-//! compile caches, with `analyze` / `run_loop` / `run_many` /
-//! `civ_traces` / `lrpd_execute` / `per_iteration_costs` / `simulate`
-//! methods. Environment variables (`LIP_BACKEND`, `LIP_PRED`,
-//! `LIP_PRED_PAR_MIN`) are read in exactly one place,
-//! [`SessionConfig::from_env`], with strict parsing.
+//! backend, the bytecode opt level (the `lip_vm` superinstruction
+//! peephole pass, default on), the predicate engine, the pool width
+//! and the per-machine compile caches, with `analyze` / `run_loop` /
+//! `run_many` / `civ_traces` / `lrpd_execute` / `per_iteration_costs`
+//! / `simulate` methods. Environment variables (`LIP_BACKEND`,
+//! `LIP_OPT`, `LIP_PRED`, `LIP_PRED_PAR_MIN`) are read in exactly one
+//! place, [`SessionConfig::from_env`], with strict parsing.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
 
