@@ -15,7 +15,9 @@ use std::fmt;
 use lip_core::{build_cascade, complexity, ArrayExtent, Cascade, FactorConfig, Factorizer, Pdag};
 use lip_ir::{Program, Stmt, Subroutine};
 use lip_symbolic::{BoolExpr, RangeEnv, Sym, SymExpr};
-use lip_usr::{flow_independence, output_independence, reshape, slv_equation, ReshapeConfig, Usr};
+use lip_usr::{
+    flow_independence, output_independence, reshape, slv_equation, ReshapeConfig, Usr, UsrNode,
+};
 
 use crate::baseline::affine_definitely_dependent;
 use crate::summarize::{IterationSummary, ScalarKind, Summarizer};
@@ -149,6 +151,14 @@ pub enum LoopClass {
     },
     /// Requires an exact fallback test.
     NeedsFallback(FallbackKind),
+    /// Distributed into legally ordered sub-loops, at least one of
+    /// which runs parallel (the [`crate::fission`] rescue of a
+    /// sequential verdict). The carried [`LoopAnalysis::fission`] plan
+    /// has the fragments.
+    Fissioned {
+        /// Number of fragments in the plan.
+        fragments: usize,
+    },
 }
 
 /// The complete analysis result for one loop.
@@ -178,10 +188,16 @@ pub struct LoopAnalysis {
     /// last-resort test (hoisted USR evaluation, paper §5). `None` when
     /// everything is statically resolved.
     pub ind_usr: Option<Usr>,
+    /// Loop-distribution rescue plan, when the body splits into legal
+    /// fragments with at least one parallel win. For
+    /// [`LoopClass::Fissioned`] this is the primary plan; for
+    /// [`LoopClass::Predicated`] it is the backup used when the exact
+    /// test reports genuine dependences.
+    pub fission: Option<std::rc::Rc<crate::fission::FissionPlan>>,
 }
 
 /// Options controlling the analysis (ablation switches).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct AnalysisConfig {
     /// USR reshaping (Figure 8) on/off.
     pub reshape: ReshapeConfig,
@@ -189,6 +205,19 @@ pub struct AnalysisConfig {
     pub factor: FactorConfig,
     /// Extra facts known about the inputs (e.g. `N ≥ 1`).
     pub facts: Vec<BoolExpr>,
+    /// Loop-fission rescue pass on/off.
+    pub fission: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            reshape: ReshapeConfig::default(),
+            factor: FactorConfig::default(),
+            facts: Vec::new(),
+            fission: true,
+        }
+    }
 }
 
 /// Analyzes the loop labelled `label` in subroutine `sub_name`.
@@ -203,6 +232,44 @@ pub fn analyze_loop(
     let target = sub.find_loop(label)?.clone();
     let mut summarizer = Summarizer::new(prog);
     let entry_env = env_at_loop(&mut summarizer, &sub, label).unwrap_or_default();
+
+    let mut analysis = analyze_do(prog, &sub, &target, label, cfg, &entry_env)?;
+    // Fission rescue: whenever the verdict falls short of static
+    // parallelism, try to distribute the body. A sequential verdict is
+    // upgraded outright; predicated / fallback verdicts keep their
+    // class and carry the plan as the executor's backup for the day
+    // the exact test reports genuine dependences.
+    if cfg.fission && analysis.class != LoopClass::StaticParallel {
+        if let Some(plan) =
+            crate::fission::plan_fission(prog, &sub, &target, label, cfg, &entry_env)
+        {
+            if analysis.class == LoopClass::StaticSequential {
+                analysis.class = LoopClass::Fissioned {
+                    fragments: plan.fragments.len(),
+                };
+            }
+            analysis.fission = Some(std::rc::Rc::new(plan));
+        }
+    }
+    Some(analysis)
+}
+
+/// The fission-free core of [`analyze_loop`]: classifies `target`
+/// (found in or synthesized over `sub`) against a precomputed entry
+/// environment. Fragment analysis re-enters here with synthetic loops
+/// that don't exist in `sub`'s body.
+pub(crate) fn analyze_do(
+    prog: &Program,
+    sub: &Subroutine,
+    target: &Stmt,
+    label: &str,
+    cfg: &AnalysisConfig,
+    entry_env: &SymEnv,
+) -> Option<LoopAnalysis> {
+    let sub = sub.clone();
+    let target = target.clone();
+    let entry_env = entry_env.clone();
+    let mut summarizer = Summarizer::new(prog);
 
     if affine_definitely_dependent(&sub, &target) {
         // Provably dependent in the affine domain: report STATIC-SEQ
@@ -225,6 +292,7 @@ pub fn analyze_loop(
                 civs: Vec::new(),
                 scalar_reductions: Vec::new(),
                 ind_usr: None,
+                fission: None,
             });
         }
     }
@@ -455,6 +523,15 @@ fn classify(
         // write, so privatization resolves all cross-iteration WAR/WAW.
         let covered = s.ro.is_empty() && s.rw.is_empty();
 
+        // A write-first region whose *addresses* don't vary with the
+        // loop variable (solvh's gated XE scratch, paper Fig. 1): every
+        // writing iteration hits the same locations, so an
+        // output-independence predicate can only pass in the degenerate
+        // "no iteration ever writes" case. Emitting it buries the
+        // cascade under a constant-fail stage; privatization (§5) is
+        // the sound plan, so the predicated arms below step aside.
+        let wf_invariant = !s.wf.is_empty() && !addresses_mention(&s.wf, it.var);
+
         // Static last value.
         let slv = slv_equation(it.var, &it.lo, &it.hi, &s.wf);
         let mut f3 = Factorizer::new(fcfg);
@@ -501,7 +578,7 @@ fn classify(
                 last_value: LastValue::Static,
                 cascade: None,
             }
-        } else if flow_ok_static && out_usable {
+        } else if flow_ok_static && out_usable && !wf_invariant {
             required.push(out_pred.clone());
             ArrayPlan::Predicated(out_cascade)
         } else if flow_ok_static {
@@ -527,7 +604,7 @@ fn classify(
                     last_value: LastValue::Static,
                     cascade: Some(flow_cascade),
                 }
-            } else if out_usable {
+            } else if out_usable && !wf_invariant {
                 pred_parts.push(out_pred.clone());
                 ArrayPlan::Predicated(build_cascade(&Pdag::and(pred_parts.clone()), &env))
             } else {
@@ -609,6 +686,7 @@ fn classify(
         civs: it.civs,
         scalar_reductions,
         ind_usr: (!exact_usrs.is_empty()).then(|| Usr::union_all(exact_usrs)),
+        fission: None,
     }
 }
 
@@ -658,19 +736,67 @@ fn mark_monotonicity(cascade: &Cascade, techniques: &mut BTreeSet<Technique>) {
     }
 }
 
+/// Whether any access *address* in `u` depends on `var`. Gate
+/// predicates are skipped on purpose: a gate decides whether the
+/// accesses happen, not where they land, and for output independence
+/// only the landing sites matter. Recurrence bounds count as
+/// address-varying (different iterations produce different index
+/// sets).
+fn addresses_mention(u: &Usr, var: Sym) -> bool {
+    match u.node() {
+        UsrNode::Empty => false,
+        // An opaque sym is a havoc placeholder for a runtime value the
+        // summarizer couldn't express — one name standing for a
+        // possibly-different value each iteration (tls_feedback's
+        // `pos = INT(W(i))`). Addresses built on one are never
+        // loop-invariant, whatever syms they mention textually.
+        UsrNode::Leaf(set) => {
+            set.contains_sym(var) || set.syms().iter().any(|s| opaque_sym(&s.name()))
+        }
+        UsrNode::Union(a, b) | UsrNode::Intersect(a, b) | UsrNode::Subtract(a, b) => {
+            addresses_mention(a, var) || addresses_mention(b, var)
+        }
+        UsrNode::Gate(_, s) | UsrNode::Call(_, s) => addresses_mention(s, var),
+        UsrNode::RecTotal {
+            var: rv,
+            lo,
+            hi,
+            body,
+        }
+        | UsrNode::RecPartial {
+            var: rv,
+            lo,
+            hi,
+            body,
+        } => {
+            // An inner recurrence bound that mentions `var` (solvh's
+            // `U[k=1..IA(i)]`) varies the *set size* per iteration, not
+            // the landing sites: every non-empty range starts at the
+            // same first element, so collisions persist. Only when the
+            // body's addresses track the recurrence variable does an
+            // outer-variant bound make the addresses outer-variant.
+            addresses_mention(body, var)
+                || ((lo.contains_sym(var) || hi.contains_sym(var)) && addresses_mention(body, *rv))
+        }
+    }
+}
+
+/// Whether a symbol name denotes an opaque unknown the runtime cannot
+/// reproduce (as opposed to program scalars, arrays and CIV traces).
+fn opaque_sym(n: &str) -> bool {
+    n.contains("@u")
+        || n.contains("cond@")
+        || n.contains("@idx")
+        || n.contains("@arg")
+        || n.contains("@sec")
+        || n.contains("@opaque")
+        || n.contains("@ridx")
+}
+
 /// Whether a predicate's free symbols can all be produced at runtime
 /// (program scalars, arrays, CIV traces — but not opaque unknowns).
 fn runtime_evaluable(p: &Pdag) -> bool {
-    p.free_syms().iter().all(|s| {
-        let n = s.name();
-        !(n.contains("@u")
-            || n.contains("cond@")
-            || n.contains("@idx")
-            || n.contains("@arg")
-            || n.contains("@sec")
-            || n.contains("@opaque")
-            || n.contains("@ridx"))
-    })
+    p.free_syms().iter().all(|s| !opaque_sym(&s.name()))
 }
 
 /// Fallback choice: hoisted USR evaluation when the equation's inputs
@@ -679,16 +805,7 @@ fn pick_fallback(usr: &Usr, prior: Option<FallbackKind>) -> FallbackKind {
     if prior == Some(FallbackKind::Tls) {
         return FallbackKind::Tls;
     }
-    let evaluable = usr.free_syms().iter().all(|s| {
-        let n = s.name();
-        !(n.contains("@u")
-            || n.contains("cond@")
-            || n.contains("@idx")
-            || n.contains("@arg")
-            || n.contains("@sec")
-            || n.contains("@opaque")
-            || n.contains("@ridx"))
-    });
+    let evaluable = usr.free_syms().iter().all(|s| !opaque_sym(&s.name()));
     if evaluable {
         FallbackKind::HoistUsr
     } else {

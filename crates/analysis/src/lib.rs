@@ -16,6 +16,7 @@
 
 pub mod baseline;
 pub mod classify;
+pub mod fission;
 pub mod summarize;
 pub mod symbridge;
 
@@ -24,5 +25,6 @@ pub use classify::{
     analyze_loop, AnalysisConfig, ArrayPlan, FallbackKind, LastValue, LoopAnalysis, LoopClass,
     RedKind, Technique,
 };
+pub use fission::{fragment_rescuable, FissionFragment, FissionPlan};
 pub use summarize::{ArrayFacts, ScopeSummary, Summarizer};
 pub use symbridge::{cond_to_bool, expr_to_sym, SymEnv};

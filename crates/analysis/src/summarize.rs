@@ -999,8 +999,28 @@ fn increment_step(sub: &Subroutine, env: &SymEnv, rhs: &Expr, s: Sym) -> Option<
 pub fn use_before_def(stmts: &[Stmt], s: Sym) -> bool {
     let mut defined = false;
     for st in stmts {
-        if !defined && stmt_uses(st, s) {
-            return true;
+        if !defined {
+            // A nested DO whose header doesn't mention `s` only exposes
+            // `s` through its body; recurse with the same first-use
+            // discipline instead of counting any mention as a use, so a
+            // scalar that every inner iteration defines before reading
+            // (solvh's `id = IB(i) + k - 1`) isn't flagged.
+            let uses = match st {
+                Stmt::Do {
+                    lo, hi, step, body, ..
+                } if !lo.mentions(s)
+                    && !hi.mentions(s)
+                    && !step.as_ref().is_some_and(|e| e.mentions(s)) =>
+                {
+                    use_before_def(body, s)
+                }
+                _ => stmt_uses(st, s),
+            };
+            if uses {
+                return true;
+            }
+            // Zero-trip conservatism: the DO may not execute, so it
+            // never counts as a definition at this level.
         }
         if let Stmt::Assign {
             lhs: LValue::Scalar(v),

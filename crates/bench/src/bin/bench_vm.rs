@@ -4,9 +4,12 @@
 //! superinstruction pass win, with op counts), per-kernel
 //! predicate-evaluation timings for the O(N) cascade stages (tree-walk
 //! `Pdag::eval` vs the compiled `lip_pred` engine, sequential and
-//! chunk-parallel), and cold-vs-warm `Session` timings (cache reuse
-//! across `run_many`), so the perf trajectory stays machine-readable
-//! across PRs. Backends are pinned by building sessions — nothing here
+//! chunk-parallel, with the index of the first failing stage),
+//! loop-fission rescue figures (`fission_results` — fraction of work
+//! units rescued into parallel fragments and wall-clock vs the fully
+//! sequential `fission(false)` leg), and cold-vs-warm `Session`
+//! timings (cache reuse across `run_many`), so the perf trajectory
+//! stays machine-readable across PRs. Backends are pinned by building sessions — nothing here
 //! reads or mutates the `LIP_*` environment.
 //!
 //! ```sh
@@ -214,6 +217,11 @@ struct PredRow {
     wall_ns: f64,
     speedup_vs_treewalk: f64,
     verdict: &'static str,
+    /// Index of the first cascade stage whose verdict on the prepared
+    /// workload is not a pass (`None` = every stage passes). Recorded
+    /// so CI can catch silent verdict regressions and attribute
+    /// fission rescues to the stage that forced them.
+    failed_stage: Option<usize>,
 }
 
 fn verdict_str(v: Option<bool>) -> &'static str {
@@ -226,20 +234,46 @@ fn verdict_str(v: Option<bool>) -> &'static str {
 
 /// Times the kernel's most expensive cascade stage (the O(N) test)
 /// under the three evaluation modes, asserting identical verdicts.
+///
+/// The stage comes from the whole loop's cascade when that cascade has
+/// a quantified stage; a *fissioned* loop keeps an empty whole-loop
+/// cascade (it was provably dependent as a unit), so its runtime tests
+/// live on the fragments — we then time the richest fragment cascade
+/// instead, which is also where `failed_stage` must point for the
+/// rescue to be attributable.
 fn measure_pred(shape: &'static KernelShape, n: usize) -> Vec<PredRow> {
     let p = shape.prepared(n);
     let prog = p.machine.program().clone();
     let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
     let analysis =
         analyze_loop(&prog, sub.name, p.label, &AnalysisConfig::default()).expect("analysis");
-    let Some(stage) = analysis.cascade.stages.iter().max_by_key(|s| s.complexity) else {
-        return Vec::new();
-    };
-    if stage.complexity == 0 {
-        return Vec::new();
+    fn max_c(c: &lip_core::Cascade) -> u32 {
+        c.stages.iter().map(|s| s.complexity).max().unwrap_or(0)
     }
+    let stages: &[_] = if max_c(&analysis.cascade) >= 1 {
+        &analysis.cascade.stages
+    } else {
+        let frag = analysis.fission.as_deref().and_then(|plan| {
+            plan.fragments
+                .iter()
+                .map(|f| &f.analysis.cascade)
+                .filter(|c| max_c(c) >= 1)
+                .max_by_key(|c| max_c(c))
+        });
+        match frag {
+            Some(c) => &c.stages,
+            None => return Vec::new(),
+        }
+    };
+    let stage = stages
+        .iter()
+        .max_by_key(|s| s.complexity)
+        .expect("quantified stage");
     let ctx = StoreCtx(&p.frame);
     let limit = 100_000_000u64;
+    let failed_stage = stages
+        .iter()
+        .position(|s| s.pred.eval(&ctx, limit) != Some(true));
     let nthreads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -286,12 +320,95 @@ fn measure_pred(shape: &'static KernelShape, n: usize) -> Vec<PredRow> {
         wall_ns,
         speedup_vs_treewalk: tree_ns / wall_ns,
         verdict,
+        failed_stage,
     };
     vec![
         row("treewalk", tree_ns),
         row("compiled", seq_ns),
         row("compiled-par", par_ns),
     ]
+}
+
+struct FissionRow {
+    kernel: &'static str,
+    fragments: usize,
+    parallel_fragments: usize,
+    rescued_units: u64,
+    loop_units: u64,
+    rescued_fraction: f64,
+    fissioned_wall_ns: f64,
+    sequential_wall_ns: f64,
+    speedup_vs_sequential: f64,
+}
+
+/// Measures the loop-fission rescue on kernels whose analysis carries
+/// a fission plan *and* whose fissioned execution actually rescues
+/// fragments on the prepared workload: work units spent inside
+/// parallel fragments (the rescued fraction of the loop body) and
+/// wall-clock fissioned vs fully sequential (`fission(false)` — the
+/// classic whole-loop behavior the rescue degrades from). Work-unit
+/// totals must agree between the two legs: fission re-orders execution
+/// but never changes what the loop computes or charges.
+fn measure_fission(shape: &'static KernelShape, n: usize) -> Option<FissionRow> {
+    let p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+    let on = Session::builder()
+        .backend(Backend::Bytecode)
+        .pred(PredBackend::Compiled)
+        .fission(true)
+        .build();
+    let off = Session::builder()
+        .backend(Backend::Bytecode)
+        .pred(PredBackend::Compiled)
+        .fission(false)
+        .build();
+    let analysis = on.analyze(&prog, sub.name, p.label).expect("analysis");
+    analysis.fission.as_ref()?;
+
+    let run_once = |session: &Session| {
+        let mut frame = p.frame.clone();
+        let stats = session
+            .run_many([LoopJob {
+                machine: &p.machine,
+                sub: &sub,
+                target: &target,
+                analysis: &analysis,
+                frame: &mut frame,
+            }])
+            .expect("runs");
+        stats.into_iter().next().expect("one job")
+    };
+
+    let fissioned = run_once(&on);
+    let lip_runtime::ExecOutcome::Fissioned {
+        fragments,
+        parallel,
+        rescued_units,
+    } = fissioned.outcome
+    else {
+        return None; // cascade or exact test rescued the whole loop first
+    };
+    let sequential = run_once(&off);
+    assert_eq!(
+        fissioned.loop_units, sequential.loop_units,
+        "{}: fissioned work units diverged from sequential",
+        shape.name
+    );
+    let (fissioned_wall_ns, _) = time_ns(|| run_once(&on).loop_units);
+    let (sequential_wall_ns, _) = time_ns(|| run_once(&off).loop_units);
+    Some(FissionRow {
+        kernel: shape.name,
+        fragments,
+        parallel_fragments: parallel,
+        rescued_units,
+        loop_units: fissioned.loop_units,
+        rescued_fraction: rescued_units as f64 / fissioned.loop_units as f64,
+        fissioned_wall_ns,
+        sequential_wall_ns,
+        speedup_vs_sequential: sequential_wall_ns / fissioned_wall_ns,
+    })
 }
 
 struct ReuseRow {
@@ -396,6 +513,24 @@ fn main() {
         pred_rows.extend(kernel_rows);
     }
 
+    let mut fission_rows = Vec::new();
+    for (shape, n) in lip_bench::fission_kernels() {
+        let Some(r) = measure_fission(shape, n) else {
+            continue;
+        };
+        println!(
+            "{:<18} fission {}/{} frags parallel  rescued {:>5.1}%  fissioned {:>12.0} ns  sequential {:>12.0} ns ({:>5.2}x)",
+            r.kernel,
+            r.parallel_fragments,
+            r.fragments,
+            r.rescued_fraction * 100.0,
+            r.fissioned_wall_ns,
+            r.sequential_wall_ns,
+            r.speedup_vs_sequential,
+        );
+        fission_rows.push(r);
+    }
+
     let mut reuse_rows = Vec::new();
     for (shape, n) in lip_bench::vm_hot_kernels() {
         let r = measure_session_reuse(shape, n);
@@ -435,16 +570,35 @@ fn main() {
     }
     json.push_str("  ],\n  \"pred_results\": [\n");
     for (i, r) in pred_rows.iter().enumerate() {
+        let failed = r.failed_stage.map_or("null".into(), |s| s.to_string());
         let _ = writeln!(
             json,
-            "    {{\"kernel\": \"{}\", \"stage_complexity\": {}, \"backend\": \"{}\", \"wall_ns\": {:.1}, \"speedup_vs_treewalk\": {:.3}, \"verdict\": \"{}\"}}{}",
+            "    {{\"kernel\": \"{}\", \"stage_complexity\": {}, \"backend\": \"{}\", \"wall_ns\": {:.1}, \"speedup_vs_treewalk\": {:.3}, \"verdict\": \"{}\", \"failed_stage\": {}}}{}",
             r.kernel,
             r.stage_complexity,
             r.backend,
             r.wall_ns,
             r.speedup_vs_treewalk,
             r.verdict,
+            failed,
             if i + 1 == pred_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"fission_results\": [\n");
+    for (i, r) in fission_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"fragments\": {}, \"parallel_fragments\": {}, \"rescued_units\": {}, \"loop_units\": {}, \"rescued_fraction\": {:.3}, \"fissioned_wall_ns\": {:.1}, \"sequential_wall_ns\": {:.1}, \"speedup_vs_sequential\": {:.3}}}{}",
+            r.kernel,
+            r.fragments,
+            r.parallel_fragments,
+            r.rescued_units,
+            r.loop_units,
+            r.rescued_fraction,
+            r.fissioned_wall_ns,
+            r.sequential_wall_ns,
+            r.speedup_vs_sequential,
+            if i + 1 == fission_rows.len() { "" } else { "," }
         );
     }
     json.push_str("  ],\n  \"session_reuse\": [\n");
@@ -462,10 +616,11 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
     println!(
-        "wrote BENCH_vm.json ({} vm rows, {} fused rows, {} pred rows, {} session-reuse rows)",
+        "wrote BENCH_vm.json ({} vm rows, {} fused rows, {} pred rows, {} fission rows, {} session-reuse rows)",
         rows.len(),
         fused_rows.len(),
         pred_rows.len(),
+        fission_rows.len(),
         reuse_rows.len()
     );
 }

@@ -56,6 +56,22 @@ pub fn pred_kernels() -> Vec<(&'static KernelShape, usize)> {
     ]
 }
 
+/// The kernels (and problem sizes) for the loop-fission rescue
+/// measurements in `bench_vm`. Sizes are moderate on purpose: both
+/// the fissioned and the fully sequential leg hoist and exactly
+/// evaluate an indirect-access USR whose evaluation cost grows
+/// superlinearly with the array size, and the comparison needs
+/// several samples per leg. Kernels without a fission plan (solvh's
+/// cascade rescues the whole loop before distribution is considered)
+/// are listed so the bench keeps probing them and reports the moment
+/// a classification change hands them a plan.
+pub fn fission_kernels() -> Vec<(&'static KernelShape, usize)> {
+    vec![
+        (&lip_suite::HOIST_INDIRECT, 1024),
+        (&lip_suite::SOLVH, 1024),
+    ]
+}
+
 /// Renders one paper-style table for a suite.
 pub fn print_table(session: &Session, title: &str, defs: &[BenchDef]) {
     println!("== {title} ==");
@@ -123,6 +139,7 @@ fn render_class(l: &lip_suite::LoopMeasurement) -> String {
             if l.parallel { " pass" } else { " fail" }
         ),
         LoopClass::NeedsFallback(k) => format!("{k:?}"),
+        LoopClass::Fissioned { fragments } => format!("FISSION({fragments})"),
     }
 }
 

@@ -50,31 +50,42 @@ pub struct MachineCache {
     /// fused exactly once per machine and every consumer of this cache
     /// sees the same stream).
     opt_level: OptLevel,
+    /// Whether the executor may honor loop-fission plans (the session's
+    /// `fission` knob, threaded here so the drivers read one source of
+    /// truth — the cache never reads the environment).
+    fission: bool,
 }
 
 impl Default for MachineCache {
     fn default() -> MachineCache {
-        MachineCache::new(lip_pred::engine::DEFAULT_PAR_MIN, OptLevel::default())
+        MachineCache::new(lip_pred::engine::DEFAULT_PAR_MIN, OptLevel::default(), true)
     }
 }
 
 impl MachineCache {
     /// A cache whose predicate engine parallelizes quantifiers of at
-    /// least `par_min` iterations and whose compiled chunks are
-    /// post-processed at `opt_level` (the owning session injects both
-    /// — the cache never reads the environment).
-    pub fn new(par_min: i64, opt_level: OptLevel) -> MachineCache {
+    /// least `par_min` iterations, whose compiled chunks are
+    /// post-processed at `opt_level`, and whose executors honor
+    /// fission plans iff `fission` (the owning session injects all
+    /// three — the cache never reads the environment).
+    pub fn new(par_min: i64, opt_level: OptLevel, fission: bool) -> MachineCache {
         MachineCache {
             base: OnceLock::new(),
             blocks: Mutex::new(HashMap::new()),
             pred: PredEngine::with_par_min(par_min),
             opt_level,
+            fission,
         }
     }
 
     /// The predicate engine for this machine.
     pub fn pred(&self) -> &PredEngine {
         &self.pred
+    }
+
+    /// Whether the executor honors loop-fission plans.
+    pub fn fission(&self) -> bool {
+        self.fission
     }
 
     /// The compiled block for `stmts` (+ attached expression fragments

@@ -47,6 +47,18 @@ pub enum ExecOutcome {
     Speculated(LrpdOutcome),
     /// Ran sequentially (classified sequential, or empty plan).
     Sequential,
+    /// The loop was distributed: the listed fragments executed in
+    /// program order, the parallel ones with the full privatization /
+    /// reduction machinery and the residue sequentially.
+    Fissioned {
+        /// Total fragments executed.
+        fragments: usize,
+        /// How many of them ran in parallel.
+        parallel: usize,
+        /// Work units spent inside the parallel fragments (the
+        /// "rescued" share of `loop_units`).
+        rescued_units: u64,
+    },
 }
 
 /// Execution statistics (work units are the deterministic interpreter
@@ -156,6 +168,22 @@ pub(crate) fn run_loop_impl(
             match passed {
                 Some(k) => (true, ExecOutcome::PredicatePassed { stage: k }),
                 None => {
+                    // A fragment already classified statically
+                    // sequential carries a dependence the whole-loop
+                    // exact test is all but guaranteed to rediscover
+                    // (at a cost superlinear in the array sizes), so
+                    // distribute right away: fragments that can be
+                    // rescued run their own, smaller tests, and the
+                    // sequential residue runs as it would have anyway.
+                    if let Some(fp) = fission_plan(env, analysis) {
+                        if fp
+                            .fragments
+                            .iter()
+                            .any(|f| f.analysis.class == LoopClass::StaticSequential)
+                        {
+                            return run_fissioned(env, machine, sub, target, fp, frame, test_units);
+                        }
+                    }
                     // Last resort (§5): exact USR evaluation, then TLS.
                     let exact = analysis
                         .ind_usr
@@ -163,7 +191,17 @@ pub(crate) fn run_loop_impl(
                         .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000));
                     match exact {
                         Some(s) if s.is_empty() => (true, ExecOutcome::ExactPredicatePassed),
-                        Some(_) => (false, ExecOutcome::Sequential),
+                        Some(_) => {
+                            // Genuine dependences: the whole loop can't
+                            // run parallel, but a fission plan may
+                            // still salvage the independent fragments.
+                            if let Some(fp) = fission_plan(env, analysis) {
+                                return run_fissioned(
+                                    env, machine, sub, target, fp, frame, test_units,
+                                );
+                            }
+                            (false, ExecOutcome::Sequential)
+                        }
                         None => {
                             let arrays: Vec<Sym> = analysis.arrays.keys().copied().collect();
                             let (out, cost) = crate::lrpd::lrpd_execute_impl(
@@ -190,6 +228,14 @@ pub(crate) fn run_loop_impl(
                 loop_units: cost,
             });
         }
+        LoopClass::Fissioned { .. } => match fission_plan(env, analysis) {
+            Some(fp) => {
+                return run_fissioned(env, machine, sub, target, fp, frame, test_units);
+            }
+            // Knob off at run time (or a plan-less class, which the
+            // analysis never produces): plain sequential execution.
+            None => (false, ExecOutcome::Sequential),
+        },
     };
 
     if !parallel_ok {
@@ -204,6 +250,50 @@ pub(crate) fn run_loop_impl(
     }
 
     // Build per-array execution plans.
+    let plans = build_exec_plans(env, analysis, frame);
+
+    let mut st = ExecState::default();
+    let lo_v = machine.eval(sub, frame, lo, &mut st)?.as_i64();
+    let hi_v = machine.eval(sub, frame, hi, &mut st)?.as_i64();
+    let shape = DoShape {
+        var: *var,
+        lo: lo_v,
+        hi: hi_v,
+        body,
+    };
+    let plan = BodyPlan {
+        arrays: &plans,
+        scalar_reds: &analysis.scalar_reductions,
+        civs: &analysis.civs,
+        scalar_finals: &[],
+    };
+    let loop_units = run_parallel_do(env, machine, sub, &shape, frame, &plan)?;
+    Ok(RunStats {
+        outcome,
+        test_units,
+        loop_units: loop_units + st.cost,
+    })
+}
+
+/// The analysis' fission plan, iff the session's fission knob is on.
+fn fission_plan<'a>(
+    env: &ExecEnv<'_>,
+    analysis: &'a LoopAnalysis,
+) -> Option<&'a lip_analysis::FissionPlan> {
+    env.cache
+        .fission()
+        .then_some(analysis.fission.as_deref())
+        .flatten()
+}
+
+/// Lowers the per-array analysis plans to execution modes against live
+/// state (reduction cascades are evaluated here: a pass means direct
+/// shared updates, a fail means buffered merge).
+fn build_exec_plans(
+    env: &ExecEnv<'_>,
+    analysis: &LoopAnalysis,
+    frame: &Store,
+) -> HashMap<Sym, ExecPlan> {
     let mut plans: HashMap<Sym, ExecPlan> = HashMap::new();
     for (arr, plan) in &analysis.arrays {
         let mode = match plan {
@@ -255,27 +345,179 @@ pub(crate) fn run_loop_impl(
         };
         plans.insert(*arr, mode);
     }
+    plans
+}
 
+/// Executes a distributed loop: fragments in program order, parallel
+/// where each fragment's own verdict (cascade / exact test) allows,
+/// sequentially otherwise.
+///
+/// Work-unit accounting reproduces the sequential interpreter exactly —
+/// one unit for the DO statement, bounds evaluated once, then every
+/// body statement charged per iteration (just partitioned across
+/// fragments) — so `loop_units` of a fissioned run equals the
+/// unfissioned sequential run on the same state. Fragments never enter
+/// speculation: LRPD's misspeculation re-runs would break that
+/// determinism for no model payoff.
+fn run_fissioned(
+    env: &ExecEnv<'_>,
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    target: &Stmt,
+    plan: &lip_analysis::FissionPlan,
+    frame: &mut Store,
+    mut test_units: u64,
+) -> Result<RunStats, RunError> {
+    let Stmt::Do { var, lo, hi, .. } = target else {
+        return Err(RunError::StepLimit);
+    };
+    // Mirror the interpreter's DO accounting: the statement itself,
+    // then its bounds, once.
     let mut st = ExecState::default();
+    st.cost += 1;
     let lo_v = machine.eval(sub, frame, lo, &mut st)?.as_i64();
     let hi_v = machine.eval(sub, frame, hi, &mut st)?.as_i64();
-    let shape = DoShape {
-        var: *var,
-        lo: lo_v,
-        hi: hi_v,
-        body,
-    };
-    let plan = BodyPlan {
-        arrays: &plans,
-        scalar_reds: &analysis.scalar_reductions,
-        civs: &analysis.civs,
-    };
-    let loop_units = run_parallel_do(env, machine, sub, &shape, frame, &plan)?;
+    let mut loop_units = st.cost;
+    let mut rescued_units = 0u64;
+    let mut parallel = 0usize;
+
+    for frag in &plan.fragments {
+        let a = &frag.analysis;
+        let Stmt::Do { body: fbody, .. } = &frag.target else {
+            continue;
+        };
+        // CIV traces first: a fragment's cascade may reference them.
+        if !a.civs.is_empty() {
+            test_units += crate::civ::compute_civ_traces_impl(
+                env,
+                machine,
+                sub,
+                &frag.target,
+                &a.civs,
+                frame,
+                None,
+            )?;
+        }
+        let parallel_ok = match &a.class {
+            LoopClass::StaticParallel => true,
+            LoopClass::Predicated { .. } => {
+                let ctx = StoreCtx(frame);
+                let (passed, units) = env.cache.pred().first_success(
+                    &a.cascade,
+                    &ctx,
+                    100_000_000,
+                    env.pred,
+                    env.nthreads,
+                    &mut |prog| {
+                        Some(store_fingerprint(
+                            frame,
+                            prog.scalar_syms(),
+                            prog.array_syms(),
+                        ))
+                    },
+                );
+                test_units += units;
+                passed.is_some()
+                    || matches!(
+                        a.ind_usr
+                            .as_ref()
+                            .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
+                        Some(s) if s.is_empty()
+                    )
+            }
+            LoopClass::NeedsFallback(lip_analysis::FallbackKind::HoistUsr) => {
+                let ctx = StoreCtx(frame);
+                matches!(
+                    a.ind_usr
+                        .as_ref()
+                        .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
+                    Some(s) if s.is_empty()
+                )
+            }
+            _ => false,
+        };
+        if parallel_ok && hi_v >= lo_v {
+            let plans = build_exec_plans(env, a, frame);
+            let shape = DoShape {
+                var: *var,
+                lo: lo_v,
+                hi: hi_v,
+                body: fbody,
+            };
+            let finals: Vec<Sym> = frag
+                .assigned
+                .iter()
+                .copied()
+                .filter(|s| !a.scalar_reductions.contains(s) && !a.civs.iter().any(|(c, _)| c == s))
+                .collect();
+            let bp = BodyPlan {
+                arrays: &plans,
+                scalar_reds: &a.scalar_reductions,
+                civs: &a.civs,
+                scalar_finals: &finals,
+            };
+            let units = run_parallel_do(env, machine, sub, &shape, frame, &bp)?;
+            rescued_units += units;
+            loop_units += units;
+            parallel += 1;
+        } else {
+            let mut fst = ExecState::default();
+            run_seq_fragment(env, machine, sub, *var, lo_v, hi_v, fbody, frame, &mut fst)?;
+            loop_units += fst.cost;
+        }
+    }
+    // Sequential DO semantics leave the variable at its last value.
+    if hi_v >= lo_v {
+        frame.set_scalar(*var, Value::Int(hi_v));
+    }
     Ok(RunStats {
-        outcome,
+        outcome: ExecOutcome::Fissioned {
+            fragments: plan.fragments.len(),
+            parallel,
+            rescued_units,
+        },
         test_units,
-        loop_units: loop_units + st.cost,
+        loop_units,
     })
+}
+
+/// Sequential residue of a fissioned loop: iterate the (already
+/// evaluated) bounds over just this fragment's statements, charging
+/// only per-iteration body costs — the enclosing DO was charged once by
+/// the caller.
+#[allow(clippy::too_many_arguments)]
+fn run_seq_fragment(
+    env: &ExecEnv<'_>,
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    var: Sym,
+    lo: i64,
+    hi: i64,
+    body: &[Stmt],
+    frame: &mut Store,
+    st: &mut ExecState,
+) -> Result<(), RunError> {
+    if hi < lo {
+        return Ok(());
+    }
+    if env.backend.is_bytecode() {
+        if let Some(cb) = CompiledBody::new(env.cache, machine, sub, body, &[], &[var]) {
+            let var_slot = cb.chunk().scalar_slot(var).expect("interned");
+            let vm = cb.vm(machine);
+            let mut f = cb.frame(frame);
+            for i in lo..=hi {
+                f.set_scalar(var_slot, Value::Int(i));
+                vm.run_block(cb.block, &mut f, st, machine_tracer(machine))?;
+            }
+            f.writeback_scalars(cb.chunk(), frame);
+            return Ok(());
+        }
+    }
+    for i in lo..=hi {
+        frame.set_scalar(var, Value::Int(i));
+        machine.exec_block(sub, frame, body, st)?;
+    }
+    Ok(())
 }
 
 /// The concrete (evaluated-bounds) iteration space of a unit-stride DO
@@ -295,6 +537,13 @@ struct BodyPlan<'a> {
     arrays: &'a HashMap<Sym, ExecPlan>,
     scalar_reds: &'a [Sym],
     civs: &'a [(Sym, Sym)],
+    /// Privatized scalars whose sequential-final values (the last
+    /// chunk's, which executed iteration `hi` last) are restored after
+    /// the parallel run. The fission path uses this so a rescued
+    /// fragment stays observationally identical to its sequential
+    /// execution; the whole-loop paths keep the classic convention
+    /// (empty — private scalar finals are dead by classification).
+    scalar_finals: &'a [Sym],
 }
 
 fn red_op_of(plan: &ArrayPlan) -> BinOp {
@@ -339,6 +588,7 @@ fn run_parallel_do(
         arrays: plans,
         scalar_reds,
         civs,
+        scalar_finals,
     } = *plan;
     if hi < lo {
         return Ok(0);
@@ -350,6 +600,7 @@ fn run_parallel_do(
         let mut extra: Vec<Sym> = vec![var];
         extra.extend(scalar_reds.iter().copied());
         extra.extend(civs.iter().map(|(s, _)| *s));
+        extra.extend(scalar_finals.iter().copied());
         CompiledBody::new(env.cache, machine, sub, body, &[], &extra)
     } else {
         None
@@ -481,9 +732,17 @@ fn run_parallel_do(
             }
         }
         // Live-out loop variable (sequential semantics: the interpreter
-        // leaves the variable at its last executed value).
+        // leaves the variable at its last executed value). The last
+        // chunk ran its iterations in order ending at `hi`, so its
+        // private copies of the `scalar_finals` syms hold exactly the
+        // sequential-final values too.
         if chunk_idx == nchunks - 1 {
             out.last_scalar_values.push((var, Value::Int(hi)));
+            for s in scalar_finals {
+                if let Some(v) = local.scalar(*s) {
+                    out.last_scalar_values.push((*s, v));
+                }
+            }
         }
         *total_cost.lock().unwrap() += st.cost;
         outs.lock().unwrap().push(out);

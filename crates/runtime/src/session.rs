@@ -71,8 +71,15 @@ pub struct SessionConfig {
     /// Work units charged per parallel-region spawn by the cost-model
     /// simulator ([`crate::Session::simulate`]).
     pub spawn_cost: u64,
+    /// Loop-fission rescue pass (`LIP_FISSION`; default on). Governs
+    /// both sides of the seam: [`Session::analyze`] plans distribution
+    /// for cascade-fail loops, and [`Session::run_loop`] honors those
+    /// plans. Off = classic whole-loop behavior (the ablation leg).
+    pub fission: bool,
     /// Static-analysis options ([`lip_analysis::AnalysisConfig`],
-    /// folded in so `Session::analyze` needs no extra argument).
+    /// folded in so `Session::analyze` needs no extra argument; its
+    /// own `fission` flag is overridden by the session-level knob
+    /// above).
     pub analysis: AnalysisConfig,
 }
 
@@ -87,6 +94,7 @@ impl Default for SessionConfig {
                 .unwrap_or(1),
             par_min: lip_pred::engine::DEFAULT_PAR_MIN,
             spawn_cost: 4_000,
+            fission: true,
             analysis: AnalysisConfig::default(),
         }
     }
@@ -111,7 +119,13 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// The environment variables [`SessionConfig::from_env`] honors.
-const ENV_VARS: [&str; 4] = ["LIP_BACKEND", "LIP_OPT", "LIP_PRED", "LIP_PRED_PAR_MIN"];
+const ENV_VARS: [&str; 5] = [
+    "LIP_BACKEND",
+    "LIP_OPT",
+    "LIP_PRED",
+    "LIP_PRED_PAR_MIN",
+    "LIP_FISSION",
+];
 
 impl SessionConfig {
     /// Reads the `LIP_*` environment variables — the **only** place in
@@ -152,6 +166,7 @@ impl SessionConfig {
             "LIP_OPT" => self.opt_level = value.parse().map_err(err)?,
             "LIP_PRED" => self.pred = value.parse().map_err(err)?,
             "LIP_PRED_PAR_MIN" => self.par_min = parse_par_min(value).map_err(err)?,
+            "LIP_FISSION" => self.fission = parse_switch(value).map_err(err)?,
             other => {
                 return Err(ConfigError {
                     var: other.to_owned(),
@@ -162,6 +177,21 @@ impl SessionConfig {
             }
         }
         Ok(())
+    }
+}
+
+fn parse_switch(value: &str) -> Result<bool, String> {
+    if value.eq_ignore_ascii_case("on") || value.eq_ignore_ascii_case("true") || value == "1" {
+        Ok(true)
+    } else if value.eq_ignore_ascii_case("off")
+        || value.eq_ignore_ascii_case("false")
+        || value == "0"
+    {
+        Ok(false)
+    } else {
+        Err(format!(
+            "unknown switch value `{value}` (expected on/off, true/false or 1/0)"
+        ))
     }
 }
 
@@ -223,6 +253,16 @@ impl SessionBuilder {
     #[must_use]
     pub fn spawn_cost(mut self, spawn_cost: u64) -> SessionBuilder {
         self.cfg.spawn_cost = spawn_cost;
+        self
+    }
+
+    /// Loop-fission rescue pass on/off (default on). Governs both
+    /// [`Session::analyze`] (whether distribution plans are built for
+    /// cascade-fail loops) and [`Session::run_loop`] (whether carried
+    /// plans are honored). Environment equivalent: `LIP_FISSION`.
+    #[must_use]
+    pub fn fission(mut self, fission: bool) -> SessionBuilder {
+        self.cfg.fission = fission;
         self
     }
 
@@ -310,7 +350,11 @@ impl Session {
                 }
             }
         }
-        let cache = Arc::new(MachineCache::new(self.cfg.par_min, self.cfg.opt_level));
+        let cache = Arc::new(MachineCache::new(
+            self.cfg.par_min,
+            self.cfg.opt_level,
+            self.cfg.fission,
+        ));
         reg.push((Arc::downgrade(&handle), cache.clone()));
         cache
     }
@@ -331,7 +375,9 @@ impl Session {
     /// cascade construction). Returns `None` when the loop cannot be
     /// found.
     pub fn analyze(&self, prog: &Program, sub_name: Sym, label: &str) -> Option<LoopAnalysis> {
-        analyze_loop(prog, sub_name, label, &self.cfg.analysis)
+        let mut cfg = self.cfg.analysis.clone();
+        cfg.fission = self.cfg.fission;
+        analyze_loop(prog, sub_name, label, &cfg)
     }
 
     /// Runs the analyzed loop against `frame`: CIV traces, predicate
@@ -523,6 +569,7 @@ mod tests {
             .nthreads(3)
             .par_min(64)
             .spawn_cost(123)
+            .fission(false)
             .build();
         let c = s.config();
         assert_eq!(c.backend, Backend::Bytecode);
@@ -531,8 +578,10 @@ mod tests {
         assert_eq!(c.nthreads, 3);
         assert_eq!(c.par_min, 64);
         assert_eq!(c.spawn_cost, 123);
-        // Fusion is on by default.
+        assert!(!c.fission);
+        // Fusion and fission are on by default.
         assert_eq!(SessionConfig::default().opt_level, OptLevel::Fuse);
+        assert!(SessionConfig::default().fission);
     }
 
     #[test]
@@ -602,6 +651,26 @@ mod tests {
             assert_eq!(err.var, "LIP_PRED_PAR_MIN", "{bad}");
         }
         assert_eq!(cfg.par_min, 1);
+    }
+
+    #[test]
+    fn lip_fission_parses_strictly() {
+        let mut cfg = SessionConfig::default();
+        for on in ["on", "ON", "true", "1"] {
+            cfg.fission = false;
+            cfg.apply("LIP_FISSION", on).expect("valid");
+            assert!(cfg.fission, "{on}");
+        }
+        for off in ["off", "False", "0"] {
+            cfg.fission = true;
+            cfg.apply("LIP_FISSION", off).expect("valid");
+            assert!(!cfg.fission, "{off}");
+        }
+        let err = cfg.apply("LIP_FISSION", "maybe").unwrap_err();
+        assert_eq!(err.var, "LIP_FISSION");
+        assert!(err.reason.contains("maybe"), "{err}");
+        // The failed apply must not have clobbered the config.
+        assert!(!cfg.fission);
     }
 
     #[test]

@@ -410,16 +410,33 @@ END
 };
 
 /// 11. Input-dependent indirection where predicates fail but the whole
-///     reference set is runtime-computable — HOIST-USR (apsi RUN_do20/30).
+///     reference set is runtime-computable — HOIST-USR (apsi RUN_do20/30)
+///     — paired with an affine prefix-sum partner, so the loop as a
+///     whole is provably dependent and only *fission* can salvage it.
+///
+///     Cascade post-mortem for the indirect statement (the reason its
+///     fail is legitimate, not an over-approximation bug): the O(N)
+///     flow/output stage factorizes `W ∩ R` with `W = {A(P(i))}` and
+///     `R = {A(Q(i))}` under `Subtract`, and the factorizer's subtract
+///     rule keeps only the interval-hull alternative — the
+///     monotonicity alternative (P and Q each injective and mutually
+///     disjoint) is not expressible as a hull comparison, so the stage
+///     degenerates to "hulls of P and Q don't overlap", which is false
+///     for arbitrary prepared inputs whose hulls interleave. Runtime
+///     rescue: the hoisted exact USR evaluation computes the actual
+///     dependence set (empty on these inputs). The fission pass splits
+///     the scan off into a sequential residue and rescues the indirect
+///     fragment through that same exact test.
 pub const HOIST_INDIRECT: KernelShape = KernelShape {
     name: "hoist_indirect",
     source: "
-SUBROUTINE run20(A, P, Q, N)
-  DIMENSION A(*)
+SUBROUTINE run20(A, P, Q, S, C, N)
+  DIMENSION A(*), S(*), C(*)
   INTEGER P(*), Q(*)
   INTEGER i, N
   DO do20 i = 1, N
     A(P(i)) = A(Q(i)) + 1.0
+    S(i + 1) = S(i) + C(i)
   ENDDO
 END
 ",
@@ -434,6 +451,9 @@ END
         let q = frame.alloc_int(sym("Q"), n);
         fill_int(&p, |i| i as i64 + 1);
         fill_int(&q, |i| (i + n) as i64 + 1); // disjoint from P
+        frame.alloc_real(sym("S"), n + 1);
+        let c = frame.alloc_real(sym("C"), n);
+        fill_real(&c, |i| (i % 7) as f64);
         (frame, machine)
     },
 };

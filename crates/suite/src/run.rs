@@ -166,6 +166,10 @@ pub fn measure_loop(
         // cost proportional to the loop's references (paper §7): model
         // as parallel with a test as expensive as one sequential pass.
         LoopClass::NeedsFallback(_) => true,
+        // Fissioned loops are partial wins: the tables' PAR/SEQ column
+        // stays conservative (SEQ) here; `bench_vm`'s fission_results
+        // section reports the rescued fraction per fragment.
+        LoopClass::Fissioned { .. } => false,
     };
 
     let per_iter = session

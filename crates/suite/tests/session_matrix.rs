@@ -1,35 +1,43 @@
-//! Sessions across the full `(Backend, PredBackend, OptLevel)` matrix,
-//! in one process: every combination must produce bit-identical
-//! measurements (the PR 3 acceptance check, now exercised through
-//! `Session` instead of env-var CI legs) — including when the sessions
-//! run concurrently from separate threads, which the old
-//! process-global configuration could not even express. The opt-level
-//! axis pins the superinstruction peephole pass: fused and unfused
-//! bytecode must measure identically (only wall-clock may differ).
+//! Sessions across the full `(Backend, PredBackend, OptLevel,
+//! fission)` matrix, in one process: every combination must produce
+//! bit-identical measurements (the PR 3 acceptance check, now
+//! exercised through `Session` instead of env-var CI legs) — including
+//! when the sessions run concurrently from separate threads, which the
+//! old process-global configuration could not even express. The
+//! opt-level axis pins the superinstruction peephole pass: fused and
+//! unfused bytecode must measure identically (only wall-clock may
+//! differ). The fission axis pins the loop-distribution rescue pass:
+//! on kernels whose whole-loop verdict already decides execution, the
+//! knob must be observationally inert (fissioned-vs-sequential
+//! equivalence on rescued kernels lives in `fission_differential.rs`).
 
 use lip_runtime::{Backend, LoopJob, OptLevel, PredBackend, Session};
 use lip_suite::{measure_loop, KernelShape, LoopMeasurement};
 use lip_symbolic::sym;
 
-/// The eight seam combinations (`2 backends × 2 predicate engines × 2
-/// opt levels`; the opt level must be inert on the tree-walk legs).
-fn matrix() -> Vec<(Backend, PredBackend, OptLevel)> {
+/// The sixteen seam combinations (`2 backends × 2 predicate engines ×
+/// 2 opt levels × fission on/off`; the opt level must be inert on the
+/// tree-walk legs, and fission on every kernel below).
+fn matrix() -> Vec<(Backend, PredBackend, OptLevel, bool)> {
     let mut m = Vec::new();
     for backend in [Backend::TreeWalk, Backend::Bytecode] {
         for pred in [PredBackend::Tree, PredBackend::Compiled] {
             for opt in [OptLevel::None, OptLevel::Fuse] {
-                m.push((backend, pred, opt));
+                for fission in [true, false] {
+                    m.push((backend, pred, opt, fission));
+                }
             }
         }
     }
     m
 }
 
-fn session(backend: Backend, pred: PredBackend, opt: OptLevel) -> Session {
+fn session(backend: Backend, pred: PredBackend, opt: OptLevel, fission: bool) -> Session {
     Session::builder()
         .backend(backend)
         .pred(pred)
         .opt_level(opt)
+        .fission(fission)
         .nthreads(2)
         .par_min(64) // small threshold so the parallel predicate path runs
         .build()
@@ -75,12 +83,13 @@ fn all_backend_combinations_measure_identically_in_one_process() {
         Backend::TreeWalk,
         PredBackend::Tree,
         OptLevel::None,
+        true,
     ));
-    for (backend, pred, opt) in matrix() {
-        let got = measure_all(&session(backend, pred, opt));
+    for (backend, pred, opt, fission) in matrix() {
+        let got = measure_all(&session(backend, pred, opt, fission));
         assert_eq!(
             reference, got,
-            "tables diverged under ({backend}, {pred}, {opt})"
+            "tables diverged under ({backend}, {pred}, {opt}, fission={fission})"
         );
     }
 }
@@ -90,16 +99,16 @@ fn concurrent_sessions_with_different_seams_are_bit_identical() {
     // Baseline: each combination measured alone, sequentially.
     let baseline: Vec<_> = matrix()
         .into_iter()
-        .map(|(b, p, o)| measure_all(&session(b, p, o)))
+        .map(|(b, p, o, f)| measure_all(&session(b, p, o, f)))
         .collect();
 
-    // All eight sessions measuring the same kernels at the same time
+    // All sixteen sessions measuring the same kernels at the same time
     // from separate threads — two callers in one process with
     // different backends, the scenario env-var seams made impossible.
     let concurrent: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = matrix()
             .into_iter()
-            .map(|(b, p, o)| scope.spawn(move || measure_all(&session(b, p, o))))
+            .map(|(b, p, o, f)| scope.spawn(move || measure_all(&session(b, p, o, f))))
             .collect();
         handles
             .into_iter()
@@ -119,8 +128,8 @@ fn concurrent_executions_produce_identical_frames() {
     // state element for element against a single-session run.
     let shape = &lip_suite::OFFSET_CROSSOVER;
     let n = 256usize;
-    let run = |backend: Backend, pred: PredBackend, opt: OptLevel| {
-        let sess = session(backend, pred, opt);
+    let run = |backend: Backend, pred: PredBackend, opt: OptLevel, fission: bool| {
+        let sess = session(backend, pred, opt, fission);
         let mut p = shape.prepared(n);
         let prog = p.machine.program().clone();
         let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
@@ -142,11 +151,11 @@ fn concurrent_executions_produce_identical_frames() {
         (stats.outcome, stats.test_units, stats.loop_units, snapshot)
     };
 
-    let reference = run(Backend::TreeWalk, PredBackend::Tree, OptLevel::None);
+    let reference = run(Backend::TreeWalk, PredBackend::Tree, OptLevel::None, true);
     let results: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = matrix()
             .into_iter()
-            .map(|(b, p, o)| scope.spawn(move || run(b, p, o)))
+            .map(|(b, p, o, f)| scope.spawn(move || run(b, p, o, f)))
             .collect();
         handles
             .into_iter()
