@@ -207,6 +207,10 @@ pub struct AnalysisConfig {
     pub facts: Vec<BoolExpr>,
     /// Loop-fission rescue pass on/off.
     pub fission: bool,
+    /// Observability handle: classification spans and fission-planning
+    /// events record through it (`Obs::off()` by default — the
+    /// disabled path is one branch per analyzed loop).
+    pub obs: lip_obs::Obs,
 }
 
 impl Default for AnalysisConfig {
@@ -216,6 +220,7 @@ impl Default for AnalysisConfig {
             factor: FactorConfig::default(),
             facts: Vec::new(),
             fission: true,
+            obs: lip_obs::Obs::off(),
         }
     }
 }
@@ -230,10 +235,17 @@ pub fn analyze_loop(
 ) -> Option<LoopAnalysis> {
     let sub = prog.subroutine(sub_name)?.clone();
     let target = sub.find_loop(label)?.clone();
+    let span = cfg.obs.span("analysis.loop", || label.to_owned());
     let mut summarizer = Summarizer::new(prog);
     let entry_env = env_at_loop(&mut summarizer, &sub, label).unwrap_or_default();
 
-    let mut analysis = analyze_do(prog, &sub, &target, label, cfg, &entry_env)?;
+    let analysis = cfg.obs.timed("analysis.classify_ns", || {
+        analyze_do(prog, &sub, &target, label, cfg, &entry_env)
+    });
+    let Some(mut analysis) = analysis else {
+        cfg.obs.exit_span(span, "not analyzable");
+        return None;
+    };
     // Fission rescue: whenever the verdict falls short of static
     // parallelism, try to distribute the body. A sequential verdict is
     // upgraded outright; predicated / fallback verdicts keep their
@@ -251,6 +263,18 @@ pub fn analyze_loop(
             analysis.fission = Some(std::rc::Rc::new(plan));
         }
     }
+    cfg.obs.count("analysis.loops", 1);
+    cfg.obs.count(
+        match &analysis.class {
+            LoopClass::StaticParallel => "analysis.static_parallel",
+            LoopClass::StaticSequential => "analysis.static_sequential",
+            LoopClass::Predicated { .. } => "analysis.predicated",
+            LoopClass::NeedsFallback(_) => "analysis.needs_fallback",
+            LoopClass::Fissioned { .. } => "analysis.fissioned",
+        },
+        1,
+    );
+    cfg.obs.exit_span(span, &format!("{:?}", analysis.class));
     Some(analysis)
 }
 

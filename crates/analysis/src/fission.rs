@@ -240,6 +240,10 @@ pub(crate) fn plan_fission(
         groups.entry(r).or_default().push(i);
     }
     if groups.len() < 2 {
+        cfg.obs.count("fission.indivisible", 1);
+        cfg.obs.event("fission.indivisible", || {
+            format!("{label}: {n} statements form one dependence component")
+        });
         return None;
     }
     let mut sets: Vec<Vec<usize>> = groups.into_values().collect();
@@ -265,6 +269,9 @@ pub(crate) fn plan_fission(
             .collect::<BTreeSet<Sym>>()
             .into_iter()
             .collect();
+        cfg.obs.event("fission.fragment", || {
+            format!("{flabel}: {} statements, {:?}", set.len(), analysis.class)
+        });
         fragments.push(FissionFragment {
             stmts: set,
             target: ftarget,
@@ -273,7 +280,30 @@ pub(crate) fn plan_fission(
         });
     }
     let plan = FissionPlan { fragments };
-    (plan.rescuable() >= 1).then_some(plan)
+    let rescuable = plan.rescuable();
+    if rescuable >= 1 {
+        cfg.obs.count("fission.plans", 1);
+        cfg.obs
+            .count("fission.fragments", plan.fragments.len() as u64);
+        cfg.obs
+            .count("fission.rescuable_fragments", rescuable as u64);
+        cfg.obs.event("fission.plan", || {
+            format!(
+                "{label}: {} fragments, {rescuable} rescuable",
+                plan.fragments.len()
+            )
+        });
+        Some(plan)
+    } else {
+        cfg.obs.count("fission.unrescuable", 1);
+        cfg.obs.event("fission.unrescuable", || {
+            format!(
+                "{label}: {} fragments but none rescuable",
+                plan.fragments.len()
+            )
+        });
+        None
+    }
 }
 
 /// Scalars `st` may write: assignment targets, DO headers, `READ`

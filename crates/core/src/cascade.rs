@@ -141,6 +141,13 @@ pub struct Stage {
     pub complexity: u32,
 }
 
+impl Stage {
+    /// Renders the stage's predicate for decision reports (`explain`).
+    pub fn describe(&self) -> String {
+        self.pred.to_string()
+    }
+}
+
 /// An ordered sequence of increasingly expensive sufficient conditions.
 #[derive(Clone, Debug, Default)]
 pub struct Cascade {
@@ -167,6 +174,16 @@ impl Cascade {
         self.stages
             .iter()
             .position(|s| s.pred.eval(ctx, iter_limit) == Some(true))
+    }
+
+    /// `(complexity, rendered predicate)` per stage, cheapest first —
+    /// the static view a decision report (`Session::explain`) pairs
+    /// with the runtime verdicts.
+    pub fn stage_descriptions(&self) -> Vec<(u32, String)> {
+        self.stages
+            .iter()
+            .map(|s| (s.complexity, s.describe()))
+            .collect()
     }
 }
 

@@ -1,0 +1,982 @@
+//! Observability substrate for the lip pipeline: structured decision
+//! tracing, session metrics, and per-loop `explain` reports.
+//!
+//! Zero-dependency and in-tree (like the `proptest`/`criterion`
+//! stand-ins) so every layer of the workspace — analysis, predicate
+//! engine, VM, executor, pool — can record what it decided without
+//! pulling an external tracing stack into an offline build.
+//!
+//! Three pieces:
+//!
+//! - **[`Recorder`]** — span/event tracing with monotonic timestamps
+//!   and nested spans. [`NoopRecorder`] is the disabled sink;
+//!   [`TraceRecorder`] buffers [`TraceEvent`]s in memory.
+//! - **[`Metrics`]** — a registry of named atomic counters and
+//!   fixed-bucket (power-of-two) latency histograms, snapshotted into
+//!   a serializable [`MetricsSnapshot`].
+//! - **[`LoopDecision`]** — the per-loop decision report behind
+//!   `Session::explain`: classification, every cascade stage tried
+//!   with cost and verdict, the fission plan and rescued fraction,
+//!   and the executor chosen; rendered as text or JSON.
+//!
+//! The [`Obs`] handle bundles all three behind an [`ObsLevel`]: every
+//! recording call is gated on a single enum compare, so an `Off`
+//! handle (the default) costs one predictable branch per *loop
+//! invocation* — never per iteration; the VM's per-op counting lives
+//! behind a separate monomorphized entry point in `lip_vm`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// How much the pipeline records.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum ObsLevel {
+    /// Nothing: the no-op recorder, counters untouched, no decisions
+    /// kept. The default.
+    #[default]
+    Off,
+    /// Cheap aggregates only: counters and latency histograms. No
+    /// event stream, no decision records, no per-op dispatch counts —
+    /// the instruments that allocate or run per dispatched op are all
+    /// trace-level, so `metrics` stays safe to leave on in a service.
+    Metrics,
+    /// Everything in `Metrics` plus the span/event trace, per-loop
+    /// decision records (`Session::explain`) and the VM's per-op
+    /// dispatch/fused-op counters.
+    Trace,
+}
+
+impl FromStr for ObsLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("off") {
+            Ok(ObsLevel::Off)
+        } else if s.eq_ignore_ascii_case("metrics") {
+            Ok(ObsLevel::Metrics)
+        } else if s.eq_ignore_ascii_case("trace") {
+            Ok(ObsLevel::Trace)
+        } else {
+            Err(format!(
+                "unknown observability level `{s}` (expected `off`, `metrics` or `trace`)"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for ObsLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Metrics => "metrics",
+            ObsLevel::Trace => "trace",
+        })
+    }
+}
+
+/// Opaque id pairing a span's `enter` with its `exit`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SpanId(pub u64);
+
+/// A tracing sink. Implementations must be cheap to call and safe to
+/// share across the pool's worker threads.
+pub trait Recorder: Send + Sync + fmt::Debug {
+    /// Whether this recorder keeps anything at all (lets callers skip
+    /// building `detail` strings).
+    fn is_enabled(&self) -> bool;
+    /// Opens a nested span; the returned id must be passed to `exit`.
+    fn enter(&self, name: &str, detail: &str) -> SpanId;
+    /// Closes a span with an outcome (e.g. `pass`, `fail`, a class).
+    fn exit(&self, id: SpanId, outcome: &str);
+    /// A point event inside the current span nesting.
+    fn event(&self, name: &str, detail: &str);
+    /// The buffered trace, if this recorder keeps one.
+    fn events(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// The disabled sink: every call is a no-op.
+#[derive(Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+    fn enter(&self, _name: &str, _detail: &str) -> SpanId {
+        SpanId(0)
+    }
+    fn exit(&self, _id: SpanId, _outcome: &str) {}
+    fn event(&self, _name: &str, _detail: &str) {}
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Span opened.
+    Enter,
+    /// Span closed (`detail` carries the outcome).
+    Exit,
+    /// Point event.
+    Event,
+}
+
+/// One entry of a [`TraceRecorder`]'s buffer.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Nanoseconds since the recorder was created (monotonic clock).
+    pub at_ns: u64,
+    /// Span nesting depth at the time of the event.
+    pub depth: usize,
+    /// Enter/exit/event.
+    pub kind: TraceKind,
+    /// Span or event name.
+    pub name: String,
+    /// Free-form detail; the outcome for `Exit`.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    open: BTreeMap<u64, (String, usize)>,
+    depth: usize,
+    next: u64,
+}
+
+/// An in-memory recorder: nested spans with monotonic nanosecond
+/// timestamps, drained via [`Recorder::events`].
+#[derive(Debug)]
+pub struct TraceRecorder {
+    start: Instant,
+    state: Mutex<TraceState>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder {
+            start: Instant::now(),
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+}
+
+impl TraceRecorder {
+    /// A fresh recorder; timestamps count from here.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn enter(&self, name: &str, detail: &str) -> SpanId {
+        let at_ns = self.now_ns();
+        let mut st = self.state.lock().unwrap();
+        let id = st.next;
+        st.next += 1;
+        let depth = st.depth;
+        st.open.insert(id, (name.to_owned(), depth));
+        st.events.push(TraceEvent {
+            at_ns,
+            depth,
+            kind: TraceKind::Enter,
+            name: name.to_owned(),
+            detail: detail.to_owned(),
+        });
+        st.depth += 1;
+        SpanId(id)
+    }
+
+    fn exit(&self, id: SpanId, outcome: &str) {
+        let at_ns = self.now_ns();
+        let mut st = self.state.lock().unwrap();
+        let (name, depth) = st
+            .open
+            .remove(&id.0)
+            .unwrap_or_else(|| ("?".to_owned(), st.depth.saturating_sub(1)));
+        st.depth = st.depth.saturating_sub(1);
+        st.events.push(TraceEvent {
+            at_ns,
+            depth,
+            kind: TraceKind::Exit,
+            name,
+            detail: outcome.to_owned(),
+        });
+    }
+
+    fn event(&self, name: &str, detail: &str) {
+        let at_ns = self.now_ns();
+        let mut st = self.state.lock().unwrap();
+        let depth = st.depth;
+        st.events.push(TraceEvent {
+            at_ns,
+            depth,
+            kind: TraceKind::Event,
+            name: name.to_owned(),
+            detail: detail.to_owned(),
+        });
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        self.state.lock().unwrap().events.clone()
+    }
+}
+
+const HIST_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram: bucket `i` counts values in
+/// `(2^(i-1), 2^i]` nanoseconds (bucket 0 holds 0 and 1 ns).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one observation (nanoseconds).
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A registry of named counters and latency histograms. Names are
+/// created lazily; snapshot order is the (stable) name order.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Metrics {
+    /// Bumps `name` by `n` (creating it at 0 first).
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            c.fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        let mut w = self.counters.write().unwrap();
+        w.entry(name.to_owned())
+            .or_default()
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a latency observation under `name` (nanoseconds).
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            h.record(ns);
+            return;
+        }
+        let mut w = self.histograms.write().unwrap();
+        w.entry(name.to_owned()).or_default().record(ns);
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| HistogramSnapshot {
+                name: k.clone(),
+                count: h.count.load(Ordering::Relaxed),
+                sum_ns: h.sum.load(Ordering::Relaxed),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then(|| {
+                            let upper = if i >= 63 { u64::MAX } else { 1u64 << i };
+                            (upper, n)
+                        })
+                    })
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A frozen copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations (ns).
+    pub sum_ns: u64,
+    /// `(upper_bound_ns, count)` for every non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A frozen, serializable copy of a [`Metrics`] registry — what
+/// `Session::metrics()` returns and what `lip_serve` will report.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms in name order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of one counter, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json_str(k)));
+        }
+        out.push_str("}, \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"count\": {}, \"sum_ns\": {}, \"buckets\": [",
+                json_str(&h.name),
+                h.count,
+                h.sum_ns
+            ));
+            for (j, (upper, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"le_ns\": {upper}, \"count\": {n}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One cascade stage as the runtime tried it.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Position in the cascade (cheapest first).
+    pub index: usize,
+    /// Stage complexity exponent (0 = O(1), 1 = O(N), …).
+    pub complexity: u32,
+    /// Work units charged evaluating it.
+    pub cost_units: u64,
+    /// The predicate rendered (from `lip_core`'s cascade), when known.
+    pub predicate: Option<String>,
+    /// `Some(true)` passed, `Some(false)` failed, `None` undecided /
+    /// not evaluated.
+    pub verdict: Option<bool>,
+}
+
+/// One fragment of a fission plan as executed.
+#[derive(Clone, Debug)]
+pub struct FragmentReport {
+    /// Fragment label (`<loop>~f<k>`).
+    pub label: String,
+    /// The fragment's own classification, rendered.
+    pub class: String,
+    /// Whether it actually ran parallel.
+    pub parallel: bool,
+    /// Work units the fragment accounts for.
+    pub units: u64,
+}
+
+/// The fission rescue as planned and executed for one loop.
+#[derive(Clone, Debug)]
+pub struct FissionReport {
+    /// Fragments in execution order.
+    pub fragments: Vec<FragmentReport>,
+    /// Work units that ran parallel.
+    pub rescued_units: u64,
+    /// Total loop work units.
+    pub loop_units: u64,
+}
+
+impl FissionReport {
+    /// Fraction of the loop's work rescued into parallel fragments.
+    pub fn rescued_fraction(&self) -> f64 {
+        if self.loop_units == 0 {
+            0.0
+        } else {
+            self.rescued_units as f64 / self.loop_units as f64
+        }
+    }
+}
+
+/// The per-loop decision report behind `Session::explain`: what the
+/// analysis concluded, every runtime test tried with cost and verdict,
+/// the fission plan, and the executor finally chosen.
+#[derive(Clone, Debug)]
+pub struct LoopDecision {
+    /// The loop's label (decision key).
+    pub label: String,
+    /// Optional display name (e.g. the suite kernel name) — a second
+    /// lookup key.
+    pub kernel: Option<String>,
+    /// The classification, rendered (`StaticParallel`, `Predicated
+    /// { .. }`, …).
+    pub class: String,
+    /// Cascade stages in the order tried.
+    pub stages: Vec<StageReport>,
+    /// Index of the first passing stage, if any.
+    pub passed_stage: Option<usize>,
+    /// Verdict of the hoisted exact USR test, when it ran.
+    pub exact_test: Option<bool>,
+    /// The fission rescue, when a plan existed.
+    pub fission: Option<FissionReport>,
+    /// The executor finally chosen (`parallel`, `sequential`,
+    /// `fissioned`, `speculative`, …).
+    pub executor: String,
+    /// Work units charged to runtime tests.
+    pub test_units: u64,
+    /// Work units charged to the loop body.
+    pub loop_units: u64,
+}
+
+impl LoopDecision {
+    /// A fresh report for `label` with nothing decided yet.
+    pub fn new(label: &str) -> Self {
+        LoopDecision {
+            label: label.to_owned(),
+            kernel: None,
+            class: String::new(),
+            stages: Vec::new(),
+            passed_stage: None,
+            exact_test: None,
+            fission: None,
+            executor: String::new(),
+            test_units: 0,
+            loop_units: 0,
+        }
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let name = self.kernel.as_deref().unwrap_or(&self.label);
+        out.push_str(&format!("loop {name} (label {})\n", self.label));
+        out.push_str(&format!("  classification: {}\n", self.class));
+        if self.stages.is_empty() {
+            out.push_str("  cascade: none (decided statically)\n");
+        } else {
+            out.push_str("  cascade:\n");
+            for s in &self.stages {
+                let verdict = match s.verdict {
+                    Some(true) => "PASS",
+                    Some(false) => "FAIL",
+                    None => "not evaluated",
+                };
+                let complexity = if s.complexity == 0 {
+                    "O(1)".to_owned()
+                } else {
+                    format!("O(N^{})", s.complexity)
+                };
+                out.push_str(&format!(
+                    "    stage {} [{}] cost {} units: {}",
+                    s.index, complexity, s.cost_units, verdict
+                ));
+                if let Some(p) = &s.predicate {
+                    out.push_str(&format!("   {p}"));
+                }
+                out.push('\n');
+            }
+        }
+        if let Some(v) = self.exact_test {
+            out.push_str(&format!(
+                "  exact USR test: {}\n",
+                if v { "independent" } else { "dependent" }
+            ));
+        }
+        if let Some(f) = &self.fission {
+            out.push_str(&format!(
+                "  fission: {} fragments, rescued {}/{} units ({:.2})\n",
+                f.fragments.len(),
+                f.rescued_units,
+                f.loop_units,
+                f.rescued_fraction()
+            ));
+            for fr in &f.fragments {
+                out.push_str(&format!(
+                    "    {} [{}]: {} ({} units)\n",
+                    fr.label,
+                    fr.class,
+                    if fr.parallel {
+                        "parallel"
+                    } else {
+                        "sequential"
+                    },
+                    fr.units
+                ));
+            }
+        }
+        out.push_str(&format!("  executor: {}\n", self.executor));
+        out.push_str(&format!(
+            "  work: {} test units, {} loop units\n",
+            self.test_units, self.loop_units
+        ));
+        out
+    }
+
+    /// One JSON object (single line; stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"label\": {}, \"kernel\": {}, \"class\": {}, \"stages\": [",
+            json_str(&self.label),
+            self.kernel.as_deref().map_or("null".into(), json_str),
+            json_str(&self.class)
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"index\": {}, \"complexity\": {}, \"cost_units\": {}, \"verdict\": {}}}",
+                s.index,
+                s.complexity,
+                s.cost_units,
+                match s.verdict {
+                    Some(true) => "\"pass\"",
+                    Some(false) => "\"fail\"",
+                    None => "null",
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "], \"passed_stage\": {}, \"exact_test\": {}, \"fission\": ",
+            opt_num(self.passed_stage),
+            match self.exact_test {
+                Some(true) => "\"independent\"",
+                Some(false) => "\"dependent\"",
+                None => "null",
+            }
+        ));
+        match &self.fission {
+            None => out.push_str("null"),
+            Some(f) => {
+                out.push_str(&format!(
+                    "{{\"fragments\": {}, \"parallel_fragments\": {}, \"rescued_units\": {}, \
+                     \"loop_units\": {}, \"rescued_fraction\": {:.3}, \"per_fragment\": [",
+                    f.fragments.len(),
+                    f.fragments.iter().filter(|fr| fr.parallel).count(),
+                    f.rescued_units,
+                    f.loop_units,
+                    f.rescued_fraction()
+                ));
+                for (i, fr) in f.fragments.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"label\": {}, \"class\": {}, \"parallel\": {}, \"units\": {}}}",
+                        json_str(&fr.label),
+                        json_str(&fr.class),
+                        fr.parallel,
+                        fr.units
+                    ));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str(&format!(
+            ", \"executor\": {}, \"test_units\": {}, \"loop_units\": {}}}",
+            json_str(&self.executor),
+            self.test_units,
+            self.loop_units
+        ));
+        out
+    }
+}
+
+fn opt_num(v: Option<usize>) -> String {
+    v.map_or("null".to_owned(), |n| n.to_string())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The shared observability handle: a level, a recorder, a metrics
+/// registry and the per-loop decision store. Cloning shares all of
+/// them (a `Session` and its caches hold clones of one `Obs`).
+#[derive(Clone, Debug)]
+pub struct Obs {
+    level: ObsLevel,
+    recorder: Arc<dyn Recorder>,
+    metrics: Arc<Metrics>,
+    decisions: Arc<Mutex<BTreeMap<String, LoopDecision>>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::off()
+    }
+}
+
+impl Obs {
+    /// The disabled handle: no-op recorder, every call one branch.
+    pub fn off() -> Self {
+        Obs {
+            level: ObsLevel::Off,
+            recorder: Arc::new(NoopRecorder),
+            metrics: Arc::new(Metrics::default()),
+            decisions: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// A handle at `level`, with the matching built-in recorder
+    /// (`Trace` buffers events; `Metrics`/`Off` use the no-op sink).
+    pub fn with_level(level: ObsLevel) -> Self {
+        let recorder: Arc<dyn Recorder> = match level {
+            ObsLevel::Trace => Arc::new(TraceRecorder::new()),
+            _ => Arc::new(NoopRecorder),
+        };
+        Obs {
+            level,
+            recorder,
+            metrics: Arc::new(Metrics::default()),
+            decisions: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// A handle at `level` with a caller-supplied recorder (custom
+    /// sinks; also how the no-op-overhead bench drives every
+    /// instrumentation call into a null sink).
+    pub fn with_recorder(level: ObsLevel, recorder: Arc<dyn Recorder>) -> Self {
+        Obs {
+            level,
+            recorder,
+            metrics: Arc::new(Metrics::default()),
+            decisions: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> ObsLevel {
+        self.level
+    }
+
+    /// Anything at all recorded?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level != ObsLevel::Off
+    }
+
+    /// Span/event stream recorded?
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.level == ObsLevel::Trace
+    }
+
+    /// Bumps a counter (no-op when disabled).
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        if self.enabled() {
+            self.metrics.add(name, n);
+        }
+    }
+
+    /// Records a latency observation (no-op when disabled).
+    #[inline]
+    pub fn record_ns(&self, name: &str, ns: u64) {
+        if self.enabled() {
+            self.metrics.record_ns(name, ns);
+        }
+    }
+
+    /// Runs `f`, recording its wall time under `name` when enabled.
+    pub fn timed<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        self.metrics.record_ns(name, t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Opens a span (only at `Trace`); `detail` is built lazily.
+    #[inline]
+    pub fn span(&self, name: &str, detail: impl FnOnce() -> String) -> Option<SpanId> {
+        if self.trace_enabled() {
+            Some(self.recorder.enter(name, &detail()))
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened by [`Obs::span`].
+    #[inline]
+    pub fn exit_span(&self, id: Option<SpanId>, outcome: &str) {
+        if let Some(id) = id {
+            self.recorder.exit(id, outcome);
+        }
+    }
+
+    /// Emits a point event (only at `Trace`); `detail` built lazily.
+    #[inline]
+    pub fn event(&self, name: &str, detail: impl FnOnce() -> String) {
+        if self.trace_enabled() {
+            self.recorder.event(name, &detail());
+        }
+    }
+
+    /// A frozen copy of the metrics registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The buffered trace (empty unless the recorder keeps one).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.events()
+    }
+
+    /// Stores (or replaces) a decision under its label — and under its
+    /// kernel display name too, when set.
+    pub fn record_decision(&self, d: LoopDecision) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map = self.decisions.lock().unwrap();
+        if let Some(k) = &d.kernel {
+            map.insert(k.clone(), d.clone());
+        }
+        map.insert(d.label.clone(), d);
+    }
+
+    /// The decision recorded under `label` (loop label or kernel name).
+    pub fn decision(&self, label: &str) -> Option<LoopDecision> {
+        self.decisions.lock().unwrap().get(label).cloned()
+    }
+
+    /// Every recorded decision, deduplicated, in label order.
+    pub fn decisions(&self) -> Vec<LoopDecision> {
+        let map = self.decisions.lock().unwrap();
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for d in map.values() {
+            if !seen.contains(&d.label) {
+                seen.push(d.label.clone());
+                out.push(d.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_strictly() {
+        assert_eq!("off".parse::<ObsLevel>().unwrap(), ObsLevel::Off);
+        assert_eq!("metrics".parse::<ObsLevel>().unwrap(), ObsLevel::Metrics);
+        assert_eq!("trace".parse::<ObsLevel>().unwrap(), ObsLevel::Trace);
+        // Case-insensitive (env vars get shouted), but never fuzzy.
+        assert_eq!("Off".parse::<ObsLevel>().unwrap(), ObsLevel::Off);
+        assert_eq!("TRACE".parse::<ObsLevel>().unwrap(), ObsLevel::Trace);
+        for typo in ["", "metric", "on", "1", "verbose", "trace "] {
+            let err = typo.parse::<ObsLevel>().unwrap_err();
+            assert!(err.contains("observability level"), "{err}");
+        }
+        assert_eq!(ObsLevel::Metrics.to_string(), "metrics");
+    }
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let obs = Obs::off();
+        obs.count("x", 3);
+        obs.record_ns("h", 100);
+        let id = obs.span("s", || unreachable!("detail must not be built"));
+        obs.exit_span(id, "done");
+        obs.event("e", || unreachable!("detail must not be built"));
+        obs.record_decision(LoopDecision::new("l"));
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        assert!(obs.trace_events().is_empty());
+        assert!(obs.decision("l").is_none());
+    }
+
+    #[test]
+    fn metrics_level_counts_without_tracing() {
+        let obs = Obs::with_level(ObsLevel::Metrics);
+        obs.count("a", 2);
+        obs.count("a", 3);
+        obs.record_ns("lat", 1000);
+        obs.event("e", || unreachable!("no event stream at metrics level"));
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.histograms[0].count, 1);
+        assert!(obs.trace_events().is_empty());
+    }
+
+    #[test]
+    fn trace_recorder_nests_spans() {
+        let obs = Obs::with_level(ObsLevel::Trace);
+        let outer = obs.span("outer", || "o".into());
+        let inner = obs.span("inner", || "i".into());
+        obs.event("tick", String::new);
+        obs.exit_span(inner, "ok");
+        obs.exit_span(outer, "done");
+        let ev = obs.trace_events();
+        assert_eq!(ev.len(), 5);
+        assert_eq!((ev[0].depth, ev[0].kind), (0, TraceKind::Enter));
+        assert_eq!((ev[1].depth, ev[1].kind), (1, TraceKind::Enter));
+        assert_eq!((ev[2].depth, ev[2].kind), (2, TraceKind::Event));
+        assert_eq!((ev[3].depth, ev[3].kind), (1, TraceKind::Exit));
+        assert_eq!(ev[3].name, "inner");
+        assert_eq!(ev[3].detail, "ok");
+        assert_eq!((ev[4].depth, ev[4].kind), (0, TraceKind::Exit));
+        assert!(ev.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(1000);
+        h.record(u64::MAX);
+        assert_eq!(h.count.load(Ordering::Relaxed), 5);
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_and_escaped() {
+        let obs = Obs::with_level(ObsLevel::Metrics);
+        obs.count("b.two", 2);
+        obs.count("a.one", 1);
+        obs.record_ns("lat\"q", 5);
+        let json = obs.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\": {\"a.one\": 1, \"b.two\": 2}"));
+        assert!(json.contains("\"lat\\\"q\""));
+    }
+
+    #[test]
+    fn decision_round_trips_both_keys_and_renders() {
+        let obs = Obs::with_level(ObsLevel::Metrics);
+        let mut d = LoopDecision::new("do20");
+        d.kernel = Some("hoist_indirect".into());
+        d.class = "Predicated { first_stage_complexity: 1 }".into();
+        d.stages.push(StageReport {
+            index: 0,
+            complexity: 1,
+            cost_units: 42,
+            predicate: Some("hulls disjoint".into()),
+            verdict: Some(false),
+        });
+        d.exact_test = Some(true);
+        d.fission = Some(FissionReport {
+            fragments: vec![
+                FragmentReport {
+                    label: "do20~f0".into(),
+                    class: "NeedsFallback(HoistUsr)".into(),
+                    parallel: true,
+                    units: 50,
+                },
+                FragmentReport {
+                    label: "do20~f1".into(),
+                    class: "StaticSequential".into(),
+                    parallel: false,
+                    units: 50,
+                },
+            ],
+            rescued_units: 50,
+            loop_units: 100,
+        });
+        d.executor = "fissioned".into();
+        obs.record_decision(d);
+        let got = obs.decision("hoist_indirect").expect("kernel key");
+        assert_eq!(got.label, "do20");
+        assert!(obs.decision("do20").is_some());
+        assert_eq!(obs.decisions().len(), 1);
+        let text = got.render_text();
+        assert!(text.contains("stage 0 [O(N^1)] cost 42 units: FAIL"));
+        assert!(text.contains("fission: 2 fragments, rescued 50/100 units (0.50)"));
+        let json = got.to_json();
+        assert!(json.contains("\"verdict\": \"fail\""));
+        assert!(json.contains("\"rescued_fraction\": 0.500"));
+        assert!(json.contains("\"parallel_fragments\": 1"));
+        assert!(json.contains("\"exact_test\": \"independent\""));
+    }
+
+    #[test]
+    fn decision_without_stages_mentions_static() {
+        let mut d = LoopDecision::new("do1");
+        d.class = "StaticParallel".into();
+        d.executor = "parallel".into();
+        let text = d.render_text();
+        assert!(text.contains("decided statically"));
+        assert!(d.to_json().contains("\"stages\": []"));
+    }
+}

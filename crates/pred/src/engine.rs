@@ -22,11 +22,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use lip_core::{Cascade, Pdag};
+use lip_obs::{Obs, StageReport};
 use lip_symbolic::EvalCtx;
 
 use crate::compile::compile_pred;
 use crate::prog::PredProgram;
-use crate::vm::{eval_compiled, EvalParams};
+use crate::vm::{eval_compiled_obs, EvalParams};
 use std::sync::Arc;
 
 /// Which engine evaluates runtime predicates.
@@ -119,6 +120,10 @@ pub struct PredEngine {
     results: Mutex<HashMap<(String, u128, u64), Option<bool>>>,
     par_min: i64,
     stats: Counters,
+    /// Observability handle (shared with the owning session): engine
+    /// counters mirror into its metrics registry, stage evaluations
+    /// open trace spans. `Obs::off()` by default — one branch per call.
+    obs: Obs,
 }
 
 impl Default for PredEngine {
@@ -139,12 +144,26 @@ impl PredEngine {
     /// An engine parallelizing quantifiers of at least `par_min`
     /// iterations (tests force small thresholds).
     pub fn with_par_min(par_min: i64) -> PredEngine {
+        PredEngine::with_par_min_obs(par_min, Obs::off())
+    }
+
+    /// [`PredEngine::with_par_min`] with an observability handle: the
+    /// engine's compile/hit/eval/memo counters mirror into `obs`'s
+    /// metrics and each cascade stage evaluation opens a trace span.
+    pub fn with_par_min_obs(par_min: i64, obs: Obs) -> PredEngine {
         PredEngine {
             programs: RwLock::new(HashMap::new()),
             results: Mutex::new(HashMap::new()),
             par_min,
             stats: Counters::default(),
+            obs,
         }
+    }
+
+    /// The observer, when it records anything (for passing down to
+    /// the evaluator's fork/cancellation events).
+    fn obs_opt(&self) -> Option<&Obs> {
+        self.obs.enabled().then_some(&self.obs)
     }
 
     /// A snapshot of the engine counters.
@@ -167,10 +186,14 @@ impl PredEngine {
     fn program_keyed(&self, key: &str, pred: &Pdag) -> Option<Arc<PredProgram>> {
         if let Some(cached) = self.programs.read().expect("engine lock").get(key) {
             self.stats.program_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.count("pred.program_hits", 1);
             return cached.clone();
         }
-        let compiled = compile_pred(pred).ok().map(Arc::new);
+        let compiled = self
+            .obs
+            .timed("pred.compile_ns", || compile_pred(pred).ok().map(Arc::new));
         self.stats.compiles.fetch_add(1, Ordering::Relaxed);
+        self.obs.count("pred.compiles", 1);
         let mut w = self.programs.write().expect("engine lock");
         w.entry(key.to_owned()).or_insert_with(|| compiled.clone());
         compiled
@@ -188,7 +211,8 @@ impl PredEngine {
         if backend.is_compiled() {
             if let Some(prog) = self.program(pred) {
                 self.stats.evals.fetch_add(1, Ordering::Relaxed);
-                return eval_compiled(
+                self.obs.count("pred.evals", 1);
+                return eval_compiled_obs(
                     &prog,
                     ctx,
                     iter_limit,
@@ -196,6 +220,7 @@ impl PredEngine {
                         nthreads: nthreads.max(1),
                         par_min: self.par_min,
                     },
+                    self.obs_opt(),
                 );
             }
         }
@@ -218,9 +243,62 @@ impl PredEngine {
         nthreads: usize,
         fingerprint: &mut dyn FnMut(&PredProgram) -> Option<u128>,
     ) -> (Option<usize>, u64) {
+        self.first_success_impl(
+            cascade,
+            ctx,
+            iter_limit,
+            backend,
+            nthreads,
+            fingerprint,
+            None,
+        )
+    }
+
+    /// [`PredEngine::first_success`] that additionally appends one
+    /// [`StageReport`] per *evaluated* stage to `trace` (index,
+    /// complexity, rendered predicate, charged units, verdict) — the
+    /// raw material of a `Session::explain` decision report. Verdicts
+    /// and charged units are identical to the untraced call.
+    #[allow(clippy::too_many_arguments)] // the first_success seam + trace sink
+    pub fn first_success_traced(
+        &self,
+        cascade: &Cascade,
+        ctx: &(dyn EvalCtx + Sync),
+        iter_limit: u64,
+        backend: PredBackend,
+        nthreads: usize,
+        fingerprint: &mut dyn FnMut(&PredProgram) -> Option<u128>,
+        trace: &mut Vec<StageReport>,
+    ) -> (Option<usize>, u64) {
+        self.first_success_impl(
+            cascade,
+            ctx,
+            iter_limit,
+            backend,
+            nthreads,
+            fingerprint,
+            Some(trace),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // shared body of the two seams above
+    fn first_success_impl(
+        &self,
+        cascade: &Cascade,
+        ctx: &(dyn EvalCtx + Sync),
+        iter_limit: u64,
+        backend: PredBackend,
+        nthreads: usize,
+        fingerprint: &mut dyn FnMut(&PredProgram) -> Option<u128>,
+        mut trace: Option<&mut Vec<StageReport>>,
+    ) -> (Option<usize>, u64) {
         let mut units = 0u64;
         for (k, stage) in cascade.stages.iter().enumerate() {
-            units += stage.pred.eval_cost(ctx);
+            let cost = stage.pred.eval_cost(ctx);
+            units += cost;
+            let span = self.obs.span("pred.stage", || {
+                format!("stage {k} O(N^{})", stage.complexity)
+            });
             let verdict = if backend.is_compiled() {
                 let key = stage.pred.to_string();
                 match self.program_keyed(&key, &stage.pred) {
@@ -233,6 +311,31 @@ impl PredEngine {
             } else {
                 stage.pred.eval(ctx, iter_limit)
             };
+            self.obs.exit_span(
+                span,
+                match verdict {
+                    Some(true) => "pass",
+                    Some(false) => "fail",
+                    None => "unknown",
+                },
+            );
+            self.obs.count(
+                match verdict {
+                    Some(true) => "pred.stage_passes",
+                    Some(false) => "pred.stage_fails",
+                    None => "pred.stage_unknowns",
+                },
+                1,
+            );
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(StageReport {
+                    index: k,
+                    complexity: stage.complexity,
+                    cost_units: cost,
+                    predicate: Some(stage.describe()),
+                    verdict,
+                });
+            }
             if verdict == Some(true) {
                 return (Some(k), units);
             }
@@ -253,11 +356,13 @@ impl PredEngine {
         if let Some(key) = &key {
             if let Some(hit) = self.results.lock().expect("engine lock").get(key) {
                 self.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.count("pred.memo_hits", 1);
                 return *hit;
             }
         }
         self.stats.evals.fetch_add(1, Ordering::Relaxed);
-        let verdict = eval_compiled(
+        self.obs.count("pred.evals", 1);
+        let verdict = eval_compiled_obs(
             prog,
             ctx,
             iter_limit,
@@ -265,6 +370,7 @@ impl PredEngine {
                 nthreads: nthreads.max(1),
                 par_min: self.par_min,
             },
+            self.obs_opt(),
         );
         if let Some(key) = key {
             let mut memo = self.results.lock().expect("engine lock");

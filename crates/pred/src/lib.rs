@@ -57,4 +57,4 @@ pub mod vm;
 pub use compile::compile_pred;
 pub use engine::{EngineStats, PredBackend, PredEngine};
 pub use prog::{BodyProg, POp, PredOverflow, PredProgram};
-pub use vm::{eval_compiled, EvalParams};
+pub use vm::{eval_compiled, eval_compiled_obs, EvalParams};

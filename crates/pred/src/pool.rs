@@ -19,9 +19,35 @@ where
     E: Send,
     F: Fn(usize, i64, i64) -> Result<(), E> + Sync,
 {
+    parallel_chunks_obs(nthreads, lo, hi, None, body)
+}
+
+/// [`parallel_chunks`] with an optional observer: records one
+/// `pool.forks` bump and the number of chunks per fork, plus a trace
+/// event carrying the range and schedule.
+pub fn parallel_chunks_obs<E, F>(
+    nthreads: usize,
+    lo: i64,
+    hi: i64,
+    obs: Option<&lip_obs::Obs>,
+    body: F,
+) -> Result<(), E>
+where
+    E: Send,
+    F: Fn(usize, i64, i64) -> Result<(), E> + Sync,
+{
     // The schedule comes from `chunk_bounds` — the single source of
     // truth the simulator and executor share.
     let chunks = chunk_bounds(nthreads, lo, hi);
+    if let Some(obs) = obs {
+        if obs.enabled() && chunks.len() > 1 {
+            obs.count("pool.forks", 1);
+            obs.count("pool.chunks", chunks.len() as u64);
+            obs.event("pool.fork", || {
+                format!("[{lo}, {hi}] over {} chunks", chunks.len())
+            });
+        }
+    }
     match chunks.as_slice() {
         [] => return Ok(()),
         [(c_lo, c_hi)] => return body(0, *c_lo, *c_hi),

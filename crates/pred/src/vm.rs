@@ -52,12 +52,26 @@ pub fn eval_compiled(
     iter_limit: u64,
     params: EvalParams,
 ) -> Option<bool> {
+    eval_compiled_obs(prog, ctx, iter_limit, params, None)
+}
+
+/// [`eval_compiled`] with an optional observer recording the parallel
+/// quantifier's fork/chunk/cancellation events ([`EvalParams`] stays
+/// `Copy`, so the handle rides alongside rather than inside it).
+pub fn eval_compiled_obs(
+    prog: &PredProgram,
+    ctx: &(dyn EvalCtx + Sync),
+    iter_limit: u64,
+    params: EvalParams,
+    obs: Option<&lip_obs::Obs>,
+) -> Option<bool> {
     let ev = Evaluator {
         prog,
         ctx,
         scalars: prog.scalars.iter().map(|s| ctx.scalar(*s)).collect(),
         arrays: prog.arrays.iter().map(|a| ctx.elem_reader(*a)).collect(),
         params,
+        obs,
     };
     let mut budget = iter_limit;
     let mut env = Vec::new();
@@ -91,6 +105,9 @@ struct Evaluator<'a> {
     #[allow(clippy::type_complexity)] // the EvalCtx::elem_reader shape
     arrays: Vec<Option<Box<dyn Fn(i64) -> Option<i64> + Sync + 'a>>>,
     params: EvalParams,
+    /// Observer for fork/cancellation events (`None` = disabled, the
+    /// hot default).
+    obs: Option<&'a lip_obs::Obs>,
 }
 
 impl Evaluator<'_> {
@@ -308,48 +325,63 @@ impl Evaluator<'_> {
         let cancel = AtomicUsize::new(usize::MAX);
         let outs: Mutex<Vec<ChunkOut>> = Mutex::new(Vec::with_capacity(chunks.len()));
         let parent_env: &[i64] = env;
-        let run = pool::parallel_chunks::<(), _>(self.params.nthreads, lo, hi, |idx, clo, chi| {
-            let mut local = initial;
-            let mut cenv = parent_env.to_vec();
-            cenv.push(0);
-            let mut regs = vec![0i64; sub.nregs];
-            let mut tri = TRI_TRUE;
-            let mut complete = true;
-            let mut iv = clo;
-            loop {
-                // A failing earlier chunk already decided the verdict;
-                // this chunk's result can no longer matter.
-                if cancel.load(Ordering::Relaxed) < idx {
-                    complete = false;
-                    break;
+        let obs = self.obs;
+        let run = pool::parallel_chunks_obs::<(), _>(
+            self.params.nthreads,
+            lo,
+            hi,
+            obs,
+            |idx, clo, chi| {
+                let mut local = initial;
+                let mut cenv = parent_env.to_vec();
+                cenv.push(0);
+                let mut regs = vec![0i64; sub.nregs];
+                let mut tri = TRI_TRUE;
+                let mut complete = true;
+                let mut iv = clo;
+                loop {
+                    // A failing earlier chunk already decided the verdict;
+                    // this chunk's result can no longer matter.
+                    if cancel.load(Ordering::Relaxed) < idx {
+                        complete = false;
+                        break;
+                    }
+                    if local == 0 {
+                        tri = TRI_UNKNOWN;
+                        break;
+                    }
+                    local -= 1;
+                    *cenv.last_mut().expect("pushed") = iv;
+                    let t = self.exec(sub, &mut cenv, &mut regs, &mut local);
+                    if t != TRI_TRUE {
+                        tri = t;
+                        break;
+                    }
+                    if iv == chi {
+                        break;
+                    }
+                    iv += 1;
                 }
-                if local == 0 {
-                    tri = TRI_UNKNOWN;
-                    break;
+                if complete && tri != TRI_TRUE {
+                    cancel.fetch_min(idx, Ordering::Relaxed);
                 }
-                local -= 1;
-                *cenv.last_mut().expect("pushed") = iv;
-                let t = self.exec(sub, &mut cenv, &mut regs, &mut local);
-                if t != TRI_TRUE {
-                    tri = t;
-                    break;
+                if !complete {
+                    if let Some(obs) = obs {
+                        obs.count("pred.chunk_cancellations", 1);
+                        obs.event("pred.cancel", || {
+                            format!("chunk {idx} [{clo}, {chi}] cancelled by earlier failure")
+                        });
+                    }
                 }
-                if iv == chi {
-                    break;
-                }
-                iv += 1;
-            }
-            if complete && tri != TRI_TRUE {
-                cancel.fetch_min(idx, Ordering::Relaxed);
-            }
-            outs.lock().expect("pool lock").push(ChunkOut {
-                idx,
-                tri,
-                consumed: initial - local,
-                complete,
-            });
-            Ok(())
-        });
+                outs.lock().expect("pool lock").push(ChunkOut {
+                    idx,
+                    tri,
+                    consumed: initial - local,
+                    complete,
+                });
+                Ok(())
+            },
+        );
         debug_assert!(run.is_ok(), "chunks are infallible");
         let mut outs = outs.into_inner().expect("pool lock");
         outs.sort_by_key(|c| c.idx);
@@ -363,6 +395,9 @@ impl Evaluator<'_> {
                 // inside (or before) this chunk, or the chunk was
                 // cancelled: redo the range sequentially against the
                 // real budget for an exact verdict.
+                if let Some(obs) = self.obs {
+                    obs.count("pred.seq_replays", 1);
+                }
                 return self.forall_seq(sub, env, lo, hi, budget);
             }
             used += c.consumed;

@@ -93,6 +93,9 @@ pub(crate) struct ExecEnv<'a> {
     pub pred: PredBackend,
     /// Fork-join pool width.
     pub nthreads: usize,
+    /// The session's observability handle (decision recording, pool
+    /// events, dispatch counters; disabled = one branch per check).
+    pub obs: &'a lip_obs::Obs,
 }
 
 /// A loop body (or statement block) compiled for VM execution: the
@@ -164,8 +167,21 @@ pub(crate) fn exec_stmt_seq(
             &[],
         ) {
             let mut f = cb.frame(frame);
-            cb.vm(machine)
-                .run_block(cb.block, &mut f, state, machine_tracer(machine))?;
+            if env.obs.trace_enabled() {
+                let mut dc = lip_vm::DispatchCounts::default();
+                cb.vm(machine).run_block_counting(
+                    cb.block,
+                    &mut f,
+                    state,
+                    machine_tracer(machine),
+                    &mut dc,
+                )?;
+                env.obs.count("vm.ops", dc.ops);
+                env.obs.count("vm.fused_ops", dc.fused_ops);
+            } else {
+                cb.vm(machine)
+                    .run_block(cb.block, &mut f, state, machine_tracer(machine))?;
+            }
             f.writeback_scalars(cb.chunk(), frame);
             return Ok(());
         }
@@ -218,11 +234,13 @@ END
             s
         };
         let cache = MachineCache::default();
+        let obs = lip_obs::Obs::off();
         let env_for = |backend| ExecEnv {
             cache: &cache,
             backend,
             pred: PredBackend::Tree,
             nthreads: 1,
+            obs: &obs,
         };
         let mut tw = mk();
         let mut st_tw = ExecState::default();

@@ -22,6 +22,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use lip_ir::{Expr, Machine, Stmt, Store, Subroutine};
+use lip_obs::Obs;
 use lip_pred::PredEngine;
 use lip_symbolic::Sym;
 use lip_vm::{BlockId, CompiledProgram, OptLevel};
@@ -54,11 +55,20 @@ pub struct MachineCache {
     /// `fission` knob, threaded here so the drivers read one source of
     /// truth — the cache never reads the environment).
     fission: bool,
+    /// The owning session's observability handle (compile timings,
+    /// block hit/miss counters; `Obs::off()` costs one branch per
+    /// lookup).
+    obs: Obs,
 }
 
 impl Default for MachineCache {
     fn default() -> MachineCache {
-        MachineCache::new(lip_pred::engine::DEFAULT_PAR_MIN, OptLevel::default(), true)
+        MachineCache::new(
+            lip_pred::engine::DEFAULT_PAR_MIN,
+            OptLevel::default(),
+            true,
+            Obs::off(),
+        )
     }
 }
 
@@ -67,14 +77,16 @@ impl MachineCache {
     /// least `par_min` iterations, whose compiled chunks are
     /// post-processed at `opt_level`, and whose executors honor
     /// fission plans iff `fission` (the owning session injects all
-    /// three — the cache never reads the environment).
-    pub fn new(par_min: i64, opt_level: OptLevel, fission: bool) -> MachineCache {
+    /// three — the cache never reads the environment). `obs` receives
+    /// compile timings and cache hit/miss counters.
+    pub fn new(par_min: i64, opt_level: OptLevel, fission: bool, obs: Obs) -> MachineCache {
         MachineCache {
             base: OnceLock::new(),
             blocks: Mutex::new(HashMap::new()),
-            pred: PredEngine::with_par_min(par_min),
+            pred: PredEngine::with_par_min_obs(par_min, obs.clone()),
             opt_level,
             fission,
+            obs,
         }
     }
 
@@ -106,8 +118,10 @@ impl MachineCache {
         // whole-program compile this cache avoids.
         let key = format!("{}|{stmts:?}|{exprs:?}|{extra:?}", sub.name);
         if let Some(cached) = self.blocks.lock().expect("cache lock").get(&key) {
+            self.obs.count("vm.block_hits", 1);
             return cached.clone();
         }
+        self.obs.count("vm.block_compiles", 1);
         let built = self.base(machine).and_then(|base| {
             // Clone the compiled subs (cheap next to recompiling the
             // whole program) and lower just this block into the copy.
@@ -136,14 +150,17 @@ impl MachineCache {
     fn base(&self, machine: &Machine) -> Option<Arc<CompiledProgram>> {
         self.base
             .get_or_init(|| {
-                lip_vm::compile_program(machine.program())
-                    .ok()
-                    .map(|mut prog| {
-                        if self.opt_level.fuses() {
-                            lip_vm::optimize_program(&mut prog);
-                        }
-                        Arc::new(prog)
-                    })
+                self.obs.count("vm.program_compiles", 1);
+                self.obs.timed("vm.compile_ns", || {
+                    lip_vm::compile_program(machine.program())
+                        .ok()
+                        .map(|mut prog| {
+                            if self.opt_level.fuses() {
+                                lip_vm::optimize_program(&mut prog);
+                            }
+                            Arc::new(prog)
+                        })
+                })
             })
             .clone()
     }

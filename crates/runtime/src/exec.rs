@@ -21,13 +21,14 @@ use lip_ir::{
     AccessTracer, ArrayBuf, ArrayView, BinOp, ExecState, Machine, RunError, Stmt, Store, StoreCtx,
     Ty, Value,
 };
+use lip_obs::{FissionReport, FragmentReport, LoopDecision, StageReport};
 use lip_symbolic::Sym;
 use std::sync::Mutex;
 
 use crate::backend::{exec_stmt_seq, machine_tracer, CompiledBody, ExecEnv};
 use crate::cache::store_fingerprint;
 use crate::lrpd::LrpdOutcome;
-use crate::pool::{chunk_bounds, parallel_chunks};
+use crate::pool::{chunk_bounds, parallel_chunks_obs};
 
 /// How the loop ended up being executed.
 #[derive(Clone, Debug, PartialEq)]
@@ -86,9 +87,40 @@ pub enum ExecPlan {
     ReductionBuffer(BinOp),
 }
 
+/// Decision evidence accumulated while one loop runs: the evaluated
+/// cascade stages, the exact-test verdict (when reached) and the
+/// per-fragment outcomes of a fissioned execution. Populated only when
+/// the session's observer is on; folded into a [`LoopDecision`] by
+/// [`run_loop_impl`].
+#[derive(Default)]
+struct DecisionTrace {
+    stages: Vec<StageReport>,
+    exact_test: Option<bool>,
+    fragments: Vec<FragmentReport>,
+}
+
+/// How the chosen execution path reads in a decision report.
+fn executor_name(outcome: &ExecOutcome) -> String {
+    match outcome {
+        ExecOutcome::StaticParallel => "parallel (static)".to_owned(),
+        ExecOutcome::PredicatePassed { stage } => format!("parallel (stage {stage} passed)"),
+        ExecOutcome::ExactPredicatePassed => "parallel (exact test passed)".to_owned(),
+        ExecOutcome::Speculated(out) => format!("speculated ({out:?})"),
+        ExecOutcome::Sequential => "sequential".to_owned(),
+        ExecOutcome::Fissioned {
+            fragments,
+            parallel,
+            ..
+        } => format!("fissioned ({parallel}/{fragments} fragments parallel)"),
+    }
+}
+
 /// The executor driver behind [`crate::Session::run_loop`]: the
 /// session absorbs what used to be a `(nthreads, backend, pred)`
-/// argument sprawl across three public variants.
+/// argument sprawl across three public variants. When the session's
+/// observer is on, every run additionally records a [`LoopDecision`]
+/// under the loop's label (cascade stage verdicts, exact-test outcome,
+/// fission accounting, final executor).
 pub(crate) fn run_loop_impl(
     env: &ExecEnv<'_>,
     machine: &Machine,
@@ -96,6 +128,56 @@ pub(crate) fn run_loop_impl(
     target: &Stmt,
     analysis: &LoopAnalysis,
     frame: &mut Store,
+) -> Result<RunStats, RunError> {
+    let mut dt = DecisionTrace::default();
+    let span = env.obs.span("run.loop", || analysis.label.clone());
+    let result = run_loop_inner(env, machine, sub, target, analysis, frame, &mut dt);
+    match &result {
+        Ok(stats) => {
+            env.obs.exit_span(span, &executor_name(&stats.outcome));
+            if env.obs.enabled() {
+                env.obs.count("run.loops", 1);
+                env.obs.count("run.test_units", stats.test_units);
+                env.obs.count("run.loop_units", stats.loop_units);
+            }
+            // Decision records allocate (stage strings, map inserts);
+            // like spans, they are a `trace`-level instrument so the
+            // `metrics` level stays pure cheap aggregates.
+            if env.obs.trace_enabled() {
+                let mut d = LoopDecision::new(&analysis.label);
+                d.class = format!("{:?}", analysis.class);
+                d.stages = std::mem::take(&mut dt.stages);
+                d.passed_stage = match stats.outcome {
+                    ExecOutcome::PredicatePassed { stage } => Some(stage),
+                    _ => None,
+                };
+                d.exact_test = dt.exact_test;
+                d.executor = executor_name(&stats.outcome);
+                d.test_units = stats.test_units;
+                d.loop_units = stats.loop_units;
+                if let ExecOutcome::Fissioned { rescued_units, .. } = stats.outcome {
+                    d.fission = Some(FissionReport {
+                        fragments: std::mem::take(&mut dt.fragments),
+                        rescued_units,
+                        loop_units: stats.loop_units,
+                    });
+                }
+                env.obs.record_decision(d);
+            }
+        }
+        Err(e) => env.obs.exit_span(span, &format!("error: {e:?}")),
+    }
+    result
+}
+
+fn run_loop_inner(
+    env: &ExecEnv<'_>,
+    machine: &Machine,
+    sub: &lip_ir::Subroutine,
+    target: &Stmt,
+    analysis: &LoopAnalysis,
+    frame: &mut Store,
+    dt: &mut DecisionTrace,
 ) -> Result<RunStats, RunError> {
     let mut test_units = 0u64;
 
@@ -150,20 +232,35 @@ pub(crate) fn run_loop_impl(
         LoopClass::StaticSequential => (false, ExecOutcome::Sequential),
         LoopClass::Predicated { .. } => {
             let ctx = StoreCtx(frame);
-            let (passed, units) = env.cache.pred().first_success(
-                &analysis.cascade,
-                &ctx,
-                100_000_000,
-                env.pred,
-                env.nthreads,
-                &mut |prog| {
-                    Some(store_fingerprint(
-                        frame,
-                        prog.scalar_syms(),
-                        prog.array_syms(),
-                    ))
-                },
-            );
+            let mut fp = |prog: &lip_pred::PredProgram| {
+                Some(store_fingerprint(
+                    frame,
+                    prog.scalar_syms(),
+                    prog.array_syms(),
+                ))
+            };
+            // Stage reports render predicate strings — only pay for
+            // that when the observer keeps decision records (trace).
+            let (passed, units) = if env.obs.trace_enabled() {
+                env.cache.pred().first_success_traced(
+                    &analysis.cascade,
+                    &ctx,
+                    100_000_000,
+                    env.pred,
+                    env.nthreads,
+                    &mut fp,
+                    &mut dt.stages,
+                )
+            } else {
+                env.cache.pred().first_success(
+                    &analysis.cascade,
+                    &ctx,
+                    100_000_000,
+                    env.pred,
+                    env.nthreads,
+                    &mut fp,
+                )
+            };
             test_units += units;
             match passed {
                 Some(k) => (true, ExecOutcome::PredicatePassed { stage: k }),
@@ -181,7 +278,9 @@ pub(crate) fn run_loop_impl(
                             .iter()
                             .any(|f| f.analysis.class == LoopClass::StaticSequential)
                         {
-                            return run_fissioned(env, machine, sub, target, fp, frame, test_units);
+                            return run_fissioned(
+                                env, machine, sub, target, fp, frame, test_units, dt,
+                            );
                         }
                     }
                     // Last resort (§5): exact USR evaluation, then TLS.
@@ -189,6 +288,9 @@ pub(crate) fn run_loop_impl(
                         .ind_usr
                         .as_ref()
                         .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000));
+                    if env.obs.trace_enabled() {
+                        dt.exact_test = exact.as_ref().map(|s| s.is_empty());
+                    }
                     match exact {
                         Some(s) if s.is_empty() => (true, ExecOutcome::ExactPredicatePassed),
                         Some(_) => {
@@ -197,7 +299,7 @@ pub(crate) fn run_loop_impl(
                             // still salvage the independent fragments.
                             if let Some(fp) = fission_plan(env, analysis) {
                                 return run_fissioned(
-                                    env, machine, sub, target, fp, frame, test_units,
+                                    env, machine, sub, target, fp, frame, test_units, dt,
                                 );
                             }
                             (false, ExecOutcome::Sequential)
@@ -230,7 +332,7 @@ pub(crate) fn run_loop_impl(
         }
         LoopClass::Fissioned { .. } => match fission_plan(env, analysis) {
             Some(fp) => {
-                return run_fissioned(env, machine, sub, target, fp, frame, test_units);
+                return run_fissioned(env, machine, sub, target, fp, frame, test_units, dt);
             }
             // Knob off at run time (or a plan-less class, which the
             // analysis never produces): plain sequential execution.
@@ -359,6 +461,7 @@ fn build_exec_plans(
 /// unfissioned sequential run on the same state. Fragments never enter
 /// speculation: LRPD's misspeculation re-runs would break that
 /// determinism for no model payoff.
+#[allow(clippy::too_many_arguments)]
 fn run_fissioned(
     env: &ExecEnv<'_>,
     machine: &Machine,
@@ -367,6 +470,7 @@ fn run_fissioned(
     plan: &lip_analysis::FissionPlan,
     frame: &mut Store,
     mut test_units: u64,
+    dt: &mut DecisionTrace,
 ) -> Result<RunStats, RunError> {
     let Stmt::Do { var, lo, hi, .. } = target else {
         return Err(RunError::StepLimit);
@@ -436,7 +540,8 @@ fn run_fissioned(
             }
             _ => false,
         };
-        if parallel_ok && hi_v >= lo_v {
+        let ran_parallel = parallel_ok && hi_v >= lo_v;
+        let frag_units = if ran_parallel {
             let plans = build_exec_plans(env, a, frame);
             let shape = DoShape {
                 var: *var,
@@ -460,10 +565,34 @@ fn run_fissioned(
             rescued_units += units;
             loop_units += units;
             parallel += 1;
+            units
         } else {
             let mut fst = ExecState::default();
             run_seq_fragment(env, machine, sub, *var, lo_v, hi_v, fbody, frame, &mut fst)?;
             loop_units += fst.cost;
+            fst.cost
+        };
+        if env.obs.trace_enabled() {
+            let flabel = match &frag.target {
+                Stmt::Do { label: Some(l), .. } => l.clone(),
+                _ => format!("fragment {}", dt.fragments.len()),
+            };
+            env.obs.event("run.fragment", || {
+                format!(
+                    "{flabel}: {} ({frag_units} units)",
+                    if ran_parallel {
+                        "parallel"
+                    } else {
+                        "sequential"
+                    }
+                )
+            });
+            dt.fragments.push(FragmentReport {
+                label: flabel,
+                class: format!("{:?}", a.class),
+                parallel: ran_parallel,
+                units: frag_units,
+            });
         }
     }
     // Sequential DO semantics leave the variable at its last value.
@@ -505,9 +634,19 @@ fn run_seq_fragment(
             let var_slot = cb.chunk().scalar_slot(var).expect("interned");
             let vm = cb.vm(machine);
             let mut f = cb.frame(frame);
-            for i in lo..=hi {
-                f.set_scalar(var_slot, Value::Int(i));
-                vm.run_block(cb.block, &mut f, st, machine_tracer(machine))?;
+            if env.obs.trace_enabled() {
+                let mut dc = lip_vm::DispatchCounts::default();
+                for i in lo..=hi {
+                    f.set_scalar(var_slot, Value::Int(i));
+                    vm.run_block_counting(cb.block, &mut f, st, machine_tracer(machine), &mut dc)?;
+                }
+                env.obs.count("vm.ops", dc.ops);
+                env.obs.count("vm.fused_ops", dc.fused_ops);
+            } else {
+                for i in lo..=hi {
+                    f.set_scalar(var_slot, Value::Int(i));
+                    vm.run_block(cb.block, &mut f, st, machine_tracer(machine))?;
+                }
             }
             f.writeback_scalars(cb.chunk(), frame);
             return Ok(());
@@ -627,7 +766,8 @@ fn run_parallel_do(
         .map(|(a, _)| *a)
         .collect();
 
-    parallel_chunks(env.nthreads, lo, hi, |chunk_idx, c_lo, c_hi| {
+    let obs_opt = env.obs.enabled().then_some(env.obs);
+    parallel_chunks_obs(env.nthreads, lo, hi, obs_opt, |chunk_idx, c_lo, c_hi| {
         let mut local = frame.clone();
         let mut out = ChunkOut {
             idx: chunk_idx,
@@ -708,9 +848,24 @@ fn run_parallel_do(
             let var_slot = cb.chunk().scalar_slot(var).expect("interned");
             let vm = cb.vm(machine);
             let mut f = cb.frame(&local);
-            for i in c_lo..=c_hi {
-                f.set_scalar(var_slot, Value::Int(i));
-                vm.run_block(cb.block, &mut f, &mut st, dyn_tracer)?;
+            if env.obs.trace_enabled() {
+                // The counting dispatch loop is a separate
+                // monomorphization; the uncounted branch below is the
+                // exact pre-observability code path. Per-op counting
+                // is a trace-level instrument: measurable (~2 extra
+                // ALU ops per dispatch), so `metrics` skips it.
+                let mut dc = lip_vm::DispatchCounts::default();
+                for i in c_lo..=c_hi {
+                    f.set_scalar(var_slot, Value::Int(i));
+                    vm.run_block_counting(cb.block, &mut f, &mut st, dyn_tracer, &mut dc)?;
+                }
+                env.obs.count("vm.ops", dc.ops);
+                env.obs.count("vm.fused_ops", dc.fused_ops);
+            } else {
+                for i in c_lo..=c_hi {
+                    f.set_scalar(var_slot, Value::Int(i));
+                    vm.run_block(cb.block, &mut f, &mut st, dyn_tracer)?;
+                }
             }
             f.writeback_scalars(cb.chunk(), &mut local);
         } else {

@@ -6,4 +6,4 @@
 //! [`chunk_bounds`] is the single source of truth for the block
 //! schedule the simulator's makespan model assumes.
 
-pub use lip_pred::pool::{chunk_bounds, parallel_chunks};
+pub use lip_pred::pool::{chunk_bounds, parallel_chunks, parallel_chunks_obs};

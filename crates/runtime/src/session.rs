@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex, Weak};
 
 use lip_analysis::{analyze_loop, AnalysisConfig, LoopAnalysis};
 use lip_ir::{Machine, Program, RunError, Stmt, Store, Subroutine};
+use lip_obs::{LoopDecision, MetricsSnapshot, Obs, ObsLevel, TraceEvent};
 use lip_symbolic::Sym;
 
 use crate::backend::{Backend, ExecEnv, OptLevel, PredBackend};
@@ -76,6 +77,14 @@ pub struct SessionConfig {
     /// for cascade-fail loops, and [`Session::run_loop`] honors those
     /// plans. Off = classic whole-loop behavior (the ablation leg).
     pub fission: bool,
+    /// Observability level (`LIP_OBS`; default off). `metrics` turns
+    /// on the counter/histogram registry (cheap aggregates only);
+    /// `trace` additionally records timestamped span/event streams,
+    /// per-loop decision reports ([`Session::explain`]) and the VM's
+    /// per-op dispatch counters. Off is free: every instrumentation
+    /// site guards on one branch and execution semantics never depend
+    /// on the level.
+    pub obs: ObsLevel,
     /// Static-analysis options ([`lip_analysis::AnalysisConfig`],
     /// folded in so `Session::analyze` needs no extra argument; its
     /// own `fission` flag is overridden by the session-level knob
@@ -95,6 +104,7 @@ impl Default for SessionConfig {
             par_min: lip_pred::engine::DEFAULT_PAR_MIN,
             spawn_cost: 4_000,
             fission: true,
+            obs: ObsLevel::Off,
             analysis: AnalysisConfig::default(),
         }
     }
@@ -119,12 +129,13 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// The environment variables [`SessionConfig::from_env`] honors.
-const ENV_VARS: [&str; 5] = [
+const ENV_VARS: [&str; 6] = [
     "LIP_BACKEND",
     "LIP_OPT",
     "LIP_PRED",
     "LIP_PRED_PAR_MIN",
     "LIP_FISSION",
+    "LIP_OBS",
 ];
 
 impl SessionConfig {
@@ -167,6 +178,7 @@ impl SessionConfig {
             "LIP_PRED" => self.pred = value.parse().map_err(err)?,
             "LIP_PRED_PAR_MIN" => self.par_min = parse_par_min(value).map_err(err)?,
             "LIP_FISSION" => self.fission = parse_switch(value).map_err(err)?,
+            "LIP_OBS" => self.obs = value.parse().map_err(err)?,
             other => {
                 return Err(ConfigError {
                     var: other.to_owned(),
@@ -209,6 +221,7 @@ fn parse_par_min(value: &str) -> Result<i64, String> {
 #[derive(Clone, Debug, Default)]
 pub struct SessionBuilder {
     cfg: SessionConfig,
+    recorder: Option<std::sync::Arc<dyn lip_obs::Recorder>>,
 }
 
 impl SessionBuilder {
@@ -266,6 +279,34 @@ impl SessionBuilder {
         self
     }
 
+    /// Observability level (default [`ObsLevel::Off`]). `metrics`
+    /// records counters, latency histograms and per-loop decisions
+    /// ([`Session::metrics`], [`Session::explain`]); `trace` adds
+    /// timestamped span/event streams ([`Session::trace_events`]).
+    /// Environment equivalent: `LIP_OBS`.
+    #[must_use]
+    pub fn observer(mut self, level: ObsLevel) -> SessionBuilder {
+        self.cfg.obs = level;
+        self
+    }
+
+    /// Like [`SessionBuilder::observer`], but sinks spans and events
+    /// into a custom [`lip_obs::Recorder`] instead of the default
+    /// in-memory trace buffer. The metrics registry and decision store
+    /// are unaffected. A [`lip_obs::NoopRecorder`] here exercises every
+    /// instrumentation call site while discarding the stream — the
+    /// configuration the no-op overhead benchmark measures.
+    #[must_use]
+    pub fn observer_recorder(
+        mut self,
+        level: ObsLevel,
+        recorder: std::sync::Arc<dyn lip_obs::Recorder>,
+    ) -> SessionBuilder {
+        self.cfg.obs = level;
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Static-analysis options used by [`Session::analyze`].
     #[must_use]
     pub fn analysis(mut self, analysis: AnalysisConfig) -> SessionBuilder {
@@ -283,8 +324,13 @@ impl SessionBuilder {
 
     /// Finishes the builder.
     pub fn build(self) -> Session {
+        let obs = match self.recorder {
+            Some(r) => Obs::with_recorder(self.cfg.obs, r),
+            None => Obs::with_level(self.cfg.obs),
+        };
         Session {
             cfg: self.cfg,
+            obs,
             caches: Mutex::new(Vec::new()),
         }
     }
@@ -300,6 +346,10 @@ impl SessionBuilder {
 /// [`Session::run_many`] batches — skip straight to execution.
 pub struct Session {
     cfg: SessionConfig,
+    /// The session-wide observability handle: metrics registry, trace
+    /// recorder and per-loop decision store, shared (cloned) into every
+    /// cache and execution environment this session creates.
+    obs: Obs,
     /// Per-program caches, keyed by program-handle identity; weak so
     /// caches die with their programs.
     caches: Mutex<Vec<(Weak<Program>, Arc<MachineCache>)>>,
@@ -354,6 +404,7 @@ impl Session {
             self.cfg.par_min,
             self.cfg.opt_level,
             self.cfg.fission,
+            self.obs.clone(),
         ));
         reg.push((Arc::downgrade(&handle), cache.clone()));
         cache
@@ -361,13 +412,52 @@ impl Session {
 
     /// The execution environment threaded through the internal drivers
     /// (cache + seams), with an explicit pool width.
-    pub(crate) fn exec_env<'a>(&self, cache: &'a MachineCache, nthreads: usize) -> ExecEnv<'a> {
+    pub(crate) fn exec_env<'a>(&'a self, cache: &'a MachineCache, nthreads: usize) -> ExecEnv<'a> {
         ExecEnv {
             cache,
             backend: self.cfg.backend,
             pred: self.cfg.pred,
             nthreads: nthreads.max(1),
+            obs: &self.obs,
         }
+    }
+
+    /// The session's observability handle (counters, spans, recorded
+    /// decisions). Always present; a no-op unless the session was
+    /// built with [`SessionBuilder::observer`] or `LIP_OBS`.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A snapshot of every counter and latency histogram the session
+    /// has accumulated so far (empty when observability is off).
+    /// Serializable via [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// The trace event stream recorded so far (non-empty only at
+    /// [`ObsLevel::Trace`]).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.obs.trace_events()
+    }
+
+    /// The recorded decision for the loop labelled (or kernel named)
+    /// `label`, if [`Session::run_loop`] analyzed-and-ran it at
+    /// [`ObsLevel::Trace`] (decision records are a trace-level
+    /// instrument — they allocate per loop run).
+    pub fn explain_decision(&self, label: &str) -> Option<LoopDecision> {
+        self.obs.decision(label)
+    }
+
+    /// A human-readable per-loop decision report: classification, each
+    /// evaluated cascade stage with its verdict and charged units, the
+    /// exact-test outcome, the fission plan (fragments and rescued
+    /// work fraction) and the executor that finally ran the loop.
+    /// `None` when no loop under that label (or kernel name) ran at
+    /// [`ObsLevel::Trace`].
+    pub fn explain(&self, label: &str) -> Option<String> {
+        self.obs.decision(label).map(|d| d.render_text())
     }
 
     /// Analyzes the loop labelled `label` in subroutine `sub_name`
@@ -377,6 +467,7 @@ impl Session {
     pub fn analyze(&self, prog: &Program, sub_name: Sym, label: &str) -> Option<LoopAnalysis> {
         let mut cfg = self.cfg.analysis.clone();
         cfg.fission = self.cfg.fission;
+        cfg.obs = self.obs.clone();
         analyze_loop(prog, sub_name, label, &cfg)
     }
 
@@ -671,6 +762,40 @@ mod tests {
         assert!(err.reason.contains("maybe"), "{err}");
         // The failed apply must not have clobbered the config.
         assert!(!cfg.fission);
+    }
+
+    #[test]
+    fn lip_obs_parses_strictly() {
+        let mut cfg = SessionConfig::default();
+        assert_eq!(cfg.obs, ObsLevel::Off);
+        cfg.apply("LIP_OBS", "metrics").expect("valid");
+        assert_eq!(cfg.obs, ObsLevel::Metrics);
+        cfg.apply("LIP_OBS", "trace").expect("valid");
+        assert_eq!(cfg.obs, ObsLevel::Trace);
+        cfg.apply("LIP_OBS", "OFF").expect("valid");
+        assert_eq!(cfg.obs, ObsLevel::Off);
+        // Typos are errors, never a silent fallback to off.
+        for bad in ["metrcs", "tracing", "on", "1", ""] {
+            let err = cfg.apply("LIP_OBS", bad).unwrap_err();
+            assert_eq!(err.var, "LIP_OBS", "{bad}");
+            assert!(err.reason.contains("observability"), "{err}");
+        }
+        assert_eq!(cfg.obs, ObsLevel::Off);
+    }
+
+    #[test]
+    fn observer_builder_wires_the_session_handle() {
+        let s = Session::builder().observer(ObsLevel::Metrics).build();
+        assert_eq!(s.config().obs, ObsLevel::Metrics);
+        assert!(s.obs().enabled());
+        assert!(!s.obs().trace_enabled());
+        // Nothing ran yet: empty snapshot, no decisions.
+        assert!(s.metrics().counters.is_empty());
+        assert!(s.explain("nope").is_none());
+        // Off sessions report disabled and stay empty.
+        let off = Session::default();
+        assert!(!off.obs().enabled());
+        assert!(off.metrics().counters.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use lip_analysis::{baseline_parallel, LoopClass};
 use lip_ir::{Stmt, StoreCtx};
+use lip_obs::{FissionReport, FragmentReport, LoopDecision, StageReport};
 use lip_runtime::sim::{charged_test_units, makespan};
 use lip_runtime::{store_fingerprint, Session};
 use lip_symbolic::sym;
@@ -76,6 +77,100 @@ impl LoopMeasurement {
     }
 }
 
+/// Mirrors the executor's per-fragment parallel decision for the
+/// explain report: static fragments run parallel outright, predicated
+/// fragments re-test their cascade (exact USR evaluation as the last
+/// resort) against the live store, hoisted-USR fallbacks evaluate the
+/// exact test, everything else stays sequential.
+fn fragment_parallel(
+    session: &Session,
+    machine: &lip_ir::Machine,
+    frame: &lip_ir::Store,
+    a: &lip_analysis::LoopAnalysis,
+    nthreads: usize,
+) -> bool {
+    let ctx = StoreCtx(frame);
+    match &a.class {
+        LoopClass::StaticParallel => true,
+        LoopClass::Predicated { .. } => {
+            let (hit, _) = session.cache(machine).pred().first_success(
+                &a.cascade,
+                &ctx,
+                100_000_000,
+                session.config().pred,
+                nthreads,
+                &mut |prog| {
+                    Some(store_fingerprint(
+                        frame,
+                        prog.scalar_syms(),
+                        prog.array_syms(),
+                    ))
+                },
+            );
+            hit.is_some()
+                || matches!(
+                    a.ind_usr
+                        .as_ref()
+                        .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
+                    Some(s) if s.is_empty()
+                )
+        }
+        LoopClass::NeedsFallback(lip_analysis::FallbackKind::HoistUsr) => matches!(
+            a.ind_usr
+                .as_ref()
+                .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
+            Some(s) if s.is_empty()
+        ),
+        _ => false,
+    }
+}
+
+/// Accounts a fission rescue plan for the explain report: runs the
+/// fragments in program order on a fresh workload (each fragment's
+/// cascade is tested against the store state its execution would see,
+/// exactly as the fissioned executor does) and tallies the work units
+/// a parallel fragment rescues.
+fn account_fission(
+    session: &Session,
+    shape: &'static KernelShape,
+    size: usize,
+    plan: &lip_analysis::FissionPlan,
+    nthreads: usize,
+) -> FissionReport {
+    let mut fw = shape.prepared(size);
+    let fprog = fw.machine.program().clone();
+    let fsub = fprog.subroutine(sym(fw.sub)).expect("subroutine").clone();
+    let mut fragments = Vec::new();
+    let mut rescued_units = 0u64;
+    let mut loop_units = 0u64;
+    for frag in &plan.fragments {
+        let parallel = fragment_parallel(session, &fw.machine, &fw.frame, &frag.analysis, nthreads);
+        let units: u64 = session
+            .per_iteration_costs(&fw.machine, &fsub, &frag.target, &mut fw.frame)
+            .map(|v| v.iter().sum())
+            .unwrap_or(0);
+        loop_units += units;
+        if parallel {
+            rescued_units += units;
+        }
+        let label = match &frag.target {
+            Stmt::Do { label: Some(l), .. } => l.clone(),
+            _ => format!("fragment {}", fragments.len()),
+        };
+        fragments.push(FragmentReport {
+            label,
+            class: format!("{:?}", frag.analysis.class),
+            parallel,
+            units,
+        });
+    }
+    FissionReport {
+        fragments,
+        rescued_units,
+        loop_units,
+    }
+}
+
 /// Measures one loop of a benchmark through `session`.
 pub fn measure_loop(
     session: &Session,
@@ -114,6 +209,10 @@ pub fn measure_loop(
             )
             .expect("civ slice");
     }
+    let obs_on = session.obs().trace_enabled();
+    let mut stages: Vec<StageReport> = Vec::new();
+    let mut passed_stage: Option<usize> = None;
+    let mut exact_test: Option<bool> = None;
     let mut tls_speculated = false;
     let parallel = match &analysis.class {
         LoopClass::StaticParallel => true,
@@ -121,21 +220,43 @@ pub fn measure_loop(
         LoopClass::Predicated { .. } => {
             let ctx = StoreCtx(&p.frame);
             let frame = &p.frame;
-            let (hit, units) = session.cache(&p.machine).pred().first_success(
-                &analysis.cascade,
-                &ctx,
-                100_000_000,
-                session.config().pred,
-                nthreads,
-                &mut |prog| {
-                    Some(store_fingerprint(
-                        frame,
-                        prog.scalar_syms(),
-                        prog.array_syms(),
-                    ))
-                },
-            );
+            // The traced variant reports per-stage verdicts for
+            // `Session::explain`; verdicts and charged units are
+            // identical to the untraced call either way.
+            let (hit, units) = if obs_on {
+                session.cache(&p.machine).pred().first_success_traced(
+                    &analysis.cascade,
+                    &ctx,
+                    100_000_000,
+                    session.config().pred,
+                    nthreads,
+                    &mut |prog| {
+                        Some(store_fingerprint(
+                            frame,
+                            prog.scalar_syms(),
+                            prog.array_syms(),
+                        ))
+                    },
+                    &mut stages,
+                )
+            } else {
+                session.cache(&p.machine).pred().first_success(
+                    &analysis.cascade,
+                    &ctx,
+                    100_000_000,
+                    session.config().pred,
+                    nthreads,
+                    &mut |prog| {
+                        Some(store_fingerprint(
+                            frame,
+                            prog.scalar_syms(),
+                            prog.array_syms(),
+                        ))
+                    },
+                )
+            };
             test_units += units;
+            passed_stage = hit;
             let mut passed = hit.is_some();
             if !passed {
                 // The paper's last resort: exact (hoisted) USR
@@ -147,9 +268,12 @@ pub fn measure_loop(
                         Some(s) if s.is_empty() => {
                             let refs = all_refs_estimate(u, &ctx);
                             test_units += refs / 4;
+                            exact_test = Some(true);
                             passed = true;
                         }
-                        Some(_) => {}
+                        Some(_) => {
+                            exact_test = Some(false);
+                        }
                         None => {
                             // Not evaluable: thread-level speculation.
                             // LRPD commits on independent workloads at
@@ -187,6 +311,38 @@ pub fn measure_loop(
             lip_analysis::FallbackKind::Tls => seq / 4,
             lip_analysis::FallbackKind::HoistUsr => seq / 20,
         };
+    }
+
+    if obs_on {
+        let executor = match (&analysis.class, parallel) {
+            (LoopClass::StaticParallel, _) => "parallel (static)".to_string(),
+            (LoopClass::Predicated { .. }, true) => match passed_stage {
+                Some(k) => format!("parallel (stage {k} passed)"),
+                None if exact_test == Some(true) => "parallel (exact test passed)".to_string(),
+                None => "speculated (modelled)".to_string(),
+            },
+            (LoopClass::NeedsFallback(_), _) => "parallel (fallback, modelled)".to_string(),
+            (LoopClass::Fissioned { .. }, _) => "fissioned (modelled)".to_string(),
+            _ => "sequential".to_string(),
+        };
+        let mut d = LoopDecision::new(&analysis.label);
+        d.kernel = Some(shape.name.to_string());
+        d.class = format!("{:?}", analysis.class);
+        d.stages = stages;
+        d.passed_stage = passed_stage;
+        d.exact_test = exact_test;
+        d.executor = executor;
+        d.test_units = test_units;
+        d.loop_units = per_iter.iter().sum();
+        // A fission plan only matters when the whole loop did not go
+        // parallel: it is the rescue the executor would apply.
+        if !parallel {
+            d.fission = analysis
+                .fission
+                .as_deref()
+                .map(|plan| account_fission(session, shape, size, plan, nthreads));
+        }
+        session.obs().record_decision(d);
     }
 
     let techniques = analysis
@@ -373,6 +529,49 @@ mod tests {
         );
         assert!(!m.parallel);
         assert!(!m.baseline_parallel);
+    }
+
+    #[test]
+    fn observer_session_explains_hoist_indirect_by_kernel_name() {
+        let session = Session::builder()
+            .observer(lip_obs::ObsLevel::Trace)
+            .build();
+        let m = measure_loop(
+            &session,
+            &crate::kernels::HOIST_INDIRECT,
+            64,
+            0.1,
+            "FI HOIST-USR",
+        );
+        assert!(!m.parallel, "hoist_indirect cascade fails on the workload");
+
+        // The decision is stored under both the loop label and the
+        // kernel name, so `explain` resolves either.
+        let d = session
+            .explain_decision("hoist_indirect")
+            .expect("decision by kernel name");
+        assert_eq!(d.label, m.label);
+        assert_eq!(d.kernel.as_deref(), Some("hoist_indirect"));
+        assert_eq!(d.passed_stage, None, "no cascade stage passes");
+        assert!(
+            !d.stages.is_empty() && d.stages.iter().all(|s| s.verdict != Some(true)),
+            "stage reports must show the failing cascade: {:?}",
+            d.stages
+        );
+        assert_eq!(d.exact_test, Some(false), "exact test finds dependences");
+        let f = d.fission.as_ref().expect("fission rescue plan");
+        assert_eq!(f.fragments.len(), 2);
+        assert_eq!(f.fragments.iter().filter(|fr| fr.parallel).count(), 1);
+        let frac = f.rescued_fraction();
+        assert!(
+            (frac - 0.5).abs() < 0.02,
+            "rescued fraction {frac} should be ~0.50"
+        );
+        // The rendered report carries the same story.
+        let text = session.explain("hoist_indirect").expect("explain text");
+        assert!(text.contains(&m.label), "{text}");
+        // An off-session records nothing.
+        assert!(Session::default().explain("hoist_indirect").is_none());
     }
 
     #[test]

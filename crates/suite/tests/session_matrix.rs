@@ -11,9 +11,16 @@
 //! knob must be observationally inert (fissioned-vs-sequential
 //! equivalence on rescued kernels lives in `fission_differential.rs`).
 
+//! The observer axis rides the same invariant: `LIP_OBS`/`observer()`
+//! may count and record whatever it likes, but outputs, work units and
+//! traced access streams must stay bit-identical to the off leg.
+
+use std::sync::{Arc, Mutex};
+
+use lip_obs::ObsLevel;
 use lip_runtime::{Backend, LoopJob, OptLevel, PredBackend, Session};
 use lip_suite::{measure_loop, KernelShape, LoopMeasurement};
-use lip_symbolic::sym;
+use lip_symbolic::{sym, Sym};
 
 /// The sixteen seam combinations (`2 backends × 2 predicate engines ×
 /// 2 opt levels × fission on/off`; the opt level must be inert on the
@@ -91,6 +98,102 @@ fn all_backend_combinations_measure_identically_in_one_process() {
             reference, got,
             "tables diverged under ({backend}, {pred}, {opt}, fission={fission})"
         );
+    }
+}
+
+/// The fast seams with an observer installed at `level`.
+fn obs_session(level: ObsLevel, nthreads: usize) -> Session {
+    Session::builder()
+        .backend(Backend::Bytecode)
+        .pred(PredBackend::Compiled)
+        .opt_level(OptLevel::Fuse)
+        .fission(true)
+        .nthreads(nthreads)
+        .par_min(64)
+        .observer(level)
+        .build()
+}
+
+#[test]
+fn observer_legs_measure_identically() {
+    let off = measure_all(&obs_session(ObsLevel::Off, 2));
+    for level in [ObsLevel::Metrics, ObsLevel::Trace] {
+        let sess = obs_session(level, 2);
+        let got = measure_all(&sess);
+        assert_eq!(off, got, "tables diverged under observer level {level}");
+        // The observer must actually have observed — identical tables
+        // with empty metrics would mean the level is silently off.
+        let counted = sess.metrics().counter("pred.evals").unwrap_or(0);
+        assert!(counted > 0, "no predicate evaluations counted at {level}");
+    }
+}
+
+/// Records every traced access, in order.
+#[derive(Default)]
+struct AccessLog {
+    events: Mutex<Vec<(char, Sym, usize)>>,
+}
+
+impl lip_ir::AccessTracer for AccessLog {
+    fn read(&self, arr: Sym, idx: usize) {
+        self.events.lock().unwrap().push(('r', arr, idx));
+    }
+    fn write(&self, arr: Sym, idx: usize) {
+        self.events.lock().unwrap().push(('w', arr, idx));
+    }
+}
+
+#[test]
+fn observer_execution_is_bit_identical_including_access_streams() {
+    // Actually *execute* a predicated loop and a fission-rescued loop
+    // under each observer level with an access tracer installed:
+    // outcome, work units, final array state and the exact traced
+    // access stream must match the off leg. Single-threaded so the
+    // stream order is deterministic.
+    for (shape, n) in [
+        (&lip_suite::OFFSET_CROSSOVER, 128usize),
+        (&lip_suite::HOIST_INDIRECT, 64),
+    ] {
+        let run = |level: ObsLevel| {
+            let sess = obs_session(level, 1);
+            let mut p = shape.prepared(n);
+            let prog = p.machine.program().clone();
+            let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+            let target = sub.find_loop(p.label).expect("loop").clone();
+            let analysis = sess.analyze(&prog, sub.name, p.label).expect("analysis");
+            let log = Arc::new(AccessLog::default());
+            let traced = p.machine.with_tracer(log.clone());
+            let stats = sess
+                .run_many([LoopJob {
+                    machine: &traced,
+                    sub: &sub,
+                    target: &target,
+                    analysis: &analysis,
+                    frame: &mut p.frame,
+                }])
+                .expect("runs")
+                .pop()
+                .expect("one result");
+            let a = p.frame.array(sym("A")).expect("A");
+            let snapshot: Vec<u64> = (0..a.buf.len()).map(|i| a.get_f64(i).to_bits()).collect();
+            let events = log.events.lock().unwrap().clone();
+            (
+                format!("{:?}", stats.outcome),
+                stats.test_units,
+                stats.loop_units,
+                snapshot,
+                events,
+            )
+        };
+        let reference = run(ObsLevel::Off);
+        for level in [ObsLevel::Metrics, ObsLevel::Trace] {
+            assert_eq!(
+                reference,
+                run(level),
+                "{}: execution diverged under observer level {level}",
+                shape.name
+            );
+        }
     }
 }
 

@@ -316,6 +316,32 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Whether this is a superinstruction emitted by the peephole pass
+    /// (never by the base compiler) — the denominator for fused-dispatch
+    /// metrics is total ops, the numerator is these.
+    pub fn is_fused(&self) -> bool {
+        matches!(
+            self,
+            Op::FusedBinSS { .. }
+                | Op::FusedBinRS { .. }
+                | Op::FusedBinRK { .. }
+                | Op::FusedBinRE { .. }
+                | Op::FusedBinStore { .. }
+                | Op::FusedLoadElemS { .. }
+                | Op::FusedStoreElemS { .. }
+                | Op::FusedElemUpdateK { .. }
+                | Op::FusedElemUpdateS { .. }
+                | Op::ChargedConst { .. }
+                | Op::ChargedLoadScalar { .. }
+                | Op::FusedLoadElemE { .. }
+                | Op::FusedStoreElemE { .. }
+                | Op::LoopTestSet { .. }
+                | Op::LoopIncrJump { .. }
+        )
+    }
+}
+
 /// How one actual argument reaches a callee.
 #[derive(Clone, Debug)]
 pub enum ArgSpec {

@@ -55,7 +55,7 @@ pub mod vm;
 pub use chunk::{BlockId, Chunk, CompileError, CompiledProgram, Op};
 pub use compile::{add_block, add_block_with_exprs, compile_program, expr_cost};
 pub use peephole::{optimize_block, optimize_chunk, optimize_program, OptLevel};
-pub use vm::{Frame, Vm};
+pub use vm::{DispatchCounts, Frame, Vm};
 
 #[cfg(test)]
 mod tests {

@@ -95,6 +95,28 @@ impl Frame {
     }
 }
 
+/// Dispatch statistics for one counted execution: how many
+/// instructions ran and how many of them were peephole
+/// superinstructions. Filled by [`Vm::run_block_counting`]; the
+/// uncounted entry points compile the tally out entirely (the dispatch
+/// loop is monomorphized over a `COUNT` const), so the default paths
+/// cost exactly what they did before this type existed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// Instructions dispatched.
+    pub ops: u64,
+    /// Of those, superinstructions ([`Op::is_fused`]).
+    pub fused_ops: u64,
+}
+
+impl DispatchCounts {
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &DispatchCounts) {
+        self.ops += other.ops;
+        self.fused_ops += other.fused_ops;
+    }
+}
+
 /// The virtual machine: a compiled program plus READ-input bindings.
 #[derive(Copy, Clone)]
 pub struct Vm<'p> {
@@ -146,8 +168,16 @@ impl<'p> Vm<'p> {
             .ok_or(RunError::NoSuchSubroutine(sym("main")))?;
         let csub = &self.prog.subs[entry];
         let mut frame = Frame::for_chunk(&csub.chunk, store);
-        self.alloc_locals(csub, &mut frame, state, tracer)?;
-        self.exec(&csub.chunk, &csub.chunk.ops, &mut frame, state, tracer)?;
+        let counts = &mut DispatchCounts::default();
+        self.alloc_locals::<false>(csub, &mut frame, state, tracer, counts)?;
+        self.exec::<false>(
+            &csub.chunk,
+            &csub.chunk.ops,
+            &mut frame,
+            state,
+            tracer,
+            counts,
+        )?;
         frame.writeback_all(&csub.chunk, store);
         Ok(())
     }
@@ -167,7 +197,34 @@ impl<'p> Vm<'p> {
         tracer: Option<&dyn AccessTracer>,
     ) -> Result<(), RunError> {
         let chunk = &self.prog.block(b).chunk;
-        self.exec(chunk, &chunk.ops, frame, state, tracer)
+        self.exec::<false>(
+            chunk,
+            &chunk.ops,
+            frame,
+            state,
+            tracer,
+            &mut DispatchCounts::default(),
+        )
+    }
+
+    /// [`Vm::run_block`] with dispatch counting: tallies executed and
+    /// fused instructions into `counts` (adding to whatever is already
+    /// there). A separately monomorphized dispatch loop, so the
+    /// uncounted path pays nothing for it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RunError`] raised during execution.
+    pub fn run_block_counting(
+        &self,
+        b: BlockId,
+        frame: &mut Frame,
+        state: &mut ExecState,
+        tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
+    ) -> Result<(), RunError> {
+        let chunk = &self.prog.block(b).chunk;
+        self.exec::<true>(chunk, &chunk.ops, frame, state, tracer, counts)
     }
 
     /// Evaluates attached expression fragment `k` of block `b` against
@@ -185,35 +242,45 @@ impl<'p> Vm<'p> {
         tracer: Option<&dyn AccessTracer>,
     ) -> Result<Value, RunError> {
         let block = self.prog.block(b);
-        self.eval_code(&block.chunk, &block.exprs[k], frame, state, tracer)
+        self.eval_code::<false>(
+            &block.chunk,
+            &block.exprs[k],
+            frame,
+            state,
+            tracer,
+            &mut DispatchCounts::default(),
+        )
     }
 
-    fn eval_code(
+    fn eval_code<const COUNT: bool>(
         &self,
         chunk: &Chunk,
         code: &ExprCode,
         frame: &mut Frame,
         state: &mut ExecState,
         tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
     ) -> Result<Value, RunError> {
-        self.exec(chunk, &code.ops, frame, state, tracer)?;
+        self.exec::<COUNT>(chunk, &code.ops, frame, state, tracer, counts)?;
         Ok(frame.regs[code.result as usize])
     }
 
     /// Entry allocation of non-parameter fixed-size arrays (skipping
     /// slots the frame already has bound, so drivers can pre-bind).
-    fn alloc_locals(
+    fn alloc_locals<const COUNT: bool>(
         &self,
         csub: &CompiledSub,
         frame: &mut Frame,
         state: &mut ExecState,
         tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
     ) -> Result<(), RunError> {
         for local in &csub.locals {
             if frame.arrays[local.arr as usize].is_some() {
                 continue;
             }
-            let (extents, len) = self.eval_dims(csub, local, frame, state, tracer)?;
+            let (extents, len) =
+                self.eval_dims::<COUNT>(csub, local, frame, state, tracer, counts)?;
             let buf = match local.ty {
                 Ty::Int => ArrayBuf::new_int(len),
                 Ty::Real => ArrayBuf::new_real(len),
@@ -227,13 +294,14 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
-    fn eval_dims(
+    fn eval_dims<const COUNT: bool>(
         &self,
         csub: &CompiledSub,
         local: &LocalAlloc,
         frame: &mut Frame,
         state: &mut ExecState,
         tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
     ) -> Result<(Vec<i64>, usize), RunError> {
         let mut extents = Vec::new();
         let mut len: i64 = 1;
@@ -241,7 +309,7 @@ impl<'p> Vm<'p> {
             match dim {
                 DimCode::Fixed(code) => {
                     let v = self
-                        .eval_code(&csub.chunk, code, frame, state, tracer)?
+                        .eval_code::<COUNT>(&csub.chunk, code, frame, state, tracer, counts)?
                         .as_i64();
                     extents.push(v);
                     len = len.saturating_mul(v.max(0));
@@ -254,7 +322,8 @@ impl<'p> Vm<'p> {
 
     /// Applies the callee's declared extents to an incoming view
     /// (array reshaping at the call site).
-    fn reshape(
+    #[allow(clippy::too_many_arguments)]
+    fn reshape<const COUNT: bool>(
         &self,
         csub: &CompiledSub,
         pm: &ParamMeta,
@@ -262,6 +331,7 @@ impl<'p> Vm<'p> {
         frame: &mut Frame,
         state: &mut ExecState,
         tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
     ) -> Result<ArrayView, RunError> {
         let Some(dims) = &pm.reshape else {
             return Ok(view);
@@ -271,7 +341,7 @@ impl<'p> Vm<'p> {
             match dim {
                 DimCode::Fixed(code) => {
                     extents.push(
-                        self.eval_code(&csub.chunk, code, frame, state, tracer)?
+                        self.eval_code::<COUNT>(&csub.chunk, code, frame, state, tracer, counts)?
                             .as_i64(),
                     );
                 }
@@ -347,16 +417,21 @@ impl<'p> Vm<'p> {
         Ok((name, lin, view))
     }
 
-    fn exec(
+    fn exec<const COUNT: bool>(
         &self,
         chunk: &Chunk,
         ops: &[Op],
         frame: &mut Frame,
         state: &mut ExecState,
         tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
     ) -> Result<(), RunError> {
         let mut pc = 0usize;
         while pc < ops.len() {
+            if COUNT {
+                counts.ops += 1;
+                counts.fused_ops += u64::from(ops[pc].is_fused());
+            }
             match &ops[pc] {
                 Op::Charge(units) => state.charge(*units as u64)?,
                 Op::Const { dst, k } => {
@@ -444,7 +519,7 @@ impl<'p> Vm<'p> {
                     frame.regs[*i as usize] = Value::Int(v);
                 }
                 Op::Call { site } => {
-                    self.call(chunk, *site, frame, state, tracer)?;
+                    self.call::<COUNT>(chunk, *site, frame, state, tracer, counts)?;
                 }
                 Op::Read { site } => {
                     for slot in &chunk.reads[*site as usize] {
@@ -739,13 +814,14 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
-    fn call(
+    fn call<const COUNT: bool>(
         &self,
         caller: &Chunk,
         site: u16,
         caller_frame: &mut Frame,
         state: &mut ExecState,
         tracer: Option<&dyn AccessTracer>,
+        counts: &mut DispatchCounts,
     ) -> Result<(), RunError> {
         let cs = &caller.calls[site as usize];
         let callee = &self.prog.subs[cs.callee];
@@ -759,7 +835,9 @@ impl<'p> Vm<'p> {
                 }
                 ArgSpec::Var { arr, scalar } => {
                     if let Some(view) = caller_frame.arrays[*arr as usize].clone() {
-                        let reshaped = self.reshape(callee, pm, view, &mut inner, state, tracer)?;
+                        let reshaped = self.reshape::<COUNT>(
+                            callee, pm, view, &mut inner, state, tracer, counts,
+                        )?;
                         inner.arrays[pm.arr as usize] = Some(reshaped);
                     } else if let Some(v) = caller_frame.scalars[*scalar as usize] {
                         inner.scalars[pm.scalar as usize] = Some(v);
@@ -775,13 +853,21 @@ impl<'p> Vm<'p> {
                         offset: lin,
                         extents: vec![],
                     };
-                    let reshaped = self.reshape(callee, pm, section, &mut inner, state, tracer)?;
+                    let reshaped = self
+                        .reshape::<COUNT>(callee, pm, section, &mut inner, state, tracer, counts)?;
                     inner.arrays[pm.arr as usize] = Some(reshaped);
                 }
             }
         }
-        self.alloc_locals(callee, &mut inner, state, tracer)?;
-        self.exec(&callee.chunk, &callee.chunk.ops, &mut inner, state, tracer)?;
+        self.alloc_locals::<COUNT>(callee, &mut inner, state, tracer, counts)?;
+        self.exec::<COUNT>(
+            &callee.chunk,
+            &callee.chunk.ops,
+            &mut inner,
+            state,
+            tracer,
+            counts,
+        )?;
         for (callee_slot, caller_slot) in copy_out {
             if let Some(v) = inner.scalars[callee_slot as usize] {
                 caller_frame.scalars[caller_slot as usize] = Some(v);

@@ -17,6 +17,7 @@
 //! * [`pred`] — the compiled, parallel runtime predicate engine,
 //! * [`analysis`] — summary construction and loop classification,
 //! * [`runtime`] — parallel executor, runtime tests, cost-model simulator,
+//! * [`obs`] — observability: metrics, decision tracing, `explain` reports,
 //! * [`suite`] — the PERFECT-CLUB / SPEC benchmark kernels.
 //!
 //! The configured entry point to the whole pipeline is [`Session`]
@@ -26,15 +27,22 @@
 //! and the per-machine compile caches, with `analyze` / `run_loop` /
 //! `run_many` / `civ_traces` / `lrpd_execute` / `per_iteration_costs`
 //! / `simulate` methods. Environment variables (`LIP_BACKEND`,
-//! `LIP_OPT`, `LIP_PRED`, `LIP_PRED_PAR_MIN`) are read in exactly one
-//! place, [`SessionConfig::from_env`], with strict parsing.
+//! `LIP_OPT`, `LIP_PRED`, `LIP_PRED_PAR_MIN`, `LIP_FISSION`,
+//! `LIP_OBS`) are read in exactly one place,
+//! [`SessionConfig::from_env`], with strict parsing.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk-through.
+//! Observability rides the same session: `.observer(ObsLevel::Trace)`
+//! turns on metrics, span tracing and per-loop decision records, read
+//! back through `Session::metrics()` and `Session::explain(label)`.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through and
+//! `examples/explain.rs` for the observability/explain report.
 
 pub use lip_analysis as analysis;
 pub use lip_core as core;
 pub use lip_ir as ir;
 pub use lip_lmad as lmad;
+pub use lip_obs as obs;
 pub use lip_pred as pred;
 pub use lip_runtime as runtime;
 pub use lip_suite as suite;
