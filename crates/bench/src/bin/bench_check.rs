@@ -1,0 +1,155 @@
+//! Bench-regression sentry: compares a fresh `BENCH_vm.json` against
+//! the committed baseline and appends the run to `BENCH_history.jsonl`.
+//!
+//! ```text
+//! bench_check [--current FILE] [--baseline FILE] [--history FILE]
+//!             [--wall-tol F] [--ratio-tol F] [--inject-wall FACTOR]
+//!             [--no-append]
+//! ```
+//!
+//! Exit status 0 when every check passes, 1 on any violation (strict
+//! determinism drift or a wall-clock regression beyond the band), 2 on
+//! usage/IO errors. `--inject-wall 1.30` multiplies the current run's
+//! wall figures by 1.30 before comparing — CI uses it against the
+//! run's own file to prove the gate trips on a 30% regression with
+//! zero measurement jitter involved.
+
+use lip_bench::sentry::{compare, history_line, inject_wall, Tolerances};
+use lip_obs::json::Json;
+
+struct Args {
+    current: String,
+    baseline: String,
+    history: String,
+    tol: Tolerances,
+    inject: Option<f64>,
+    append: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        current: "BENCH_vm.json".into(),
+        baseline: "BENCH_baseline.json".into(),
+        history: "BENCH_history.jsonl".into(),
+        tol: Tolerances::default(),
+        inject: None,
+        append: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match a.as_str() {
+            "--current" => args.current = val("--current")?,
+            "--baseline" => args.baseline = val("--baseline")?,
+            "--history" => args.history = val("--history")?,
+            "--wall-tol" => {
+                args.tol.wall_tol = val("--wall-tol")?
+                    .parse()
+                    .map_err(|e| format!("--wall-tol: {e}"))?
+            }
+            "--ratio-tol" => {
+                args.tol.ratio_tol = val("--ratio-tol")?
+                    .parse()
+                    .map_err(|e| format!("--ratio-tol: {e}"))?
+            }
+            "--inject-wall" => {
+                args.inject = Some(
+                    val("--inject-wall")?
+                        .parse()
+                        .map_err(|e| format!("--inject-wall: {e}"))?,
+                )
+            }
+            "--no-append" => args.append = false,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn read_doc(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).ok_or_else(|| format!("{path} is not valid JSON"))
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            std::process::exit(2);
+        }
+    };
+    let current = match read_doc(&args.current) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = match read_doc(&args.baseline) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.append {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = history_line(&current, &git_rev(), secs);
+        use std::io::Write;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&args.history)
+            .and_then(|mut f| writeln!(f, "{line}"))
+        {
+            Ok(()) => println!("appended run to {}", args.history),
+            Err(e) => eprintln!(
+                "bench_check: warning: could not append {}: {e}",
+                args.history
+            ),
+        }
+    }
+
+    let current = match args.inject {
+        Some(factor) => {
+            println!("injecting artificial wall regression: x{factor}");
+            inject_wall(current, factor)
+        }
+        None => current,
+    };
+
+    let violations = compare(&current, &baseline, &args.tol);
+    println!(
+        "bench_check: {} vs {} (wall tolerance +{:.0}%, ratio -{:.0}%)",
+        args.current,
+        args.baseline,
+        100.0 * args.tol.wall_tol,
+        100.0 * args.tol.ratio_tol
+    );
+    if violations.is_empty() {
+        println!("OK: no regressions");
+        return;
+    }
+    eprintln!("FAIL: {} regression(s):", violations.len());
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}

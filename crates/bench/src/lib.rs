@@ -8,6 +8,8 @@
 use lip_runtime::Session;
 use lip_suite::{measure_benchmark, BenchDef, KernelShape};
 
+pub mod sentry;
+
 /// Spawn overhead (work units) used across all harnesses.
 pub const SPAWN: u64 = 3_000;
 

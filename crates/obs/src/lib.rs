@@ -25,12 +25,20 @@
 //! invocation* — never per iteration; the VM's per-op counting lives
 //! behind a separate monomorphized entry point in `lip_vm`.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+pub mod chrome;
+pub mod json;
+pub mod profile;
+
+pub use chrome::trace_chrome_json;
+pub use profile::ProfileReport;
 
 /// How much the pipeline records.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
@@ -81,6 +89,43 @@ impl fmt::Display for ObsLevel {
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct SpanId(pub u64);
 
+/// Lane ids at or above this mark a pool worker (`lane = base + worker
+/// index`): stable across forks, so repeated parallel regions land on
+/// the same trace lane and chunk imbalance lines up visually. Ordinary
+/// threads get small process-unique ids well below it.
+pub const WORKER_LANE_BASE: u64 = 1 << 32;
+
+static NEXT_THREAD_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Process-unique id of this OS thread, assigned on first use.
+    static THREAD_TID: u64 = NEXT_THREAD_TID.fetch_add(1, Ordering::Relaxed);
+    /// An explicit lane override ([`with_lane`]) — how pool workers get
+    /// stable per-worker-index lanes even though the fork-join pool
+    /// spawns fresh OS threads per region.
+    static LANE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The trace lane ("thread id") events recorded on this thread carry:
+/// the [`with_lane`] override when inside one, otherwise a small
+/// process-unique per-OS-thread id.
+pub fn current_tid() -> u64 {
+    LANE.with(Cell::get)
+        .unwrap_or_else(|| THREAD_TID.with(|t| *t))
+}
+
+/// Runs `f` with this thread's trace lane overridden to `lane`
+/// (restored afterwards, even though pool workers don't outlive it).
+/// The fork-join pool wraps each chunk body in
+/// `with_lane(WORKER_LANE_BASE + worker_index, ..)` so every span and
+/// event a worker records lands on that worker's lane.
+pub fn with_lane<T>(lane: u64, f: impl FnOnce() -> T) -> T {
+    let prev = LANE.with(|l| l.replace(Some(lane)));
+    let out = f();
+    LANE.with(|l| l.set(prev));
+    out
+}
+
 /// A tracing sink. Implementations must be cheap to call and safe to
 /// share across the pool's worker threads.
 pub trait Recorder: Send + Sync + fmt::Debug {
@@ -128,9 +173,15 @@ pub enum TraceKind {
 /// One entry of a [`TraceRecorder`]'s buffer.
 #[derive(Clone, Debug)]
 pub struct TraceEvent {
-    /// Nanoseconds since the recorder was created (monotonic clock).
+    /// Nanoseconds since the recorder was created. `Instant` is
+    /// globally monotonic, so timestamps recorded from different
+    /// threads order correctly on one shared timeline.
     pub at_ns: u64,
-    /// Span nesting depth at the time of the event.
+    /// The trace lane the event was recorded on ([`current_tid`]):
+    /// pool workers carry `WORKER_LANE_BASE + worker index`, everything
+    /// else a small per-OS-thread id.
+    pub tid: u64,
+    /// Span nesting depth *on that lane* at the time of the event.
     pub depth: usize,
     /// Enter/exit/event.
     pub kind: TraceKind,
@@ -143,8 +194,12 @@ pub struct TraceEvent {
 #[derive(Debug, Default)]
 struct TraceState {
     events: Vec<TraceEvent>,
-    open: BTreeMap<u64, (String, usize)>,
-    depth: usize,
+    /// Open spans: id → (name, depth, tid). Depth and lane are captured
+    /// at `enter` so `exit` restores the right lane's nesting even if
+    /// spans from many workers interleave in the shared buffer.
+    open: BTreeMap<u64, (String, usize, u64)>,
+    /// Per-lane nesting depth.
+    depths: BTreeMap<u64, usize>,
     next: u64,
 }
 
@@ -183,32 +238,36 @@ impl Recorder for TraceRecorder {
 
     fn enter(&self, name: &str, detail: &str) -> SpanId {
         let at_ns = self.now_ns();
+        let tid = current_tid();
         let mut st = self.state.lock().unwrap();
         let id = st.next;
         st.next += 1;
-        let depth = st.depth;
-        st.open.insert(id, (name.to_owned(), depth));
+        let depth = st.depths.get(&tid).copied().unwrap_or(0);
+        st.open.insert(id, (name.to_owned(), depth, tid));
         st.events.push(TraceEvent {
             at_ns,
+            tid,
             depth,
             kind: TraceKind::Enter,
             name: name.to_owned(),
             detail: detail.to_owned(),
         });
-        st.depth += 1;
+        st.depths.insert(tid, depth + 1);
         SpanId(id)
     }
 
     fn exit(&self, id: SpanId, outcome: &str) {
         let at_ns = self.now_ns();
         let mut st = self.state.lock().unwrap();
-        let (name, depth) = st
-            .open
-            .remove(&id.0)
-            .unwrap_or_else(|| ("?".to_owned(), st.depth.saturating_sub(1)));
-        st.depth = st.depth.saturating_sub(1);
+        let (name, depth, tid) = st.open.remove(&id.0).unwrap_or_else(|| {
+            let tid = current_tid();
+            let depth = st.depths.get(&tid).copied().unwrap_or(1);
+            ("?".to_owned(), depth.saturating_sub(1), tid)
+        });
+        st.depths.insert(tid, depth);
         st.events.push(TraceEvent {
             at_ns,
+            tid,
             depth,
             kind: TraceKind::Exit,
             name,
@@ -218,10 +277,12 @@ impl Recorder for TraceRecorder {
 
     fn event(&self, name: &str, detail: &str) {
         let at_ns = self.now_ns();
+        let tid = current_tid();
         let mut st = self.state.lock().unwrap();
-        let depth = st.depth;
+        let depth = st.depths.get(&tid).copied().unwrap_or(0);
         st.events.push(TraceEvent {
             at_ns,
+            tid,
             depth,
             kind: TraceKind::Event,
             name: name.to_owned(),
@@ -260,10 +321,17 @@ impl Histogram {
         ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
 
-    /// Records one observation (nanoseconds).
+    /// Records one observation (nanoseconds). The running sum
+    /// saturates at `u64::MAX` instead of wrapping — ~584 years of
+    /// summed nanoseconds, but a wrapped sum would silently corrupt
+    /// every mean derived from the snapshot.
     pub fn record(&self, v: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -430,6 +498,11 @@ pub struct FragmentReport {
     pub parallel: bool,
     /// Work units the fragment accounts for.
     pub units: u64,
+    /// The fragment's own cascade stages, in the order tried (empty
+    /// when the fragment was decided statically).
+    pub stages: Vec<StageReport>,
+    /// Verdict of the fragment's hoisted exact USR test, when it ran.
+    pub exact_test: Option<bool>,
 }
 
 /// The fission rescue as planned and executed for one loop.
@@ -547,8 +620,13 @@ impl LoopDecision {
                 f.rescued_fraction()
             ));
             for fr in &f.fragments {
+                let share = if f.loop_units == 0 {
+                    0.0
+                } else {
+                    fr.units as f64 / f.loop_units as f64
+                };
                 out.push_str(&format!(
-                    "    {} [{}]: {} ({} units)\n",
+                    "    {} [{}]: {} ({} units, {:.2} of loop)\n",
                     fr.label,
                     fr.class,
                     if fr.parallel {
@@ -556,8 +634,35 @@ impl LoopDecision {
                     } else {
                         "sequential"
                     },
-                    fr.units
+                    fr.units,
+                    share
                 ));
+                for s in &fr.stages {
+                    let verdict = match s.verdict {
+                        Some(true) => "PASS",
+                        Some(false) => "FAIL",
+                        None => "not evaluated",
+                    };
+                    let complexity = if s.complexity == 0 {
+                        "O(1)".to_owned()
+                    } else {
+                        format!("O(N^{})", s.complexity)
+                    };
+                    out.push_str(&format!(
+                        "      stage {} [{}] cost {} units: {}",
+                        s.index, complexity, s.cost_units, verdict
+                    ));
+                    if let Some(p) = &s.predicate {
+                        out.push_str(&format!("   {p}"));
+                    }
+                    out.push('\n');
+                }
+                if let Some(v) = fr.exact_test {
+                    out.push_str(&format!(
+                        "      exact USR test: {}\n",
+                        if v { "independent" } else { "dependent" }
+                    ));
+                }
             }
         }
         out.push_str(&format!("  executor: {}\n", self.executor));
@@ -580,17 +685,7 @@ impl LoopDecision {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!(
-                "{{\"index\": {}, \"complexity\": {}, \"cost_units\": {}, \"verdict\": {}}}",
-                s.index,
-                s.complexity,
-                s.cost_units,
-                match s.verdict {
-                    Some(true) => "\"pass\"",
-                    Some(false) => "\"fail\"",
-                    None => "null",
-                }
-            ));
+            out.push_str(&stage_json(s));
         }
         out.push_str(&format!(
             "], \"passed_stage\": {}, \"exact_test\": {}, \"fission\": ",
@@ -617,12 +712,33 @@ impl LoopDecision {
                     if i > 0 {
                         out.push_str(", ");
                     }
+                    let share = if f.loop_units == 0 {
+                        0.0
+                    } else {
+                        fr.units as f64 / f.loop_units as f64
+                    };
                     out.push_str(&format!(
-                        "{{\"label\": {}, \"class\": {}, \"parallel\": {}, \"units\": {}}}",
+                        "{{\"label\": {}, \"class\": {}, \"parallel\": {}, \"units\": {}, \
+                         \"share\": {:.3}, \"stages\": [",
                         json_str(&fr.label),
                         json_str(&fr.class),
                         fr.parallel,
-                        fr.units
+                        fr.units,
+                        share
+                    ));
+                    for (j, s) in fr.stages.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&stage_json(s));
+                    }
+                    out.push_str(&format!(
+                        "], \"exact_test\": {}}}",
+                        match fr.exact_test {
+                            Some(true) => "\"independent\"",
+                            Some(false) => "\"dependent\"",
+                            None => "null",
+                        }
                     ));
                 }
                 out.push_str("]}");
@@ -642,7 +758,21 @@ fn opt_num(v: Option<usize>) -> String {
     v.map_or("null".to_owned(), |n| n.to_string())
 }
 
-fn json_str(s: &str) -> String {
+fn stage_json(s: &StageReport) -> String {
+    format!(
+        "{{\"index\": {}, \"complexity\": {}, \"cost_units\": {}, \"verdict\": {}}}",
+        s.index,
+        s.complexity,
+        s.cost_units,
+        match s.verdict {
+            Some(true) => "\"pass\"",
+            Some(false) => "\"fail\"",
+            None => "null",
+        }
+    )
+}
+
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -943,12 +1073,22 @@ mod tests {
                     class: "NeedsFallback(HoistUsr)".into(),
                     parallel: true,
                     units: 50,
+                    stages: vec![StageReport {
+                        index: 0,
+                        complexity: 0,
+                        cost_units: 7,
+                        predicate: Some("frag hull check".into()),
+                        verdict: Some(true),
+                    }],
+                    exact_test: Some(true),
                 },
                 FragmentReport {
                     label: "do20~f1".into(),
                     class: "StaticSequential".into(),
                     parallel: false,
                     units: 50,
+                    stages: Vec::new(),
+                    exact_test: None,
                 },
             ],
             rescued_units: 50,
@@ -963,11 +1103,18 @@ mod tests {
         let text = got.render_text();
         assert!(text.contains("stage 0 [O(N^1)] cost 42 units: FAIL"));
         assert!(text.contains("fission: 2 fragments, rescued 50/100 units (0.50)"));
+        assert!(
+            text.contains("do20~f0 [NeedsFallback(HoistUsr)]: parallel (50 units, 0.50 of loop)")
+        );
+        assert!(text.contains("      stage 0 [O(1)] cost 7 units: PASS   frag hull check"));
+        assert!(text.contains("      exact USR test: independent"));
         let json = got.to_json();
         assert!(json.contains("\"verdict\": \"fail\""));
         assert!(json.contains("\"rescued_fraction\": 0.500"));
         assert!(json.contains("\"parallel_fragments\": 1"));
         assert!(json.contains("\"exact_test\": \"independent\""));
+        assert!(json.contains("\"share\": 0.500"));
+        assert!(json.contains("\"cost_units\": 7"));
     }
 
     #[test]

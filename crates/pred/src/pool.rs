@@ -24,7 +24,12 @@ where
 
 /// [`parallel_chunks`] with an optional observer: records one
 /// `pool.forks` bump and the number of chunks per fork, plus a trace
-/// event carrying the range and schedule.
+/// event carrying the range and schedule. At trace level each executed
+/// chunk additionally records a `pool.chunk` span on a stable
+/// per-worker-index lane ([`lip_obs::WORKER_LANE_BASE`]` + index`), so
+/// an exported timeline shows one lane per worker with the chunk's
+/// range and any imbalance between lanes — even though the fork-join
+/// pool spawns fresh OS threads per region.
 pub fn parallel_chunks_obs<E, F>(
     nthreads: usize,
     lo: i64,
@@ -53,13 +58,25 @@ where
         [(c_lo, c_hi)] => return body(0, *c_lo, *c_hi),
         _ => {}
     }
+    let tracing = obs.filter(|o| o.trace_enabled());
+    let run_chunk = |t: usize, c_lo: i64, c_hi: i64| match tracing {
+        Some(obs) => lip_obs::with_lane(lip_obs::WORKER_LANE_BASE + t as u64, || {
+            let span = obs.span("pool.chunk", || {
+                format!("worker {t}: [{c_lo}, {c_hi}] ({} iters)", c_hi - c_lo + 1)
+            });
+            let r = body(t, c_lo, c_hi);
+            obs.exit_span(span, if r.is_ok() { "ok" } else { "error" });
+            r
+        }),
+        None => body(t, c_lo, c_hi),
+    };
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .enumerate()
             .map(|(t, &(c_lo, c_hi))| {
-                let body = &body;
-                scope.spawn(move || body(t, c_lo, c_hi))
+                let run_chunk = &run_chunk;
+                scope.spawn(move || run_chunk(t, c_lo, c_hi))
             })
             .collect();
         handles

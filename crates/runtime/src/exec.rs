@@ -502,11 +502,16 @@ fn run_fissioned(
                 None,
             )?;
         }
+        // Per-fragment sub-decision, recorded into the explain report
+        // when tracing: cascade stages tried and the hoisted exact-test
+        // verdict, mirroring the top-level decision shape.
+        let mut frag_stages: Vec<StageReport> = Vec::new();
+        let mut frag_exact: Option<bool> = None;
         let parallel_ok = match &a.class {
             LoopClass::StaticParallel => true,
             LoopClass::Predicated { .. } => {
                 let ctx = StoreCtx(frame);
-                let (passed, units) = env.cache.pred().first_success(
+                let (passed, units) = env.cache.pred().first_success_traced(
                     &a.cascade,
                     &ctx,
                     100_000_000,
@@ -519,24 +524,32 @@ fn run_fissioned(
                             prog.array_syms(),
                         ))
                     },
+                    &mut frag_stages,
                 );
                 test_units += units;
-                passed.is_some()
-                    || matches!(
+                if passed.is_some() {
+                    true
+                } else {
+                    let exact = matches!(
                         a.ind_usr
                             .as_ref()
                             .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
                         Some(s) if s.is_empty()
-                    )
+                    );
+                    frag_exact = Some(exact);
+                    exact
+                }
             }
             LoopClass::NeedsFallback(lip_analysis::FallbackKind::HoistUsr) => {
                 let ctx = StoreCtx(frame);
-                matches!(
+                let exact = matches!(
                     a.ind_usr
                         .as_ref()
                         .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
                     Some(s) if s.is_empty()
-                )
+                );
+                frag_exact = Some(exact);
+                exact
             }
             _ => false,
         };
@@ -592,6 +605,8 @@ fn run_fissioned(
                 class: format!("{:?}", a.class),
                 parallel: ran_parallel,
                 units: frag_units,
+                stages: std::mem::take(&mut frag_stages),
+                exact_test: frag_exact,
             });
         }
     }

@@ -442,6 +442,24 @@ impl Session {
         self.obs.trace_events()
     }
 
+    /// The recorded span/event stream as a Chrome Trace Event JSON
+    /// document — load it at `chrome://tracing` or
+    /// <https://ui.perfetto.dev>. One lane per thread: pool workers on
+    /// stable `worker <k>` lanes, so a parallel kernel renders as a
+    /// multi-lane timeline with per-chunk spans. Empty (but valid)
+    /// unless the session runs at [`ObsLevel::Trace`].
+    pub fn trace_chrome_json(&self) -> String {
+        lip_obs::trace_chrome_json(&self.obs.trace_events())
+    }
+
+    /// Folds the recorded span stream into a profile: self/total time
+    /// per span name (hottest first) plus a call-path tree, rendered
+    /// via [`lip_obs::ProfileReport::render_text`] or `to_json`. Empty
+    /// unless the session runs at [`ObsLevel::Trace`].
+    pub fn profile(&self) -> lip_obs::ProfileReport {
+        lip_obs::ProfileReport::from_events(&self.obs.trace_events())
+    }
+
     /// The recorded decision for the loop labelled (or kernel named)
     /// `label`, if [`Session::run_loop`] analyzed-and-ran it at
     /// [`ObsLevel::Trace`] (decision records are a trace-level

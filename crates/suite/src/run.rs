@@ -88,12 +88,13 @@ fn fragment_parallel(
     frame: &lip_ir::Store,
     a: &lip_analysis::LoopAnalysis,
     nthreads: usize,
-) -> bool {
+) -> (bool, Vec<StageReport>, Option<bool>) {
     let ctx = StoreCtx(frame);
     match &a.class {
-        LoopClass::StaticParallel => true,
+        LoopClass::StaticParallel => (true, Vec::new(), None),
         LoopClass::Predicated { .. } => {
-            let (hit, _) = session.cache(machine).pred().first_success(
+            let mut stages = Vec::new();
+            let (hit, _) = session.cache(machine).pred().first_success_traced(
                 &a.cascade,
                 &ctx,
                 100_000_000,
@@ -106,22 +107,30 @@ fn fragment_parallel(
                         prog.array_syms(),
                     ))
                 },
+                &mut stages,
             );
-            hit.is_some()
-                || matches!(
+            let exact = if hit.is_some() {
+                None
+            } else {
+                Some(matches!(
                     a.ind_usr
                         .as_ref()
                         .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
                     Some(s) if s.is_empty()
-                )
+                ))
+            };
+            (hit.is_some() || exact == Some(true), stages, exact)
         }
-        LoopClass::NeedsFallback(lip_analysis::FallbackKind::HoistUsr) => matches!(
-            a.ind_usr
-                .as_ref()
-                .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
-            Some(s) if s.is_empty()
-        ),
-        _ => false,
+        LoopClass::NeedsFallback(lip_analysis::FallbackKind::HoistUsr) => {
+            let exact = matches!(
+                a.ind_usr
+                    .as_ref()
+                    .and_then(|u| lip_usr::eval_usr(u, &ctx, 100_000_000)),
+                Some(s) if s.is_empty()
+            );
+            (exact, Vec::new(), Some(exact))
+        }
+        _ => (false, Vec::new(), None),
     }
 }
 
@@ -144,7 +153,8 @@ fn account_fission(
     let mut rescued_units = 0u64;
     let mut loop_units = 0u64;
     for frag in &plan.fragments {
-        let parallel = fragment_parallel(session, &fw.machine, &fw.frame, &frag.analysis, nthreads);
+        let (parallel, stages, exact_test) =
+            fragment_parallel(session, &fw.machine, &fw.frame, &frag.analysis, nthreads);
         let units: u64 = session
             .per_iteration_costs(&fw.machine, &fsub, &frag.target, &mut fw.frame)
             .map(|v| v.iter().sum())
@@ -162,6 +172,8 @@ fn account_fission(
             class: format!("{:?}", frag.analysis.class),
             parallel,
             units,
+            stages,
+            exact_test,
         });
     }
     FissionReport {

@@ -1,0 +1,186 @@
+//! The presentation layer over `lip_obs`, end to end on real kernels:
+//! the Chrome Trace Event export must be valid JSON with one lane per
+//! pool worker on a parallel kernel, the profile must fold the span
+//! tree into sane self/total figures, and a fissioned loop's explain
+//! report must carry per-fragment sub-decisions.
+
+use std::collections::BTreeSet;
+
+use lip_obs::json::Json;
+use lip_obs::ObsLevel;
+use lip_runtime::{Backend, LoopJob, PredBackend, Session};
+use lip_symbolic::sym;
+
+fn traced_session(nthreads: usize) -> Session {
+    Session::builder()
+        .backend(Backend::Bytecode)
+        .pred(PredBackend::Compiled)
+        .fission(true)
+        .nthreads(nthreads)
+        .par_min(64)
+        .observer(ObsLevel::Trace)
+        .build()
+}
+
+/// Runs one suite kernel through `session` and returns its run.
+fn run_kernel(session: &Session, shape: &'static lip_suite::KernelShape, n: usize) {
+    let mut p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+    let analysis = session.analyze(&prog, sub.name, p.label).expect("analysis");
+    session
+        .run_many([LoopJob {
+            machine: &p.machine,
+            sub: &sub,
+            target: &target,
+            analysis: &analysis,
+            frame: &mut p.frame,
+        }])
+        .expect("runs");
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_worker_lanes_on_a_parallel_kernel() {
+    let session = traced_session(4);
+    run_kernel(&session, &lip_suite::STENCIL, 1024);
+    let json = session.trace_chrome_json();
+    let doc = Json::parse(&json).expect("export is well-formed JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut tids = BTreeSet::new();
+    let mut worker_lanes = BTreeSet::new();
+    let mut phases = BTreeSet::new();
+    for e in events {
+        // Required Trace Event Format keys on every record.
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        phases.insert(ph.to_owned());
+        let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+        tids.insert(tid);
+        if tid >= lip_obs::WORKER_LANE_BASE {
+            worker_lanes.insert(tid);
+        }
+        if ph != "M" {
+            e.get("ts").expect("ts on non-metadata events");
+        }
+    }
+    assert!(
+        tids.len() >= 2,
+        "a parallel kernel must render ≥2 lanes, got {tids:?}"
+    );
+    assert!(
+        worker_lanes.len() >= 2,
+        "≥2 pool-worker lanes expected, got {worker_lanes:?}"
+    );
+    assert!(phases.contains("B") && phases.contains("E") && phases.contains("M"));
+
+    // Per-chunk spans populate the worker lanes, with lane names.
+    assert!(json.contains("\"pool.chunk\""));
+    assert!(json.contains("\"worker 0\""));
+    assert!(json.contains("\"worker 1\""));
+}
+
+#[test]
+fn worker_lanes_are_stable_across_repeated_forks() {
+    let session = traced_session(2);
+    run_kernel(&session, &lip_suite::STENCIL, 512);
+    run_kernel(&session, &lip_suite::STENCIL, 512);
+    let lanes: BTreeSet<u64> = session
+        .trace_events()
+        .iter()
+        .filter(|e| e.tid >= lip_obs::WORKER_LANE_BASE)
+        .map(|e| e.tid)
+        .collect();
+    // Fresh OS threads per fork, but the same worker-index lanes.
+    assert_eq!(
+        lanes,
+        BTreeSet::from([lip_obs::WORKER_LANE_BASE, lip_obs::WORKER_LANE_BASE + 1])
+    );
+}
+
+#[test]
+fn profile_folds_spans_with_consistent_self_and_total_times() {
+    let session = traced_session(4);
+    run_kernel(&session, &lip_suite::STENCIL, 1024);
+    let p = session.profile();
+    assert!(p.lanes >= 2);
+    assert!(p.wall_ns > 0);
+    let chunk = p
+        .flat
+        .iter()
+        .find(|e| e.name == "pool.chunk")
+        .expect("chunk spans profiled");
+    assert!(chunk.count >= 2, "one span per executed chunk");
+    for e in &p.flat {
+        assert!(e.self_ns <= e.total_ns, "{}: self > total", e.name);
+        assert!(e.count > 0);
+    }
+    let text = p.render_text();
+    assert!(text.contains("hot phases"));
+    assert!(text.contains("pool.chunk"));
+    let json = Json::parse(&p.to_json()).expect("profile JSON parses");
+    assert_eq!(
+        json.get("flat").unwrap().as_arr().unwrap().len(),
+        p.flat.len()
+    );
+}
+
+#[test]
+fn fissioned_explain_carries_per_fragment_sub_decisions() {
+    let session = traced_session(2);
+    run_kernel(&session, &lip_suite::HOIST_INDIRECT, 512);
+    let d = session
+        .explain_decision("do20")
+        .expect("decision for the fissioned loop");
+    let fission = d.fission.as_ref().expect("fission report");
+    assert_eq!(fission.fragments.len(), 2);
+
+    // The rescued fragment re-ran the cascade: its sub-decision must
+    // carry the stages tried and the exact-test verdict that finally
+    // admitted it to the parallel path.
+    let rescued = fission
+        .fragments
+        .iter()
+        .find(|f| f.parallel)
+        .expect("one parallel fragment");
+    assert!(
+        !rescued.stages.is_empty() || rescued.exact_test.is_some(),
+        "parallel fragment must expose how it was decided"
+    );
+    let seq = fission
+        .fragments
+        .iter()
+        .find(|f| !f.parallel)
+        .expect("one sequential fragment");
+    assert!(seq.units > 0);
+
+    // Rendered views expose the sub-decisions and per-fragment share.
+    let text = d.render_text();
+    assert!(text.contains("of loop)"), "per-fragment share rendered");
+    let json = Json::parse(&d.to_json()).expect("decision JSON parses");
+    let per_fragment = json
+        .path(&["fission", "per_fragment"])
+        .and_then(Json::as_arr)
+        .expect("per_fragment array");
+    assert_eq!(per_fragment.len(), 2);
+    for f in per_fragment {
+        f.get("stages").and_then(Json::as_arr).expect("stages key");
+        f.get("share").and_then(Json::as_f64).expect("share key");
+        f.get("exact_test").expect("exact_test key");
+    }
+    let rescued_json = per_fragment
+        .iter()
+        .find(|f| f.get("parallel").and_then(Json::as_bool) == Some(true))
+        .expect("parallel fragment in JSON");
+    let decided = !rescued_json
+        .get("stages")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .is_empty()
+        || rescued_json.get("exact_test") != Some(&Json::Null);
+    assert!(decided);
+}

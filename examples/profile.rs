@@ -1,0 +1,62 @@
+//! Profile: export a parallel kernel's timeline and hot-phase report.
+//!
+//! ```sh
+//! cargo run --example profile
+//! ```
+//!
+//! Runs the static-parallel `stencil` kernel on four threads with the
+//! observer at trace level, then shows the two presentation layers
+//! over the span buffer: `Session::trace_chrome_json()` writes a
+//! Chrome Trace Event / Perfetto timeline (`PROFILE_trace.json` —
+//! open it at <https://ui.perfetto.dev> or `chrome://tracing` to see
+//! one lane per pool worker with per-chunk spans), and
+//! `Session::profile()` folds the same spans into a flat hot-phase
+//! table and a call-path tree.
+
+use lip::obs::ObsLevel;
+use lip::runtime::{Backend, LoopJob, PredBackend};
+use lip::symbolic::sym;
+use lip::Session;
+
+fn main() {
+    let session = Session::builder()
+        .backend(Backend::Bytecode)
+        .pred(PredBackend::Compiled)
+        .nthreads(4)
+        .par_min(64)
+        .observer(ObsLevel::Trace)
+        .build();
+
+    // A statically parallel 5-point stencil: the executor forks it
+    // across the pool, so the trace gets one `pool.chunk` span per
+    // worker per fork.
+    let shape = &lip::suite::STENCIL;
+    let n = 4096usize;
+    let mut p = shape.prepared(n);
+    let prog = p.machine.program().clone();
+    let sub = prog.subroutine(sym(p.sub)).expect("sub").clone();
+    let target = sub.find_loop(p.label).expect("loop").clone();
+    let analysis = session.analyze(&prog, sub.name, p.label).expect("analysis");
+    for _ in 0..3 {
+        session
+            .run_many([LoopJob {
+                machine: &p.machine,
+                sub: &sub,
+                target: &target,
+                analysis: &analysis,
+                frame: &mut p.frame,
+            }])
+            .expect("runs");
+    }
+
+    // The timeline: load this file in Perfetto to see the lanes.
+    let trace = session.trace_chrome_json();
+    std::fs::write("PROFILE_trace.json", &trace).expect("write PROFILE_trace.json");
+    println!(
+        "wrote PROFILE_trace.json ({} bytes) — open at https://ui.perfetto.dev\n",
+        trace.len()
+    );
+
+    // The aggregation: self/total per phase plus the call-path tree.
+    print!("{}", session.profile().render_text());
+}
