@@ -4,7 +4,7 @@
 //! ```text
 //! bench_check [--current FILE] [--baseline FILE] [--history FILE]
 //!             [--wall-tol F] [--ratio-tol F] [--inject-wall FACTOR]
-//!             [--no-append]
+//!             [--no-append] [--serve FILE]
 //! ```
 //!
 //! Exit status 0 when every check passes, 1 on any violation (strict
@@ -13,8 +13,15 @@
 //! wall figures by 1.30 before comparing — CI uses it against the
 //! run's own file to prove the gate trips on a 30% regression with
 //! zero measurement jitter involved.
+//!
+//! `--serve FILE` switches to serve mode: instead of the baseline
+//! comparison, it sanity-validates a `BENCH_serve.json` report (legs
+//! present, throughput positive, quantiles ordered, warm ≥ cold) and
+//! appends a `"bench": "serve"` line to the history.
 
-use lip_bench::sentry::{compare, history_line, inject_wall, Tolerances};
+use lip_bench::sentry::{
+    compare, history_line, inject_wall, serve_history_line, validate_serve, Tolerances,
+};
 use lip_obs::json::Json;
 
 struct Args {
@@ -24,6 +31,7 @@ struct Args {
     tol: Tolerances,
     inject: Option<f64>,
     append: bool,
+    serve: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         tol: Tolerances::default(),
         inject: None,
         append: true,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--no-append" => args.append = false,
+            "--serve" => args.serve = Some(val("--serve")?),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -83,6 +93,50 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+fn append_history(history: &str, line: &str) {
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history)
+        .and_then(|mut f| writeln!(f, "{line}"))
+    {
+        Ok(()) => println!("appended run to {history}"),
+        Err(e) => eprintln!("bench_check: warning: could not append {history}: {e}"),
+    }
+}
+
+/// `--serve` mode: validate a `BENCH_serve.json` report and append its
+/// history line. No baseline comparison — the figures are
+/// machine-bound; only self-contradiction fails.
+fn run_serve_mode(path: &str, args: &Args) {
+    let doc = match read_doc(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.append {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        append_history(&args.history, &serve_history_line(&doc, &git_rev(), secs));
+    }
+    let violations = validate_serve(&doc);
+    println!("bench_check: validating serve report {path}");
+    if violations.is_empty() {
+        println!("OK: serve report well-formed");
+        return;
+    }
+    eprintln!("FAIL: {} problem(s) in {path}:", violations.len());
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -91,6 +145,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(path) = &args.serve {
+        run_serve_mode(path, &args);
+        return;
+    }
     let current = match read_doc(&args.current) {
         Ok(d) => d,
         Err(e) => {
@@ -111,20 +169,7 @@ fn main() {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        let line = history_line(&current, &git_rev(), secs);
-        use std::io::Write;
-        match std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&args.history)
-            .and_then(|mut f| writeln!(f, "{line}"))
-        {
-            Ok(()) => println!("appended run to {}", args.history),
-            Err(e) => eprintln!(
-                "bench_check: warning: could not append {}: {e}",
-                args.history
-            ),
-        }
+        append_history(&args.history, &history_line(&current, &git_rev(), secs));
     }
 
     let current = match args.inject {

@@ -1,0 +1,197 @@
+//! Emits `BENCH_serve.json`: throughput and latency figures for the
+//! `lip_serve` front end, cold vs warm.
+//!
+//! Both legs drive the same stencil kernel through a freshly spawned
+//! in-process server with several concurrent TCP clients:
+//!
+//! - **cold** — every request submits a distinct program (unique
+//!   subroutine name), so each one pays the full parse + analyze
+//!   pipeline before executing;
+//! - **warm** — every request submits byte-identical source, so after
+//!   the first the shard's parse and analysis caches hit and the
+//!   request goes straight to execution.
+//!
+//! The warm/cold throughput ratio is the amortization the
+//! analysis-as-a-service design exists to sell; the ROADMAP tracks it.
+//! Latency quantiles are exact (client-side, sorted), not histogram
+//! buckets. `LIP_BENCH_MS` scales the request count the same way it
+//! scales the other benches' sample budgets.
+//!
+//! ```sh
+//! cargo run --release -p lip_bench --bin bench_serve   # writes ./BENCH_serve.json
+//! LIP_BENCH_MS=20 cargo run --release -p lip_bench --bin bench_serve
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lip_obs::json::Json;
+use lip_serve::protocol::Client;
+use lip_serve::{ServeConfig, Server};
+
+/// Schema version of `BENCH_serve.json`.
+const SCHEMA_VERSION: u32 = 1;
+const CLIENTS: usize = 4;
+const KERNEL_N: usize = 64;
+
+fn budget_ms() -> u64 {
+    std::env::var("LIP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200)
+        .max(1)
+}
+
+/// The stencil kernel under a caller-chosen subroutine name (unique
+/// names are what makes the cold leg cold).
+fn program(sub: &str) -> String {
+    format!(
+        "\nSUBROUTINE {sub}(UNEW, U, V, N)\n  DIMENSION UNEW(*), U(*), V(*)\n  INTEGER i, N\n  \
+         DO sweep i = 1, N\n    UNEW(i) = 0.25 * (U(i) + V(i)) + 0.5 * U(i)\n  ENDDO\nEND\n"
+    )
+}
+
+fn request(sub: &str) -> String {
+    let n = KERNEL_N;
+    let data: Vec<String> = (0..n).map(|i| format!("{}", (i % 11) as f64)).collect();
+    let data = data.join(", ");
+    format!(
+        "{{\"type\": \"run\", \"program\": {}, \"sub\": \"{sub}\", \"loop\": \"sweep\", \
+         \"frame\": {{\"scalars\": {{\"N\": {n}}}, \"arrays\": {{\"UNEW\": {{\"len\": {n}}}, \
+         \"U\": {{\"data\": [{data}]}}, \"V\": {{\"data\": [{data}]}}}}}}, \
+         \"results\": [\"UNEW\"]}}",
+        lip_obs::json_str(&program(sub)),
+    )
+}
+
+struct Leg {
+    name: &'static str,
+    requests: usize,
+    wall_ns: f64,
+    throughput_rps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    cache_hit_rate: f64,
+}
+
+/// Runs one leg against a fresh server; `payloads[i]` is request `i`'s
+/// body, dealt round-robin to the client threads.
+fn run_leg(name: &'static str, payloads: Vec<String>) -> Leg {
+    let requests = payloads.len();
+    let server = Server::spawn(ServeConfig::default()).expect("bind server");
+    let addr = server.addr();
+    let mut per_client: Vec<Vec<String>> = (0..CLIENTS).map(|_| Vec::new()).collect();
+    for (i, p) in payloads.into_iter().enumerate() {
+        per_client[i % CLIENTS].push(p);
+    }
+
+    let started = Instant::now();
+    let handles: Vec<_> = per_client
+        .into_iter()
+        .map(|mine| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(mine.len());
+                for payload in &mine {
+                    let t = Instant::now();
+                    let reply = client.call(payload).expect("round trip");
+                    lat.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(
+                        reply.get("type").and_then(Json::as_str),
+                        Some("ok"),
+                        "bench request failed: {reply:?}"
+                    );
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall_ns = started.elapsed().as_nanos() as f64;
+
+    let mut probe = Client::connect(addr).expect("connect");
+    let stats = probe.call("{\"type\": \"stats\"}").expect("stats");
+    let cache_hit_rate = stats
+        .get("cache_hit_rate")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let quant = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
+    Leg {
+        name,
+        requests,
+        wall_ns,
+        throughput_rps: requests as f64 / (wall_ns / 1e9),
+        p50_ns: quant(0.50),
+        p99_ns: quant(0.99),
+        cache_hit_rate,
+    }
+}
+
+fn leg_json(leg: &Leg) -> String {
+    format!(
+        "{{\"leg\": \"{}\", \"requests\": {}, \"wall_ns\": {:.0}, \
+         \"throughput_rps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"cache_hit_rate\": {:.4}}}",
+        leg.name,
+        leg.requests,
+        leg.wall_ns,
+        leg.throughput_rps,
+        leg.p50_ns,
+        leg.p99_ns,
+        leg.cache_hit_rate
+    )
+}
+
+fn main() {
+    let ms = budget_ms();
+    let requests = (ms as usize).clamp(16, 256);
+
+    let cold_payloads: Vec<String> = (0..requests)
+        .map(|i| request(&format!("calc{i}")))
+        .collect();
+    let cold = run_leg("cold", cold_payloads);
+    let warm_payloads: Vec<String> = (0..requests).map(|_| request("calc")).collect();
+    let warm = run_leg("warm", warm_payloads);
+
+    let ratio = warm.throughput_rps / cold.throughput_rps;
+    for leg in [&cold, &warm] {
+        println!(
+            "{:>4}: {} requests in {:.2} ms — {:.0} req/s, p50 {:.1} µs, p99 {:.1} µs, \
+             cache hit rate {:.2}",
+            leg.name,
+            leg.requests,
+            leg.wall_ns / 1e6,
+            leg.throughput_rps,
+            leg.p50_ns as f64 / 1e3,
+            leg.p99_ns as f64 / 1e3,
+            leg.cache_hit_rate
+        );
+    }
+    println!("warm/cold throughput: {ratio:.2}x");
+
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(
+        out,
+        "  \"meta\": {{\"schema_version\": {SCHEMA_VERSION}, \"bench\": \"serve\", \
+         \"pool\": {}, \"clients\": {CLIENTS}, \"requests_per_leg\": {requests}, \
+         \"kernel_n\": {KERNEL_N}, \"sample_budget_ms\": {ms}}},",
+        ServeConfig::default().pool
+    )
+    .unwrap();
+    writeln!(out, "  \"legs\": [").unwrap();
+    writeln!(out, "    {},", leg_json(&cold)).unwrap();
+    writeln!(out, "    {}", leg_json(&warm)).unwrap();
+    writeln!(out, "  ],").unwrap();
+    writeln!(out, "  \"warm_over_cold_throughput\": {ratio:.3}").unwrap();
+    writeln!(out, "}}").unwrap();
+
+    Json::parse(&out).expect("emitted report must be valid JSON");
+    std::fs::write("BENCH_serve.json", &out).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

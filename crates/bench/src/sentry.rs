@@ -313,6 +313,83 @@ fn check_fission(current: &Json, baseline: &Json, tol: &Tolerances, v: &mut Vec<
     );
 }
 
+/// Sanity-validates a `BENCH_serve.json` document (schema v1): the
+/// `meta` block names the serve bench, both legs are present with
+/// positive throughput and ordered quantiles, cache-hit rates are
+/// rates, and the warm leg is not slower than the cold leg it is
+/// supposed to amortize. There is no baseline comparison — serve
+/// throughput is machine-bound — so every violation here is a malformed
+/// or self-contradictory report, and strict.
+pub fn validate_serve(doc: &Json) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if doc.path(&["meta", "bench"]).and_then(Json::as_str) != Some("serve") {
+        strict(
+            &mut v,
+            "meta",
+            "missing `\"bench\": \"serve\"` marker".into(),
+        );
+    }
+    let legs = doc.get("legs").and_then(Json::as_arr).unwrap_or(&[]);
+    for name in ["cold", "warm"] {
+        let Some(leg) = legs
+            .iter()
+            .find(|l| l.get("leg").and_then(Json::as_str) == Some(name))
+        else {
+            strict(&mut v, name, "leg missing from report".into());
+            continue;
+        };
+        let num = |k: &str| leg.get(k).and_then(Json::as_f64);
+        match num("throughput_rps") {
+            Some(t) if t > 0.0 => {}
+            other => strict(
+                &mut v,
+                name,
+                format!("throughput_rps not positive: {other:?}"),
+            ),
+        }
+        match (num("p50_ns"), num("p99_ns")) {
+            (Some(p50), Some(p99)) if p50 <= p99 => {}
+            other => strict(
+                &mut v,
+                name,
+                format!("p50/p99 missing or inverted: {other:?}"),
+            ),
+        }
+        match num("cache_hit_rate") {
+            Some(r) if (0.0..=1.0).contains(&r) => {}
+            other => strict(
+                &mut v,
+                name,
+                format!("cache_hit_rate not a rate: {other:?}"),
+            ),
+        }
+    }
+    match doc.get("warm_over_cold_throughput").and_then(Json::as_f64) {
+        Some(r) if r >= 1.0 => {}
+        Some(r) => strict(
+            &mut v,
+            "warm_over_cold_throughput",
+            format!("warm leg slower than cold ({r:.3}x) — caching amortizes nothing"),
+        ),
+        None => strict(&mut v, "warm_over_cold_throughput", "field missing".into()),
+    }
+    v
+}
+
+/// One `BENCH_history.jsonl` line for a serve run: git revision, the
+/// `meta` block verbatim, both legs verbatim, and the warm/cold ratio.
+/// Distinguished from `bench_vm` lines by `"bench": "serve"`.
+pub fn serve_history_line(doc: &Json, rev: &str, unix_secs: u64) -> String {
+    format!(
+        "{{\"rev\": \"{}\", \"unix_secs\": {unix_secs}, \"bench\": \"serve\", \"meta\": {}, \
+         \"legs\": {}, \"warm_over_cold_throughput\": {}}}",
+        rev.replace('"', ""),
+        render_json(doc.get("meta").unwrap_or(&Json::Null)),
+        render_json(doc.get("legs").unwrap_or(&Json::Null)),
+        render_json(doc.get("warm_over_cold_throughput").unwrap_or(&Json::Null)),
+    )
+}
+
 /// Returns `doc` with every number stored under a `*wall_ns` key
 /// multiplied by `factor` — the artificial-regression hook behind
 /// `bench_check --inject-wall`, used by CI to prove the gate trips.
@@ -542,6 +619,56 @@ mod tests {
         let cur = Json::parse(r#"{"meta": {"schema_version": 2, "nthreads": 1, "backend": "bytecode", "pred": "Compiled", "opt_level": "Fuse", "fission": true}}"#).unwrap();
         let v = compare(&cur, &base, &Tolerances::default());
         assert!(v.iter().any(|x| x.detail.contains("missing")));
+    }
+
+    fn serve_doc(ratio: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "meta": {{"schema_version": 1, "bench": "serve", "pool": 4, "clients": 4, "requests_per_leg": 64, "kernel_n": 64, "sample_budget_ms": 200}},
+              "legs": [
+                {{"leg": "cold", "requests": 64, "wall_ns": 90000000, "throughput_rps": 711.0, "p50_ns": 5000000, "p99_ns": 9000000, "cache_hit_rate": 0.0}},
+                {{"leg": "warm", "requests": 64, "wall_ns": 30000000, "throughput_rps": 2133.0, "p50_ns": 1500000, "p99_ns": 4000000, "cache_hit_rate": 0.9844}}
+              ],
+              "warm_over_cold_throughput": {ratio:.3}
+            }}"#
+        ))
+        .expect("serve doc parses")
+    }
+
+    #[test]
+    fn well_formed_serve_report_validates() {
+        assert!(validate_serve(&serve_doc(3.0)).is_empty());
+    }
+
+    #[test]
+    fn serve_validation_catches_missing_legs_and_inverted_ratio() {
+        let v = validate_serve(&serve_doc(0.8));
+        assert!(v
+            .iter()
+            .any(|x| x.detail.contains("warm leg slower than cold")));
+        let empty = Json::parse(r#"{"meta": {"bench": "vm"}}"#).unwrap();
+        let v = validate_serve(&empty);
+        assert!(v.iter().any(|x| x.what == "meta"));
+        assert!(v.iter().any(|x| x.what == "cold"));
+        assert!(v.iter().any(|x| x.what == "warm"));
+    }
+
+    #[test]
+    fn serve_history_line_is_one_parseable_json_line() {
+        let line = serve_history_line(&serve_doc(3.0), "abc1234", 1_700_000_000);
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).expect("history line parses");
+        assert_eq!(parsed.get("bench").and_then(Json::as_str), Some("serve"));
+        assert_eq!(
+            parsed.get("legs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("warm_over_cold_throughput")
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
     }
 
     #[test]

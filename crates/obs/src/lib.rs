@@ -419,6 +419,28 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (`0.0 ≤ q ≤ 1.0`), or `None` for an empty
+    /// histogram. Power-of-two buckets make this an upper estimate
+    /// within 2× of the true latency — good enough for the p50/p99
+    /// the serve stats and bench report.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(*upper);
+            }
+        }
+        self.buckets.last().map(|(upper, _)| *upper)
+    }
+}
+
 /// A frozen, serializable copy of a [`Metrics`] registry — what
 /// `Session::metrics()` returns and what `lip_serve` will report.
 #[derive(Clone, Debug, Default)]
@@ -772,7 +794,11 @@ fn stage_json(s: &StageReport) -> String {
     )
 }
 
-pub(crate) fn json_str(s: &str) -> String {
+/// Escapes `s` as a JSON string literal (quotes included) — the
+/// workspace's hand-rolled emitters (`MetricsSnapshot::to_json`, the
+/// trace export, the `lip_serve` wire protocol) all share this one
+/// escaper so their output stays parseable by [`json::Json::parse`].
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -1039,6 +1065,29 @@ mod tests {
         assert_eq!(Histogram::bucket_of(2), 2);
         assert_eq!(Histogram::bucket_of(1024), 11);
         assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_pick_bucket_upper_bounds() {
+        let obs = Obs::with_level(ObsLevel::Metrics);
+        for _ in 0..98 {
+            obs.record_ns("lat", 3); // bucket le 4
+        }
+        obs.record_ns("lat", 1000); // bucket le 1024
+        obs.record_ns("lat", 100_000); // bucket le 131072
+        let snap = obs.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(0.99), Some(1024));
+        assert_eq!(h.quantile(1.0), Some(131_072));
+        assert_eq!(h.quantile(0.0), Some(4));
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            count: 0,
+            sum_ns: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

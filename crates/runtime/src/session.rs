@@ -190,6 +190,28 @@ impl SessionConfig {
         }
         Ok(())
     }
+
+    /// A stable rendering of every field that changes which warm
+    /// [`Session`] can serve a request — the shard key a session pool
+    /// (`lip_serve`) buckets by. Two configs with equal shard keys are
+    /// interchangeable: same backend, opt level, predicate engine,
+    /// pool width, fork threshold, spawn cost, fission setting and
+    /// observability level. The analysis options are not rendered: the
+    /// serve layer constructs sessions only from the wire-configurable
+    /// fields, which this key covers completely.
+    pub fn shard_key(&self) -> String {
+        format!(
+            "backend={} opt={} pred={} nthreads={} par_min={} spawn_cost={} fission={} obs={}",
+            self.backend,
+            self.opt_level,
+            self.pred,
+            self.nthreads,
+            self.par_min,
+            self.spawn_cost,
+            if self.fission { "on" } else { "off" },
+            self.obs,
+        )
+    }
 }
 
 fn parse_switch(value: &str) -> Result<bool, String> {
@@ -814,6 +836,31 @@ mod tests {
         let off = Session::default();
         assert!(!off.obs().enabled());
         assert!(off.metrics().counters.is_empty());
+    }
+
+    #[test]
+    fn shard_key_separates_configs_that_differ() {
+        let base = SessionConfig::default();
+        let mut other = base.clone();
+        assert_eq!(base.shard_key(), other.shard_key());
+        other.backend = Backend::Bytecode;
+        assert_ne!(base.shard_key(), other.shard_key());
+        let mut fission_off = base.clone();
+        fission_off.fission = false;
+        assert_ne!(base.shard_key(), fission_off.shard_key());
+        // The key renders every wire-configurable field by name.
+        for field in [
+            "backend=",
+            "opt=",
+            "pred=",
+            "nthreads=",
+            "par_min=",
+            "spawn_cost=",
+            "fission=",
+            "obs=",
+        ] {
+            assert!(base.shard_key().contains(field), "{}", base.shard_key());
+        }
     }
 
     #[test]

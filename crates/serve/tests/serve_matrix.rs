@@ -1,0 +1,532 @@
+//! End-to-end matrix for the `lip_serve` front end.
+//!
+//! The load-bearing leg drives ≥ 8 concurrent clients with
+//! heterogeneous session configurations and checks every response
+//! bit-identical to a direct in-process [`Session`] run of the same
+//! kernel under the same configuration — outputs *and* work-unit
+//! counts. The rest of the matrix covers graceful overload, queue
+//! deadlines, worker panics, malformed frames and the incremental
+//! re-analysis counters.
+
+use lip_ir::{parse_program, ArrayBuf, ArrayView, Machine, Store, Value};
+use lip_obs::json::Json;
+use lip_runtime::Session;
+use lip_serve::config::session_config_from_pairs;
+use lip_serve::protocol::Client;
+use lip_serve::{ServeConfig, Server};
+use lip_symbolic::sym;
+
+const STENCIL: &str = "
+SUBROUTINE calc(UNEW, U, V, N)
+  DIMENSION UNEW(*), U(*), V(*)
+  INTEGER i, N
+  DO sweep i = 1, N
+    UNEW(i) = 0.25 * (U(i) + V(i)) + 0.5 * U(i)
+  ENDDO
+END
+";
+
+const REDUCE: &str = "
+SUBROUTINE dotp(S, U, V, N)
+  DIMENSION U(*), V(*)
+  INTEGER i, N
+  DO accum i = 1, N
+    S = S + U(i) * V(i)
+  ENDDO
+END
+";
+
+struct Kernel {
+    program: &'static str,
+    sub: &'static str,
+    label: &'static str,
+    result: &'static str,
+    result_is_array: bool,
+}
+
+const STENCIL_KERNEL: Kernel = Kernel {
+    program: STENCIL,
+    sub: "calc",
+    label: "sweep",
+    result: "UNEW",
+    result_is_array: true,
+};
+
+const REDUCE_KERNEL: Kernel = Kernel {
+    program: REDUCE,
+    sub: "dotp",
+    label: "accum",
+    result: "S",
+    result_is_array: false,
+};
+
+fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    (
+        (0..n).map(|i| (i as f64) * 0.5).collect(),
+        (0..n).map(|i| ((i % 7) as f64) - 3.0).collect(),
+    )
+}
+
+fn num_list(xs: &[f64]) -> String {
+    let parts: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
+    parts.join(", ")
+}
+
+fn config_json(pairs: &[(&str, &str)]) -> String {
+    let parts: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": \"{v}\""))
+        .collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+fn run_json(kernel: &Kernel, pairs: &[(&str, &str)], n: usize) -> String {
+    let (u, v) = inputs(n);
+    let out_binding = if kernel.result_is_array {
+        format!(
+            "\"arrays\": {{\"{}\": {{\"len\": {n}}}, \"U\": {{\"data\": [{}]}}, \
+             \"V\": {{\"data\": [{}]}}}}",
+            kernel.result,
+            num_list(&u),
+            num_list(&v)
+        )
+    } else {
+        format!(
+            "\"arrays\": {{\"U\": {{\"data\": [{}]}}, \"V\": {{\"data\": [{}]}}}}",
+            num_list(&u),
+            num_list(&v)
+        )
+    };
+    let scalars = if kernel.result_is_array {
+        format!("{{\"N\": {n}}}")
+    } else {
+        format!("{{\"N\": {n}, \"{}\": 0}}", kernel.result)
+    };
+    format!(
+        "{{\"type\": \"run\", \"program\": {}, \"sub\": \"{}\", \"loop\": \"{}\", \
+         \"config\": {}, \"frame\": {{\"scalars\": {scalars}, {out_binding}}}, \
+         \"results\": [\"{}\"]}}",
+        lip_obs::json_str(kernel.program),
+        kernel.sub,
+        kernel.label,
+        config_json(pairs),
+        kernel.result,
+    )
+}
+
+/// What a direct, in-process session produces for the same kernel,
+/// configuration and inputs.
+struct Direct {
+    outcome: String,
+    test_units: u64,
+    loop_units: u64,
+    result: Vec<f64>,
+}
+
+fn run_direct(kernel: &Kernel, pairs: &[(&str, &str)], n: usize) -> Direct {
+    let owned: Vec<(String, String)> = pairs
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    let cfg = session_config_from_pairs(&owned).expect("valid config");
+    let session = Session::builder().config(cfg).build();
+    let prog = parse_program(kernel.program).expect("kernel parses");
+    let machine = Machine::new(prog);
+    let sub_sym = sym(kernel.sub);
+    let program = machine.program();
+    let subr = program
+        .units
+        .iter()
+        .find(|u| u.name == sub_sym)
+        .expect("sub exists");
+    let target = subr.find_loop(kernel.label).expect("loop exists");
+    let analysis = session
+        .analyze(program, sub_sym, kernel.label)
+        .expect("analyzable");
+
+    let (u, v) = inputs(n);
+    let mut store = Store::new();
+    store.set_scalar(sym("N"), Value::Int(n as i64));
+    bind(&mut store, "U", &u);
+    bind(&mut store, "V", &v);
+    if kernel.result_is_array {
+        bind(&mut store, kernel.result, &vec![0.0; n]);
+    } else {
+        store.set_scalar(sym(kernel.result), Value::Real(0.0));
+    }
+    let stats = session
+        .run_loop(&machine, subr, target, &analysis, &mut store)
+        .expect("runs");
+    let result = if kernel.result_is_array {
+        let view = store.array(sym(kernel.result)).expect("bound");
+        (0..view.buf.len())
+            .map(|i| match view.buf.get(i) {
+                Value::Real(r) => r,
+                Value::Int(i) => i as f64,
+            })
+            .collect()
+    } else {
+        match store.scalar(sym(kernel.result)).expect("bound") {
+            Value::Real(r) => vec![r],
+            Value::Int(i) => vec![i as f64],
+        }
+    };
+    Direct {
+        outcome: format!("{:?}", stats.outcome),
+        test_units: stats.test_units,
+        loop_units: stats.loop_units,
+        result,
+    }
+}
+
+fn bind(store: &mut Store, name: &str, data: &[f64]) {
+    store.bind_array(
+        sym(name),
+        ArrayView {
+            buf: ArrayBuf::from_f64(data),
+            offset: 0,
+            extents: vec![data.len() as i64],
+        },
+    );
+}
+
+fn reply_result(reply: &Json, kernel: &Kernel) -> Vec<f64> {
+    if kernel.result_is_array {
+        reply
+            .path(&["results", kernel.result, "data"])
+            .and_then(Json::as_arr)
+            .expect("result data")
+            .iter()
+            .map(|v| v.as_f64().expect("numeric"))
+            .collect()
+    } else {
+        vec![reply
+            .path(&["results", kernel.result, "value"])
+            .and_then(Json::as_f64)
+            .expect("result value")]
+    }
+}
+
+/// ≥ 8 concurrent clients, heterogeneous configs, each response
+/// bit-identical (outputs and work units) to a direct session run.
+#[test]
+fn concurrent_heterogeneous_clients_match_direct_sessions() {
+    let configs: [&[(&str, &str)]; 8] = [
+        &[],
+        &[("backend", "bytecode")],
+        &[("backend", "bytecode"), ("opt", "none")],
+        &[("pred", "compiled")],
+        &[("nthreads", "2")],
+        &[("par_min", "8"), ("nthreads", "2")],
+        &[("fission", "off")],
+        &[("backend", "bytecode"), ("nthreads", "2"), ("par_min", "4")],
+    ];
+    let server = Server::spawn(ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    let mut handles = Vec::new();
+    for (c, pairs) in configs.iter().enumerate() {
+        let pairs: Vec<(&str, &str)> = pairs.to_vec();
+        handles.push(std::thread::spawn(move || {
+            let kernel = if c % 2 == 0 {
+                &STENCIL_KERNEL
+            } else {
+                &REDUCE_KERNEL
+            };
+            let n = 48 + 8 * c;
+            let expected = run_direct(kernel, &pairs, n);
+            let mut client = Client::connect(addr).expect("connect");
+            let payload = run_json(kernel, &pairs, n);
+            for round in 0..3 {
+                let reply = client.call(&payload).expect("round trip");
+                assert_eq!(
+                    reply.get("type").and_then(Json::as_str),
+                    Some("ok"),
+                    "client {c} round {round}: {reply:?}"
+                );
+                assert_eq!(
+                    reply.get("outcome").and_then(Json::as_str),
+                    Some(expected.outcome.as_str()),
+                    "client {c} outcome"
+                );
+                assert_eq!(
+                    reply.get("test_units").and_then(Json::as_u64),
+                    Some(expected.test_units),
+                    "client {c} test units"
+                );
+                assert_eq!(
+                    reply.get("loop_units").and_then(Json::as_u64),
+                    Some(expected.loop_units),
+                    "client {c} loop units"
+                );
+                let got = reply_result(&reply, kernel);
+                assert_eq!(got, expected.result, "client {c} round {round} results");
+                // Round 0 may be the shard's first sight of the
+                // program; by round 2 both caches must be warm.
+                if round == 2 {
+                    assert_eq!(
+                        reply.get("cache").and_then(Json::as_str),
+                        Some("hit"),
+                        "client {c} analysis cache"
+                    );
+                    assert_eq!(
+                        reply.get("program_cache").and_then(Json::as_str),
+                        Some("hit"),
+                        "client {c} parse cache"
+                    );
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // The stats roll-up has seen hits and misses from the matrix.
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.call("{\"type\": \"stats\"}").expect("stats");
+    let rate = stats
+        .get("cache_hit_rate")
+        .and_then(Json::as_f64)
+        .expect("hit rate present");
+    assert!(
+        rate > 0.5,
+        "24 requests over 8 loops must mostly hit: {rate}"
+    );
+    let sessions = stats
+        .get("sessions")
+        .and_then(Json::as_arr)
+        .expect("sessions");
+    assert!(
+        sessions.len() >= 4,
+        "heterogeneous configs make distinct shards: {}",
+        sessions.len()
+    );
+    server.shutdown();
+}
+
+/// Overload never hangs: excess traffic gets explicit `overloaded`
+/// responses while admitted work completes.
+#[test]
+fn overload_degrades_to_explicit_rejections() {
+    let cfg = ServeConfig {
+        pool: 1,
+        queue: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(cfg).expect("bind");
+    let addr = server.addr();
+
+    // Occupy the single worker...
+    let holder = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.call("{\"type\": \"burn\", \"ms\": 400}").expect("burn")
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // ...then stampede it. Queue capacity 2 with one slot held: some
+    // must be rejected, every thread must get *a* response.
+    let mut stampede = Vec::new();
+    for _ in 0..5 {
+        stampede.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let reply = c.call("{\"type\": \"burn\", \"ms\": 1}").expect("reply");
+            reply.get("type").and_then(Json::as_str) == Some("ok")
+        }));
+    }
+    let outcomes: Vec<bool> = stampede
+        .into_iter()
+        .map(|h| h.join().expect("no deadlock, no panic"))
+        .collect();
+    assert!(outcomes.iter().any(|ok| !ok), "queue of 2 cannot admit 5");
+    let held = holder.join().expect("holder");
+    assert_eq!(held.get("type").and_then(Json::as_str), Some("ok"));
+
+    // The work-unit budget rejects deterministically and alone.
+    let tight = Server::spawn(ServeConfig {
+        budget: 100,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut c = Client::connect(tight.addr()).expect("connect");
+    let over = c
+        .call("{\"type\": \"burn\", \"ms\": 0, \"cost\": 150}")
+        .expect("reply");
+    assert_eq!(over.get("code").and_then(Json::as_str), Some("overloaded"));
+    let fits = c
+        .call("{\"type\": \"burn\", \"ms\": 0, \"cost\": 100}")
+        .expect("reply");
+    assert_eq!(fits.get("type").and_then(Json::as_str), Some("ok"));
+    tight.shutdown();
+    server.shutdown();
+}
+
+/// A `deadline_ms: 0` request has expired by the time a worker
+/// dequeues it — the deterministic probe for queue-wait deadlines.
+#[test]
+fn expired_deadlines_are_rejected_from_the_queue() {
+    let server = Server::spawn(ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut payload = run_json(&STENCIL_KERNEL, &[], 8);
+    payload.truncate(payload.len() - 1);
+    payload.push_str(", \"deadline_ms\": 0}");
+    let reply = client.call(&payload).expect("reply");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("deadline"));
+    // The reservation was released; normal traffic proceeds.
+    let ok = client
+        .call(&run_json(&STENCIL_KERNEL, &[], 8))
+        .expect("reply");
+    assert_eq!(ok.get("type").and_then(Json::as_str), Some("ok"));
+    server.shutdown();
+}
+
+/// Worker panics are caught: the client gets `worker_panic`, the
+/// counter ticks, and the server keeps serving.
+#[test]
+fn worker_panics_are_nonfatal() {
+    let server = Server::spawn(ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let crash = client.call("{\"type\": \"crash\"}").expect("reply");
+    assert_eq!(
+        crash.get("code").and_then(Json::as_str),
+        Some("worker_panic")
+    );
+    let ok = client
+        .call(&run_json(&STENCIL_KERNEL, &[], 16))
+        .expect("server survived");
+    assert_eq!(ok.get("type").and_then(Json::as_str), Some("ok"));
+    let stats = client.call("{\"type\": \"stats\"}").expect("stats");
+    let panics = stats
+        .path(&["server", "counters", "server.worker_panic"])
+        .and_then(Json::as_u64);
+    assert_eq!(panics, Some(1));
+    server.shutdown();
+}
+
+/// Malformed frames and payloads: errors, never hangs or crashes.
+#[test]
+fn malformed_frames_and_payloads_are_survivable() {
+    let server = Server::spawn(ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+
+    // Unparseable and structurally bad JSON payloads in valid frames.
+    let mut client = Client::connect(addr).expect("connect");
+    for bad in [
+        "",
+        "{",
+        "[1,",
+        "{\"a\" 1}",
+        "tru",
+        "1 2",
+        "\"unterminated",
+        "{\"a\":}",
+        "[,]",
+        "nan",
+    ] {
+        let reply = client.call(bad).expect("framed garbage gets a reply");
+        assert_eq!(
+            reply.get("code").and_then(Json::as_str),
+            Some("parse_error"),
+            "{bad:?}"
+        );
+    }
+    for bad in ["null", "{}", "{\"type\": \"nope\"}", "{\"type\": \"run\"}"] {
+        let reply = client.call(bad).expect("reply");
+        assert_eq!(
+            reply.get("code").and_then(Json::as_str),
+            Some("bad_request"),
+            "{bad:?}"
+        );
+    }
+
+    // A non-UTF-8 payload is answered and the connection stays usable.
+    client
+        .send_raw(&[0, 0, 0, 2, 0xff, 0xfe])
+        .expect("send raw");
+    let reply = client.read_reply().expect("bad_frame reply");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("bad_frame"));
+    let pong = client.call("{\"type\": \"ping\"}").expect("still alive");
+    assert_eq!(pong.get("type").and_then(Json::as_str), Some("pong"));
+
+    // An oversized length prefix is answered, then the connection is
+    // closed (it cannot be resynchronized).
+    let mut rogue = Client::connect(addr).expect("connect");
+    rogue.send_raw(&[0xff, 0xff, 0xff, 0xff]).expect("send raw");
+    let reply = rogue.read_reply().expect("bad_frame reply");
+    assert_eq!(reply.get("code").and_then(Json::as_str), Some("bad_frame"));
+    assert!(rogue.call("{\"type\": \"ping\"}").is_err(), "closed");
+
+    // Deterministic fuzz: raw byte blobs on fresh connections. The
+    // server may close those connections but must keep serving.
+    let mut seed: u64 = 0x5EED;
+    for _ in 0..16 {
+        let mut blob = Vec::with_capacity(33);
+        for _ in 0..33 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            blob.push((seed >> 33) as u8);
+        }
+        let mut fuzz = Client::connect(addr).expect("connect");
+        let _ = fuzz.send_raw(&blob);
+        // Drop without reading; the server thread unblocks on close.
+    }
+    let mut probe = Client::connect(addr).expect("connect");
+    let pong = probe
+        .call("{\"type\": \"ping\"}")
+        .expect("alive after fuzz");
+    assert_eq!(pong.get("type").and_then(Json::as_str), Some("pong"));
+    server.shutdown();
+}
+
+/// The incremental contract over the wire: byte-identical resubmission
+/// hits both caches, an AST-preserving edit re-parses but skips
+/// re-analysis, and `explain` proxies the trace-level decision report.
+#[test]
+fn incremental_reanalysis_and_explain_over_the_wire() {
+    let server = Server::spawn(ServeConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let pairs: [(&str, &str); 1] = [("obs", "trace")];
+    let payload = run_json(&STENCIL_KERNEL, &pairs, 32);
+
+    let first = client.call(&payload).expect("first");
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+    let second = client.call(&payload).expect("second");
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(
+        second.get("program_cache").and_then(Json::as_str),
+        Some("hit")
+    );
+    assert_eq!(second.get("results"), first.get("results"));
+
+    // Whitespace-only edit: new source bytes, same AST — the parse
+    // cache misses but the analysis cache still hits.
+    let kernel = Kernel {
+        program: STENCIL,
+        ..STENCIL_KERNEL
+    };
+    let mut edited = run_json(&kernel, &pairs, 32);
+    edited = edited.replace("SUBROUTINE calc", "\\n\\nSUBROUTINE calc");
+    let third = client.call(&edited).expect("third");
+    assert_eq!(
+        third.get("program_cache").and_then(Json::as_str),
+        Some("miss"),
+        "{third:?}"
+    );
+    assert_eq!(third.get("cache").and_then(Json::as_str), Some("hit"));
+
+    // The decision report for the loop ran at trace level on this
+    // shard; `explain` must proxy it.
+    let explain = client
+        .call(&format!(
+            "{{\"type\": \"explain\", \"loop\": \"sweep\", \"config\": {}}}",
+            config_json(&pairs)
+        ))
+        .expect("explain");
+    let report = explain
+        .get("explain")
+        .and_then(Json::as_str)
+        .expect("report text");
+    assert!(report.contains("sweep"), "{report}");
+    server.shutdown();
+}

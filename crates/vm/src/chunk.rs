@@ -289,6 +289,34 @@ pub enum Op {
         /// Value register.
         src: Reg,
     },
+    /// Fused register-indexed rank-1 read-modify-write through an
+    /// offset index expression:
+    /// `arr[idx_arr[scalars[idx_slot]] idx_op consts[idx_k]] op= consts[k]`
+    /// — the `F(J(i)+1) += c` statement shape of `index_reduction`-style
+    /// kernels. Replays the unfused stream's traced accesses exactly
+    /// (read `idx_arr`, read `arr`, read `idx_arr` again for the store
+    /// subscript, write `arr`); the second index temporary's register
+    /// write is elided (dead by stack discipline).
+    FusedElemUpdateE {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The value operator (`op=`).
+        op: BinOp,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Array slot of the updated array.
+        arr: u16,
+        /// Array slot of the index array.
+        idx_arr: u16,
+        /// Scalar slot holding the index array's subscript.
+        idx_slot: u16,
+        /// The index offset operator (`+` in `J(i)+1`).
+        idx_op: BinOp,
+        /// Constant-pool index of the index offset.
+        idx_k: u16,
+        /// Right operand constant-pool index of the value op.
+        k: u16,
+    },
     /// Fused `LoopTest + SetVarRaw`: test the loop bounds, and either
     /// publish the control register to the loop variable's scalar slot
     /// (continuing) or jump to `exit`.
@@ -336,6 +364,7 @@ impl Op {
                 | Op::ChargedLoadScalar { .. }
                 | Op::FusedLoadElemE { .. }
                 | Op::FusedStoreElemE { .. }
+                | Op::FusedElemUpdateE { .. }
                 | Op::LoopTestSet { .. }
                 | Op::LoopIncrJump { .. }
         )
@@ -646,6 +675,25 @@ impl Chunk {
                 self.array_name(*arr),
                 self.array_name(*idx_arr),
                 self.scalar_name(*idx_slot)
+            ),
+            Op::FusedElemUpdateE {
+                charge: c,
+                op,
+                dst,
+                arr,
+                idx_arr,
+                idx_slot,
+                idx_op,
+                idx_k,
+                k,
+            } => format!(
+                "{}{}[{}[{}] {idx_op:?} const[{idx_k}] {:?}] {op:?}= const[{k}] {:?} (r{dst})",
+                charge(c),
+                self.array_name(*arr),
+                self.array_name(*idx_arr),
+                self.scalar_name(*idx_slot),
+                self.consts[*idx_k as usize],
+                self.consts[*k as usize]
             ),
             Op::LoopTestSet {
                 i,

@@ -373,6 +373,27 @@ fn fold_charge(op: &Op, c: u32) -> Option<Op> {
             idx_slot,
             b_slot,
         }),
+        Op::FusedElemUpdateE {
+            charge: 0,
+            op,
+            dst,
+            arr,
+            idx_arr,
+            idx_slot,
+            idx_op,
+            idx_k,
+            k,
+        } => Some(Op::FusedElemUpdateE {
+            charge: c,
+            op,
+            dst,
+            arr,
+            idx_arr,
+            idx_slot,
+            idx_op,
+            idx_k,
+            k,
+        }),
         _ => None,
     }
 }
@@ -380,6 +401,88 @@ fn fold_charge(op: &Op, c: u32) -> Option<Op> {
 /// Matches the charge-less rewrite rules at the head of `rest`,
 /// longest window first.
 fn fuse_body(rest: &[Op]) -> Option<(Op, usize)> {
+    // The whole register-indexed read-modify-write statement,
+    // `F(J(i)+1) += c` (second level: pass one has already fused the
+    // index loads and constant bin-ops):
+    //   r = J[i]; r = r ⊕ k1; r = F[r]; r = r op c; r2 = J[i];
+    //   r2 = r2 ⊕ k1; F[r2] = r
+    // The two subscript computations must be structurally identical
+    // (same index array, slot, operator and constant) and nothing in
+    // the window writes, so one computation is exact; the VM arm still
+    // replays the second traced index-array read.
+    if let [Op::FusedLoadElemS {
+        charge,
+        dst: r,
+        arr: idx_arr,
+        idx_slot,
+    }, Op::FusedBinRK {
+        charge: 0,
+        op: idx_op,
+        dst: d1,
+        a: a1,
+        k: idx_k,
+    }, Op::LoadElem {
+        dst: d2,
+        arr,
+        base,
+        n: 1,
+    }, Op::FusedBinRK {
+        charge: 0,
+        op,
+        dst: d3,
+        a: a3,
+        k,
+    }, Op::FusedLoadElemS {
+        charge: 0,
+        dst: r2,
+        arr: idx_arr2,
+        idx_slot: idx_slot2,
+    }, Op::FusedBinRK {
+        charge: 0,
+        op: idx_op2,
+        dst: d4,
+        a: a4,
+        k: idx_k2,
+    }, Op::StoreElem {
+        arr: s_arr,
+        base: s_base,
+        n: 1,
+        src,
+    }, ..] = rest
+    {
+        if d1 == r
+            && a1 == r
+            && d2 == r
+            && base == r
+            && d3 == r
+            && a3 == r
+            && r2 != r
+            && idx_arr2 == idx_arr
+            && idx_slot2 == idx_slot
+            && d4 == r2
+            && a4 == r2
+            && idx_op2 == idx_op
+            && idx_k2 == idx_k
+            && s_arr == arr
+            && s_base == r2
+            && src == r
+        {
+            return Some((
+                Op::FusedElemUpdateE {
+                    charge: *charge,
+                    op: *op,
+                    dst: *r,
+                    arr: *arr,
+                    idx_arr: *idx_arr,
+                    idx_slot: *idx_slot,
+                    idx_op: *idx_op,
+                    idx_k: *idx_k,
+                    k: *k,
+                },
+                7,
+            ));
+        }
+    }
     // The whole rank-1 read-modify-write statement:
     //   r = idx; r = arr[r]; o = opnd; r = r op o; t = idx; arr[t] = r
     // with a constant or scalar operand. The subscript slot is read
@@ -769,6 +872,149 @@ END
             1
         );
         assert_differential(src);
+    }
+
+    #[test]
+    fn register_indexed_rmw_fuses_whole() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION F(16), J(8)
+  INTEGER i
+  DO i = 1, 8
+    J(i) = i
+  ENDDO
+  DO i = 1, 8
+    F(J(i) + 1) = F(J(i) + 1) + 0.25
+  ENDDO
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedElemUpdateE { charge, .. } if *charge > 0
+            )),
+            1,
+            "{:?}",
+            fused.ops
+        );
+        assert_differential(src);
+    }
+
+    /// The two subscript computations must be structurally identical —
+    /// differing constants read and write different elements, so the
+    /// statement must stay unfused.
+    #[test]
+    fn register_indexed_rmw_differing_index_does_not_fuse() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION F(16), J(8)
+  INTEGER i
+  DO i = 1, 8
+    J(i) = i
+  ENDDO
+  DO i = 1, 8
+    F(J(i) + 1) = F(J(i) + 2) + 0.25
+  ENDDO
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(op, Op::FusedElemUpdateE { .. })),
+            0,
+            "{:?}",
+            fused.ops
+        );
+        assert_differential(src);
+    }
+
+    /// An interior `Charge` in the register-indexed window is a
+    /// statement boundary: the window must not fuse across it (the
+    /// charge may fold into the op it precedes, but the 7-op collapse
+    /// is blocked).
+    #[test]
+    fn register_indexed_rmw_charge_boundary_blocks_fusion() {
+        let window = |boundary: Option<usize>| {
+            let mut ops = vec![
+                Op::FusedLoadElemS {
+                    charge: 3,
+                    dst: 0,
+                    arr: 1,
+                    idx_slot: 0,
+                },
+                Op::FusedBinRK {
+                    charge: 0,
+                    op: BinOp::Add,
+                    dst: 0,
+                    a: 0,
+                    k: 0,
+                },
+                Op::LoadElem {
+                    dst: 0,
+                    arr: 0,
+                    base: 0,
+                    n: 1,
+                },
+                Op::FusedBinRK {
+                    charge: 0,
+                    op: BinOp::Add,
+                    dst: 0,
+                    a: 0,
+                    k: 1,
+                },
+                Op::FusedLoadElemS {
+                    charge: 0,
+                    dst: 1,
+                    arr: 1,
+                    idx_slot: 0,
+                },
+                Op::FusedBinRK {
+                    charge: 0,
+                    op: BinOp::Add,
+                    dst: 1,
+                    a: 1,
+                    k: 0,
+                },
+                Op::StoreElem {
+                    arr: 0,
+                    base: 1,
+                    n: 1,
+                    src: 0,
+                },
+            ];
+            if let Some(at) = boundary {
+                ops.insert(at, Op::Charge(1));
+            }
+            let mut chunk = Chunk {
+                ops,
+                consts: vec![lip_ir::Value::Int(1), lip_ir::Value::Real(0.25)],
+                nregs: 4,
+                scalars: vec![(sym("i"), Ty::Int)],
+                arrays: vec![sym("F"), sym("J")],
+                calls: vec![],
+                reads: vec![],
+                fails: vec![],
+            };
+            optimize_chunk(&mut chunk);
+            chunk
+        };
+        let clean = window(None);
+        assert_eq!(
+            count(&clean, |op| matches!(
+                op,
+                Op::FusedElemUpdateE { charge: 3, .. }
+            )),
+            1,
+            "{:?}",
+            clean.ops
+        );
+        let split = window(Some(3));
+        assert_eq!(
+            count(&split, |op| matches!(op, Op::FusedElemUpdateE { .. })),
+            0,
+            "fused across a charge boundary: {:?}",
+            split.ops
+        );
     }
 
     #[test]

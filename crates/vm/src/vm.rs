@@ -783,6 +783,58 @@ impl<'p> Vm<'p> {
                     }
                     view.buf.set(abs as usize, v);
                 }
+                Op::FusedElemUpdateE {
+                    charge,
+                    op,
+                    dst,
+                    arr,
+                    idx_arr,
+                    idx_slot,
+                    idx_op,
+                    idx_k,
+                    k,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = {
+                        let (iname, ilin, iview) =
+                            Self::linearize_slot(chunk, frame, *idx_arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(iname, ilin);
+                        }
+                        let idx =
+                            apply_bin(*idx_op, iview.buf.get(ilin), chunk.consts[*idx_k as usize])
+                                .as_i64();
+                        let name = chunk.arrays[*arr as usize];
+                        let view = frame.arrays[*arr as usize]
+                            .as_ref()
+                            .ok_or(RunError::UnboundArray(name))?;
+                        let abs = view.offset as i64 + (idx - 1);
+                        if abs < 0 || abs as usize >= view.buf.len() {
+                            return Err(RunError::BadIndex(name));
+                        }
+                        if let Some(t) = tracer {
+                            t.read(name, abs as usize);
+                        }
+                        let v =
+                            apply_bin(*op, view.buf.get(abs as usize), chunk.consts[*k as usize]);
+                        // The unfused stream recomputes the subscript
+                        // for the store: a second traced index-array
+                        // read between the element read and the write
+                        // (nothing in the window writes, so neither the
+                        // index value nor the bounds outcome can differ).
+                        if let Some(t) = tracer {
+                            t.read(iname, ilin);
+                        }
+                        if let Some(t) = tracer {
+                            t.write(name, abs as usize);
+                        }
+                        view.buf.set(abs as usize, v);
+                        v
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
                 Op::LoopTestSet {
                     i,
                     hi,

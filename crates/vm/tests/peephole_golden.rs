@@ -128,25 +128,13 @@ fn index_reduction_fused_stream() {
   1  r1 = N
   2  r2 = const[0] Int(1)
   3  loop.init r0 to r1 by r2 (i)
-  4  loop.test-set r0 r1 r2 -> i, exit 23
+  4  loop.test-set r0 r1 r2 -> i, exit 11
   5  charge 13; r3 = F[J[i]]
   6  r3 = r3 Add const[1] Real(0.5)
   7  F[J[i]] = r3
-  8  charge 17; r3 = J[i]
-  9  r3 = r3 Add const[0] Int(1)
- 10  r3 = F[r3..+1]
- 11  r3 = r3 Add const[2] Real(0.25)
- 12  r4 = J[i]
- 13  r4 = r4 Add const[0] Int(1)
- 14  F[r4..+1] = r3
- 15  charge 17; r3 = J[i]
- 16  r3 = r3 Add const[3] Int(2)
- 17  r3 = F[r3..+1]
- 18  r3 = r3 Add const[2] Real(0.25)
- 19  r4 = J[i]
- 20  r4 = r4 Add const[3] Int(2)
- 21  F[r4..+1] = r3
- 22  r0 += r2; jump 4
+  8  charge 17; F[J[i] Add const[0] Int(1)] Add= const[2] Real(0.25) (r3)
+  9  charge 17; F[J[i] Add const[3] Int(2)] Add= const[2] Real(0.25) (r3)
+ 10  r0 += r2; jump 4
 "#,
     );
 }

@@ -1,0 +1,114 @@
+//! Serve: the analysis-as-a-service front end, end to end.
+//!
+//! ```sh
+//! cargo run --example serve
+//! ```
+//!
+//! Spawns an in-process `lip_serve` server, connects a TCP client, and
+//! walks the wire protocol: a `run` request (analyze + execute a
+//! stencil loop, cold), the identical request again (both the parse
+//! and the analysis cache hit — the incremental re-analysis path), an
+//! `explain` request proxying the trace-level decision report, and a
+//! `stats` request with the server's counters and latency quantiles.
+
+use lip::obs::json::Json;
+use lip::serve::protocol::Client;
+use lip::serve::{ServeConfig, Server};
+
+const PROGRAM: &str = "
+SUBROUTINE calc(UNEW, U, V, N)
+  DIMENSION UNEW(*), U(*), V(*)
+  INTEGER i, N
+  DO sweep i = 1, N
+    UNEW(i) = 0.25 * (U(i) + V(i)) + 0.5 * U(i)
+  ENDDO
+END
+";
+
+fn run_request() -> String {
+    let n = 8;
+    let data: Vec<String> = (0..n).map(|i| format!("{}.0", i)).collect();
+    let data = data.join(", ");
+    format!(
+        "{{\"type\": \"run\", \"program\": {}, \"sub\": \"calc\", \"loop\": \"sweep\", \
+         \"config\": {{\"obs\": \"trace\"}}, \
+         \"frame\": {{\"scalars\": {{\"N\": {n}}}, \"arrays\": {{\"UNEW\": {{\"len\": {n}}}, \
+         \"U\": {{\"data\": [{data}]}}, \"V\": {{\"data\": [{data}]}}}}}}, \
+         \"results\": [\"UNEW\"]}}",
+        lip::obs::json_str(PROGRAM),
+    )
+}
+
+fn main() {
+    // Port 0 binds an ephemeral port; production deployments set
+    // LIP_SERVE_ADDR / LIP_SERVE_POOL / LIP_SERVE_QUEUE /
+    // LIP_SERVE_BUDGET (strictly parsed, like every LIP_* knob).
+    let server = Server::spawn(ServeConfig::default()).expect("bind");
+    println!("serving on {}", server.addr());
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Cold: the shard parses and analyzes the program, then runs.
+    let first = client.call(&run_request()).expect("run");
+    println!(
+        "cold: outcome={} cache={} loop_units={}",
+        first.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+        first.get("cache").and_then(Json::as_str).unwrap_or("?"),
+        first.get("loop_units").and_then(Json::as_u64).unwrap_or(0),
+    );
+    let unew = first
+        .path(&["results", "UNEW", "data"])
+        .and_then(Json::as_arr)
+        .expect("results");
+    println!(
+        "      UNEW = [{}]",
+        unew.iter()
+            .map(|v| format!("{}", v.as_f64().unwrap_or(f64::NAN)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Warm: byte-identical resubmission — both caches hit, the
+    // request goes straight to execution.
+    let second = client.call(&run_request()).expect("rerun");
+    println!(
+        "warm: cache={} program_cache={}",
+        second.get("cache").and_then(Json::as_str).unwrap_or("?"),
+        second
+            .get("program_cache")
+            .and_then(Json::as_str)
+            .unwrap_or("?"),
+    );
+
+    // The decision report recorded at trace level, proxied.
+    let explain = client
+        .call("{\"type\": \"explain\", \"loop\": \"sweep\", \"config\": {\"obs\": \"trace\"}}")
+        .expect("explain");
+    let report = explain.get("explain").and_then(Json::as_str).unwrap_or("");
+    println!("\n--- explain(sweep) ---\n{report}");
+
+    // Server-side telemetry: counters, admission state, latency.
+    let stats = client.call("{\"type\": \"stats\"}").expect("stats");
+    println!(
+        "stats: requests={} cache_hit_rate={} p50_ns={} p99_ns={}",
+        stats
+            .path(&["server", "counters", "server.requests"])
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        stats
+            .get("cache_hit_rate")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        stats
+            .path(&["latency", "p50_ns"])
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        stats
+            .path(&["latency", "p99_ns"])
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+
+    server.shutdown();
+    println!("server drained and joined");
+}

@@ -18,6 +18,8 @@
 //! * [`analysis`] — summary construction and loop classification,
 //! * [`runtime`] — parallel executor, runtime tests, cost-model simulator,
 //! * [`obs`] — observability: metrics, decision tracing, `explain` reports,
+//! * [`serve`] — analysis-as-a-service: a multi-threaded TCP server with
+//!   warm session shards, admission control and incremental re-analysis,
 //! * [`suite`] — the PERFECT-CLUB / SPEC benchmark kernels.
 //!
 //! The configured entry point to the whole pipeline is [`Session`]
@@ -45,6 +47,7 @@ pub use lip_lmad as lmad;
 pub use lip_obs as obs;
 pub use lip_pred as pred;
 pub use lip_runtime as runtime;
+pub use lip_serve as serve;
 pub use lip_suite as suite;
 pub use lip_symbolic as symbolic;
 pub use lip_usr as usr;
