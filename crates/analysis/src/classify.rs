@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use lip_core::{build_cascade, complexity, ArrayExtent, Cascade, FactorConfig, Factorizer, Pdag};
-use lip_ir::{Program, Stmt, Subroutine};
+use lip_ir::{BinOp, Program, Stmt, Subroutine};
 use lip_symbolic::{BoolExpr, RangeEnv, Sym, SymExpr};
 use lip_usr::{
     flow_independence, output_independence, reshape, slv_equation, ReshapeConfig, Usr, UsrNode,
@@ -129,6 +129,9 @@ pub enum ArrayPlan {
     Reduction {
         /// Implementation flavor.
         kind: RedKind,
+        /// The (consistent) reduction operator — what per-thread
+        /// buffers must be merged with (`Lt`/`Gt` encode MIN/MAX).
+        op: BinOp,
         /// Optional independence cascade: when it passes, direct shared
         /// updates are safe (no buffers).
         cascade: Option<Cascade>,
@@ -511,6 +514,9 @@ fn classify(
                 *arr,
                 ArrayPlan::Reduction {
                     kind,
+                    // `all_reduction` implies at least one reduction
+                    // statement was summarized, so the op is present.
+                    op: facts.red_op.unwrap_or(BinOp::Add),
                     cascade: (!cascade.statically_true()).then_some(cascade),
                 },
             );
@@ -963,15 +969,67 @@ END
             "l1",
         );
         match &a.arrays[&sym("A")] {
-            ArrayPlan::Reduction { kind, cascade } => {
+            ArrayPlan::Reduction { kind, op, cascade } => {
                 // A(*) has unknown extent: BOUNDS-COMP flavor.
                 assert_eq!(*kind, RedKind::Bounds);
+                assert_eq!(*op, BinOp::Add);
                 // The monotonicity predicate over B should exist.
                 assert!(cascade.is_some());
             }
             other => panic!("expected reduction, got {other:?}"),
         }
         assert!(a.techniques.contains(&Technique::BoundsComp));
+    }
+
+    /// MIN/MAX reduction statements carry their operator onto the plan
+    /// (`Lt`/`Gt` encoding), so the executor merges buffers correctly.
+    #[test]
+    fn min_reduction_plan_carries_its_operator() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(*)
+  INTEGER B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = MIN(A(B(i)), 7.5)
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        match &a.arrays[&sym("A")] {
+            ArrayPlan::Reduction { op, .. } => assert_eq!(*op, BinOp::Lt),
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    /// Mixed operators on the same array are NOT a reduction: neither
+    /// op merges the other's partial results correctly, so the array
+    /// must fall out of the reduction classification entirely.
+    #[test]
+    fn mixed_operator_updates_are_not_a_reduction() {
+        let a = analyze(
+            "
+SUBROUTINE t(A, B, N)
+  DIMENSION A(*)
+  INTEGER B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = A(B(i)) + 1.0
+    A(B(i)) = A(B(i)) * 2.0
+  ENDDO
+END
+",
+            "t",
+            "l1",
+        );
+        assert!(
+            !matches!(&a.arrays[&sym("A")], ArrayPlan::Reduction { .. }),
+            "mixed-op array classified as reduction: {:?}",
+            a.arrays[&sym("A")]
+        );
     }
 
     #[test]

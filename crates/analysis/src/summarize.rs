@@ -48,19 +48,24 @@ impl Default for ArrayFacts {
 
 impl ArrayFacts {
     fn compose(&self, next: &ArrayFacts) -> ArrayFacts {
+        let (red_op, consistent) = merge_ops(self.red_op, next.red_op);
         ArrayFacts {
             summary: self.summary.compose(&next.summary),
-            all_reduction: self.all_reduction && next.all_reduction,
-            red_op: merge_ops(self.red_op, next.red_op),
+            all_reduction: self.all_reduction && next.all_reduction && consistent,
+            red_op,
         }
     }
 }
 
-fn merge_ops(a: Option<BinOp>, b: Option<BinOp>) -> Option<BinOp> {
+/// Merges two reduction-operator observations; the flag is false when
+/// they disagree. Mixed operators (`+=` in one statement, `*=` in
+/// another) mean the array is not a reduction at all — per-thread
+/// buffers merged with either operator would compute the wrong value —
+/// so every caller must drop `all_reduction` when the flag is false.
+fn merge_ops(a: Option<BinOp>, b: Option<BinOp>) -> (Option<BinOp>, bool) {
     match (a, b) {
-        (None, x) | (x, None) => x,
-        (Some(x), Some(y)) if x == y => Some(x),
-        _ => Some(BinOp::Add), // inconsistent; caller checks all_reduction
+        (None, x) | (x, None) => (x, true),
+        (Some(x), Some(y)) => (Some(x), x == y),
     }
 }
 
@@ -196,12 +201,13 @@ impl<'p> Summarizer<'p> {
                 for arr in keys {
                     let t = then_s.arrays.get(&arr).cloned().unwrap_or_default();
                     let e = else_s.arrays.get(&arr).cloned().unwrap_or_default();
+                    let (red_op, consistent) = merge_ops(t.red_op, e.red_op);
                     merged.arrays.insert(
                         arr,
                         ArrayFacts {
                             summary: Summary::branch(&g, &t.summary, &e.summary),
-                            all_reduction: t.all_reduction && e.all_reduction,
-                            red_op: merge_ops(t.red_op, e.red_op),
+                            all_reduction: t.all_reduction && e.all_reduction && consistent,
+                            red_op,
                         },
                     );
                 }
@@ -255,7 +261,9 @@ impl<'p> Summarizer<'p> {
                     // Reduction access: an atomic read-modify-write.
                     let f = arrays.entry(*arr).or_default();
                     f.summary = f.summary.compose(&Summary::read_write(set));
-                    f.red_op = merge_ops(f.red_op, Some(op));
+                    let (red_op, consistent) = merge_ops(f.red_op, Some(op));
+                    f.red_op = red_op;
+                    f.all_reduction &= consistent;
                 } else {
                     collect_expr_reads(sub, &env, rhs, &mut arrays);
                     for e in idx {

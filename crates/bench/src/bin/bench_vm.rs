@@ -1,7 +1,10 @@
 //! Emits `BENCH_vm.json`: wall-clock and work-unit figures for the hot
 //! suite kernels under both execution backends, unfused vs
 //! peephole-fused bytecode dispatch (`fused_results` — the
-//! superinstruction pass win, with op counts), per-kernel
+//! superinstruction pass win, with op counts), merge-phase timings for
+//! buffered reductions (`reduction_results` — the corrected
+//! element-wise boxed merge vs the typed flat-slice kernels the
+//! executor runs, per operator and element type), per-kernel
 //! predicate-evaluation timings for the O(N) cascade stages (tree-walk
 //! `Pdag::eval` vs the compiled `lip_pred` engine, sequential and
 //! chunk-parallel, with the index of the first failing stage),
@@ -27,7 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lip_analysis::{analyze_loop, AnalysisConfig};
-use lip_ir::{ExecState, StoreCtx};
+use lip_ir::{ArrayBuf, BinOp, ExecState, StoreCtx, Ty};
 use lip_obs::{NoopRecorder, ObsLevel};
 use lip_pred::{compile_pred, eval_compiled, EvalParams};
 use lip_runtime::{Backend, LoopJob, PredBackend, Session};
@@ -37,8 +40,9 @@ use lip_symbolic::sym;
 /// Schema version of `BENCH_vm.json` (bumped when blocks or fields
 /// change meaning: v2 added the `meta` and `obs_results` blocks and
 /// made `pred_results.failed_stage` nullable with a `passed_stage`
-/// companion).
-const SCHEMA_VERSION: u32 = 2;
+/// companion; v3 added the `reduction_results` merge-phase block —
+/// boxed element-wise vs typed flat-slice merge kernels).
+const SCHEMA_VERSION: u32 = 3;
 
 struct Row {
     kernel: &'static str,
@@ -220,6 +224,89 @@ fn measure_fused(shape: &'static KernelShape, n: usize) -> FusedRow {
         speedup_vs_unfused: best[0] / best[1],
         ops_unfused: unfused.nops,
         ops_fused: fused.nops,
+    }
+}
+
+struct ReductionRow {
+    kernel: String,
+    elems: usize,
+    op: &'static str,
+    ty: &'static str,
+    boxed_wall_ns: f64,
+    simd_wall_ns: f64,
+    speedup_vs_boxed: f64,
+}
+
+/// Times the merge phase of a buffered reduction — one thread's
+/// private buffer folded into the shared array — under the corrected
+/// element-wise boxed reference (`merge_into_boxed`, one
+/// `Value`-dispatch per element) vs the typed flat-slice kernel
+/// (`merge_into`, the path the executor runs). The private buffer is
+/// the operator's identity, so every iteration performs identical work
+/// while the shared values stay fixed; like the fusion rows the gap is
+/// tens of percent to integer factors, so the two legs are timed
+/// interleaved, best round each.
+fn measure_reduction_merge(ty: Ty, op: BinOp, elems: usize) -> ReductionRow {
+    use lip_runtime::{identity_buf, merge_into, merge_into_boxed};
+    let shared = match ty {
+        Ty::Int => ArrayBuf::from_i64(
+            &(0..elems)
+                .map(|k| (1i64 << 61) + k as i64)
+                .collect::<Vec<_>>(),
+        ),
+        Ty::Real => {
+            ArrayBuf::from_f64(&(0..elems).map(|k| k as f64 * 0.5 + 1.0).collect::<Vec<_>>())
+        }
+    };
+    let private = identity_buf(&shared, op);
+
+    let calib = Instant::now();
+    let mut calib_iters = 0u64;
+    while calib.elapsed() < Duration::from_millis(5) && calib_iters < 1_000 {
+        merge_into(&shared, &private, op);
+        calib_iters += 1;
+    }
+    let per_iter = calib.elapsed().as_secs_f64() / calib_iters as f64;
+    let rounds = 15u32;
+    let per_round = sample_budget().as_secs_f64() / f64::from(2 * rounds);
+    let iters = ((per_round / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..rounds {
+        let mut order = [0usize, 1];
+        if round % 2 == 1 {
+            order.swap(0, 1);
+        }
+        for slot in order {
+            let start = Instant::now();
+            for _ in 0..iters {
+                if slot == 0 {
+                    merge_into_boxed(&shared, &private, op);
+                } else {
+                    merge_into(&shared, &private, op);
+                }
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            best[slot] = best[slot].min(ns);
+        }
+    }
+    let op_name = match op {
+        BinOp::Mul => "mul",
+        BinOp::Lt => "min",
+        BinOp::Gt => "max",
+        _ => "add",
+    };
+    let ty_name = match ty {
+        Ty::Int => "int",
+        Ty::Real => "real",
+    };
+    ReductionRow {
+        kernel: format!("merge_{ty_name}_{op_name}"),
+        elems,
+        op: op_name,
+        ty: ty_name,
+        boxed_wall_ns: best[0],
+        simd_wall_ns: best[1],
+        speedup_vs_boxed: best[0] / best[1],
     }
 }
 
@@ -655,6 +742,18 @@ fn main() {
         fused_rows.push(r);
     }
 
+    let mut reduction_rows = Vec::new();
+    for ty in [Ty::Int, Ty::Real] {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Lt, BinOp::Gt] {
+            let r = measure_reduction_merge(ty, op, 1 << 16);
+            println!(
+                "{:<18} merge boxed {:>12.0} ns  flat {:>12.0} ns  merge win {:>5.2}x  ({} elems)",
+                r.kernel, r.boxed_wall_ns, r.simd_wall_ns, r.speedup_vs_boxed, r.elems
+            );
+            reduction_rows.push(r);
+        }
+    }
+
     let mut pred_rows = Vec::new();
     for (shape, n) in lip_bench::pred_kernels() {
         let kernel_rows = measure_pred(shape, n);
@@ -774,6 +873,21 @@ fn main() {
             if i + 1 == fused_rows.len() { "" } else { "," }
         );
     }
+    json.push_str("  ],\n  \"reduction_results\": [\n");
+    for (i, r) in reduction_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"elems\": {}, \"op\": \"{}\", \"ty\": \"{}\", \"boxed_wall_ns\": {:.1}, \"simd_wall_ns\": {:.1}, \"speedup_vs_boxed\": {:.3}}}{}",
+            r.kernel,
+            r.elems,
+            r.op,
+            r.ty,
+            r.boxed_wall_ns,
+            r.simd_wall_ns,
+            r.speedup_vs_boxed,
+            if i + 1 == reduction_rows.len() { "" } else { "," }
+        );
+    }
     json.push_str("  ],\n  \"pred_results\": [\n");
     for (i, r) in pred_rows.iter().enumerate() {
         let passed = r.passed_stage.map_or("null".into(), |s| s.to_string());
@@ -849,9 +963,10 @@ fn main() {
     json.push_str("    ]\n  }\n}\n");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
     println!(
-        "wrote BENCH_vm.json ({} vm rows, {} fused rows, {} pred rows, {} fission rows, {} session-reuse rows, {} decisions, {} noop rows)",
+        "wrote BENCH_vm.json ({} vm rows, {} fused rows, {} reduction rows, {} pred rows, {} fission rows, {} session-reuse rows, {} decisions, {} noop rows)",
         rows.len(),
         fused_rows.len(),
+        reduction_rows.len(),
         pred_rows.len(),
         fission_rows.len(),
         reuse_rows.len(),

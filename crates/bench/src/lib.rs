@@ -38,6 +38,7 @@ pub fn vm_hot_kernels() -> Vec<(&'static KernelShape, usize)> {
         (&lip_suite::PRIVATE_SCRATCH, 256),
         (&lip_suite::INDEX_REDUCTION, 512),
         (&lip_suite::STATIC_REDUCTION, 512),
+        (&lip_suite::INT_HISTOGRAM, 512),
         (&lip_suite::SEQ_RECURRENCE, 1024),
     ]
 }

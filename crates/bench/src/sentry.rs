@@ -1,6 +1,6 @@
 //! The bench-regression sentry behind the `bench_check` binary.
 //!
-//! Compares a fresh `bench_vm` report (`BENCH_vm.json`, schema v2)
+//! Compares a fresh `bench_vm` report (`BENCH_vm.json`, schema v3)
 //! against a committed baseline and fails loudly on regressions. Two
 //! kinds of check:
 //!
@@ -72,6 +72,7 @@ pub fn compare(current: &Json, baseline: &Json, tol: &Tolerances) -> Vec<Violati
     check_meta(current, baseline, &mut v);
     check_results(current, baseline, tol, &mut v);
     check_fused(current, baseline, tol, &mut v);
+    check_reduction(current, baseline, tol, &mut v);
     check_pred(current, baseline, tol, &mut v);
     check_fission(current, baseline, tol, &mut v);
     v.sort_by_key(|x| !x.strict);
@@ -260,6 +261,35 @@ fn check_fused(current: &Json, baseline: &Json, tol: &Tolerances, v: &mut Vec<Vi
             check_exact(label, "ops_fused", cur, base, v);
             check_wall(label, "unfused_wall_ns", cur, base, tol, v);
             check_wall(label, "fused_wall_ns", cur, base, tol, v);
+        },
+    );
+}
+
+fn check_reduction(current: &Json, baseline: &Json, tol: &Tolerances, v: &mut Vec<Violation>) {
+    for_matched(
+        current,
+        baseline,
+        "reduction_results",
+        &["kernel"],
+        v,
+        |label, cur, base, v| {
+            // The measured shape (size, operator, element type) is
+            // part of the row's identity; silently changing it would
+            // make the wall bands compare different workloads.
+            check_exact(label, "elems", cur, base, v);
+            check_exact(label, "op", cur, base, v);
+            check_exact(label, "ty", cur, base, v);
+            check_wall(label, "boxed_wall_ns", cur, base, tol, v);
+            check_wall(label, "simd_wall_ns", cur, base, tol, v);
+            check_ratio(
+                label,
+                "speedup_vs_boxed",
+                "boxed_wall_ns",
+                cur,
+                base,
+                tol,
+                v,
+            );
         },
     );
 }
@@ -453,6 +483,10 @@ pub fn history_line(doc: &Json, rev: &str, unix_secs: u64) -> String {
             &["fused_wall_ns", "speedup_vs_unfused"][..],
         ),
         (
+            "reduction_results",
+            &["simd_wall_ns", "speedup_vs_boxed"][..],
+        ),
+        (
             "fission_results",
             &["rescued_fraction", "speedup_vs_sequential"][..],
         ),
@@ -523,6 +557,9 @@ mod tests {
               "fused_results": [
                 {"kernel": "stencil", "unfused_wall_ns": 100000.0, "fused_wall_ns": 80000.0, "speedup_vs_unfused": 1.25, "ops_unfused": 24, "ops_fused": 14}
               ],
+              "reduction_results": [
+                {"kernel": "merge_int_add", "elems": 65536, "op": "add", "ty": "int", "boxed_wall_ns": 800000.0, "simd_wall_ns": 100000.0, "speedup_vs_boxed": 8.0}
+              ],
               "pred_results": [
                 {"kernel": "solvh", "backend": "compiled", "wall_ns": 170000.0, "verdict": "pass", "passed_stage": 1, "failed_stage": null},
                 {"kernel": "hoist_indirect", "backend": "compiled", "wall_ns": 300.0, "verdict": "fail", "passed_stage": null, "failed_stage": 0}
@@ -566,6 +603,32 @@ mod tests {
         assert!(v
             .iter()
             .all(|x| !x.what.contains("pred_results hoist_indirect")));
+    }
+
+    #[test]
+    fn reduction_merge_rows_are_gated() {
+        let base = doc();
+        // A slower flat merge trips the wall band…
+        let slow = inject_wall(base.clone(), 1.30);
+        let v = compare(&slow, &base, &Tolerances::default());
+        assert!(v
+            .iter()
+            .any(|x| !x.strict && x.what.contains("merge_int_add")));
+        // …and changing the measured shape is a strict violation.
+        let mut cur = doc();
+        if let Json::Obj(members) = &mut cur {
+            let block = members
+                .iter_mut()
+                .find(|(k, _)| k == "reduction_results")
+                .unwrap();
+            if let Json::Arr(rows) = &mut block.1 {
+                if let Json::Obj(row) = &mut rows[0] {
+                    row.iter_mut().find(|(k, _)| k == "elems").unwrap().1 = Json::Num(16.0);
+                }
+            }
+        }
+        let v = compare(&cur, &base, &Tolerances::default());
+        assert!(v.iter().any(|x| x.strict && x.detail.contains("elems")));
     }
 
     #[test]

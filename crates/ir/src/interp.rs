@@ -163,6 +163,65 @@ impl ArrayBuf {
         self.get(idx).as_i64()
     }
 
+    /// Copies an Int buffer out as a flat `i64` vector (`None` for a
+    /// Real buffer). The relaxed per-cell atomic API cannot
+    /// autovectorize; a plain vector can, so the runtime's merge
+    /// kernels copy out, merge flat slices, and write back with
+    /// [`ArrayBuf::store_i64`].
+    pub fn to_i64_vec(&self) -> Option<Vec<i64>> {
+        match &self.cells {
+            Cells::Int(v) => Some(v.iter().map(|c| c.load(Ordering::Relaxed)).collect()),
+            Cells::Real(_) => None,
+        }
+    }
+
+    /// Copies a Real buffer out as a flat `f64` vector (`None` for an
+    /// Int buffer).
+    pub fn to_f64_vec(&self) -> Option<Vec<f64>> {
+        match &self.cells {
+            Cells::Real(v) => Some(
+                v.iter()
+                    .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+                    .collect(),
+            ),
+            Cells::Int(_) => None,
+        }
+    }
+
+    /// Bulk write-back of a flat slice into an Int buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is Real or the lengths differ.
+    pub fn store_i64(&self, data: &[i64]) {
+        match &self.cells {
+            Cells::Int(v) => {
+                assert_eq!(data.len(), v.len(), "flat store length mismatch");
+                for (c, &x) in v.iter().zip(data) {
+                    c.store(x, Ordering::Relaxed);
+                }
+            }
+            Cells::Real(_) => panic!("store_i64 into a Real buffer"),
+        }
+    }
+
+    /// Bulk write-back of a flat slice into a Real buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is Int or the lengths differ.
+    pub fn store_f64(&self, data: &[f64]) {
+        match &self.cells {
+            Cells::Real(v) => {
+                assert_eq!(data.len(), v.len(), "flat store length mismatch");
+                for (c, &x) in v.iter().zip(data) {
+                    c.store(x.to_bits(), Ordering::Relaxed);
+                }
+            }
+            Cells::Int(_) => panic!("store_f64 into an Int buffer"),
+        }
+    }
+
     /// Copies the whole buffer out (LRPD backup, workload capture).
     pub fn snapshot(&self) -> Vec<Value> {
         (0..self.len()).map(|i| self.get(i)).collect()

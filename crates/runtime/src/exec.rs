@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use crate::backend::{exec_stmt_seq, machine_tracer, CompiledBody, ExecEnv};
 use crate::cache::store_fingerprint;
 use crate::lrpd::LrpdOutcome;
+use crate::merge::{clone_buf, copy_back, identity_buf, merge_into};
 use crate::pool::{chunk_bounds, parallel_chunks_obs};
 
 /// How the loop ended up being executed.
@@ -405,7 +406,7 @@ fn build_exec_plans(
             ArrayPlan::Privatized { last_value, .. } => {
                 ExecPlan::Private(matches!(last_value, LastValue::Static))
             }
-            ArrayPlan::Reduction { kind, cascade } => {
+            ArrayPlan::Reduction { kind, op, cascade } => {
                 // No cascade stored = statically independent; a passing
                 // cascade proves distinct iterations touch distinct
                 // elements. Either way direct shared updates are safe;
@@ -439,8 +440,7 @@ fn build_exec_plans(
                 if direct {
                     ExecPlan::Shared
                 } else {
-                    let op = red_op_of(plan);
-                    ExecPlan::ReductionBuffer(op)
+                    ExecPlan::ReductionBuffer(*op)
                 }
             }
             ArrayPlan::Fallback(_) => ExecPlan::Shared, // handled above
@@ -657,6 +657,7 @@ fn run_seq_fragment(
                 }
                 env.obs.count("vm.ops", dc.ops);
                 env.obs.count("vm.fused_ops", dc.fused_ops);
+                env.obs.count("vm.red_ops", dc.red_ops);
             } else {
                 for i in lo..=hi {
                     f.set_scalar(var_slot, Value::Int(i));
@@ -698,15 +699,6 @@ struct BodyPlan<'a> {
     /// execution; the whole-loop paths keep the classic convention
     /// (empty — private scalar finals are dead by classification).
     scalar_finals: &'a [Sym],
-}
-
-fn red_op_of(plan: &ArrayPlan) -> BinOp {
-    // The analysis records Lt/Gt for MIN/MAX reductions.
-    if let ArrayPlan::Reduction { .. } = plan {
-        BinOp::Add
-    } else {
-        BinOp::Add
-    }
 }
 
 /// A tracer recording written element indexes (dynamic last value).
@@ -876,6 +868,7 @@ fn run_parallel_do(
                 }
                 env.obs.count("vm.ops", dc.ops);
                 env.obs.count("vm.fused_ops", dc.fused_ops);
+                env.obs.count("vm.red_ops", dc.red_ops);
             } else {
                 for i in c_lo..=c_hi {
                     f.set_scalar(var_slot, Value::Int(i));
@@ -923,16 +916,20 @@ fn run_parallel_do(
         return Err(RunError::StepLimit);
     }
 
-    // Merge phase (sequential, deterministic order).
+    // Merge phase (sequential, deterministic order): typed flat-slice
+    // kernels from [`crate::merge`] — Int buffers merge in `i64`, Real
+    // buffers in `f64`, never through a boxed round-trip.
+    let merge_start = env.obs.enabled().then(std::time::Instant::now);
     let mut outs = outs.into_inner().unwrap();
     outs.sort_by_key(|o| o.idx);
     for out in &outs {
         // Reductions merge in any order.
         for (arr, buf, op) in &out.red {
             let shared = frame.array(*arr).expect("bound").buf.clone();
-            merge_reduction(&shared, buf, *op);
+            merge_into(&shared, buf, *op);
         }
-        // DLV: chunk order, written elements only.
+        // DLV: chunk order, written elements only (sparse, so the
+        // per-element path stays).
         for (arr, buf, slv) in &out.privs {
             if *slv {
                 continue;
@@ -950,82 +947,53 @@ fn run_parallel_do(
         for (arr, buf, slv) in &last.privs {
             if *slv {
                 let shared = frame.array(*arr).expect("bound").buf.clone();
-                for idx in 0..shared.len() {
-                    shared.set(idx, buf.get(idx));
-                }
+                copy_back(&shared, buf);
             }
         }
         for (s, v) in &last.last_scalar_values {
             frame.set_scalar(*s, *v);
         }
     }
-    // Scalar reductions: initial + Σ deltas.
+    // Scalar reductions: initial + Σ deltas, accumulated in the
+    // scalar's declared type (the Int path wraps, matching
+    // `apply_bin`'s in-loop arithmetic).
     for s in scalar_reds {
-        let init = frame.scalar(*s).unwrap_or(Value::Real(0.0));
-        let mut acc = init.as_f64();
-        let mut acc_i = init.as_i64();
-        for out in &outs {
-            for (t, v) in &out.scalars {
-                if t == s {
-                    acc += v.as_f64();
-                    acc_i += v.as_i64();
+        let ty = sub.ty_of(*s);
+        let init = frame.scalar(*s).unwrap_or(match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Real => Value::Real(0.0),
+        });
+        let v = match ty {
+            Ty::Int => {
+                let mut acc = init.as_i64();
+                for out in &outs {
+                    for (t, v) in &out.scalars {
+                        if t == s {
+                            acc = acc.wrapping_add(v.as_i64());
+                        }
+                    }
                 }
+                Value::Int(acc)
             }
-        }
-        let v = match sub.ty_of(*s) {
-            Ty::Int => Value::Int(acc_i),
-            Ty::Real => Value::Real(acc),
+            Ty::Real => {
+                let mut acc = init.as_f64();
+                for out in &outs {
+                    for (t, v) in &out.scalars {
+                        if t == s {
+                            acc += v.as_f64();
+                        }
+                    }
+                }
+                Value::Real(acc)
+            }
         };
         frame.set_scalar(*s, v);
     }
+    if let Some(start) = merge_start {
+        env.obs
+            .record_ns("exec.merge_ns", start.elapsed().as_nanos() as u64);
+    }
     Ok(total_cost.into_inner().unwrap())
-}
-
-fn clone_buf(buf: &Arc<ArrayBuf>) -> Arc<ArrayBuf> {
-    let snap = buf.snapshot();
-    match buf.ty() {
-        Ty::Int => {
-            let vals: Vec<i64> = snap.iter().map(|v| v.as_i64()).collect();
-            ArrayBuf::from_i64(&vals)
-        }
-        Ty::Real => {
-            let vals: Vec<f64> = snap.iter().map(|v| v.as_f64()).collect();
-            ArrayBuf::from_f64(&vals)
-        }
-    }
-}
-
-fn identity_buf(buf: &Arc<ArrayBuf>, op: BinOp) -> Arc<ArrayBuf> {
-    let id = match op {
-        BinOp::Mul => 1.0,
-        BinOp::Lt => f64::INFINITY,     // MIN reduction
-        BinOp::Gt => f64::NEG_INFINITY, // MAX reduction
-        _ => 0.0,
-    };
-    match buf.ty() {
-        Ty::Int => {
-            let vals: Vec<i64> = vec![id as i64; buf.len()];
-            ArrayBuf::from_i64(&vals)
-        }
-        Ty::Real => {
-            let vals: Vec<f64> = vec![id; buf.len()];
-            ArrayBuf::from_f64(&vals)
-        }
-    }
-}
-
-fn merge_reduction(shared: &Arc<ArrayBuf>, private: &Arc<ArrayBuf>, op: BinOp) {
-    for idx in 0..shared.len() {
-        let a = shared.get(idx).as_f64();
-        let b = private.get(idx).as_f64();
-        let merged = match op {
-            BinOp::Mul => a * b,
-            BinOp::Lt => a.min(b),
-            BinOp::Gt => a.max(b),
-            _ => a + b,
-        };
-        shared.set(idx, Value::Real(merged));
-    }
 }
 
 #[cfg(test)]
@@ -1163,6 +1131,213 @@ END
                 stats.outcome
             );
         }
+    }
+
+    /// Int reductions must merge in `i64`: addends above 2^53 and
+    /// totals near `i64::MAX` are corrupted by any `f64` round-trip in
+    /// the merge phase. The parallel result must be bit-identical to
+    /// the sequential interpreter's.
+    #[test]
+    fn int_buffered_reduction_is_bit_identical_to_sequential() {
+        let src = "
+SUBROUTINE t(A, B, N)
+  INTEGER A(100)
+  INTEGER B(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = A(B(i)) + 9007199254740993
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let n = 1000usize;
+        let setup = |frame: &mut Store| {
+            frame.set_int(sym("N"), n as i64);
+            let a = frame.alloc_int(sym("A"), 100);
+            for k in 0..100 {
+                a.set(k, Value::Int((1 << 62) + k as i64));
+            }
+            let b = frame.alloc_int(sym("B"), n);
+            for i in 0..n {
+                b.set(i, Value::Int((i % 10 + 1) as i64)); // heavy collisions
+            }
+        };
+        let mut par = Store::new();
+        setup(&mut par);
+        let stats = session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut par)
+            .expect("runs");
+        let mut seq = Store::new();
+        setup(&mut seq);
+        machine
+            .exec_block(
+                &sub,
+                &mut seq,
+                std::slice::from_ref(&target),
+                &mut ExecState::default(),
+            )
+            .expect("sequential");
+        let ap = par.array(sym("A")).expect("A");
+        let asq = seq.array(sym("A")).expect("A");
+        for k in 0..100 {
+            assert_eq!(
+                ap.buf.get(k),
+                asq.buf.get(k),
+                "A[{k}] diverged from sequential (outcome {:?})",
+                stats.outcome
+            );
+        }
+        // Each of the 10 hot buckets took 100 additions of 2^53 + 1 —
+        // a total no `f64` can represent.
+        assert_eq!(
+            ap.buf.get(0),
+            Value::Int((1 << 62) + 100 * 9007199254740993i64)
+        );
+    }
+
+    /// Int MIN/MAX reductions over values near `i64::MAX`: the typed
+    /// identities (`i64::MAX`/`i64::MIN`) and the `i64` merge must
+    /// reproduce the sequential result exactly — an `f64` round-trip
+    /// rounds these values to 2^63 and saturates.
+    #[test]
+    fn int_min_max_reduction_is_bit_identical_to_sequential() {
+        for intr in ["MIN", "MAX"] {
+            let src = format!(
+                "
+SUBROUTINE t(A, B, C, N)
+  INTEGER A(10)
+  INTEGER B(*), C(*)
+  INTEGER i, N
+  DO l1 i = 1, N
+    A(B(i)) = {intr}(A(B(i)), C(i))
+  ENDDO
+END
+"
+            );
+            let (machine, sub, target, analysis) = full_setup(&src, "l1");
+            let n = 400usize;
+            let seed = if intr == "MIN" { i64::MAX } else { i64::MIN };
+            let setup = |frame: &mut Store| {
+                frame.set_int(sym("N"), n as i64);
+                let a = frame.alloc_int(sym("A"), 10);
+                for k in 0..10 {
+                    a.set(k, Value::Int(seed));
+                }
+                let b = frame.alloc_int(sym("B"), n);
+                let c = frame.alloc_int(sym("C"), n);
+                for i in 0..n {
+                    b.set(i, Value::Int((i % 10 + 1) as i64));
+                    // Distinct values within 2^53 of i64::MAX — an f64
+                    // cannot tell them apart.
+                    c.set(i, Value::Int(i64::MAX - 1000 * i as i64 - 1));
+                }
+            };
+            let mut par = Store::new();
+            setup(&mut par);
+            let stats = session2()
+                .run_loop(&machine, &sub, &target, &analysis, &mut par)
+                .expect("runs");
+            let mut seq = Store::new();
+            setup(&mut seq);
+            machine
+                .exec_block(
+                    &sub,
+                    &mut seq,
+                    std::slice::from_ref(&target),
+                    &mut ExecState::default(),
+                )
+                .expect("sequential");
+            let ap = par.array(sym("A")).expect("A");
+            let asq = seq.array(sym("A")).expect("A");
+            for k in 0..10 {
+                assert_eq!(
+                    ap.buf.get(k),
+                    asq.buf.get(k),
+                    "{intr} A[{k}] diverged (outcome {:?})",
+                    stats.outcome
+                );
+            }
+        }
+    }
+
+    /// Int scalar reductions accumulate in `i64` with wrapping adds
+    /// (matching `apply_bin`'s in-loop arithmetic): overflow past
+    /// `i64::MAX` must wrap bit-identically to sequential execution,
+    /// not panic or detour through `f64`.
+    #[test]
+    fn int_scalar_reduction_wraps_like_sequential() {
+        let src = "
+SUBROUTINE t(A, N)
+  INTEGER A(*)
+  INTEGER i, N, s
+  DO l1 i = 1, N
+    s = s + A(i)
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let n = 100usize;
+        let setup = |frame: &mut Store| {
+            frame.set_int(sym("N"), n as i64);
+            frame.set_scalar(sym("s"), Value::Int(i64::MAX - 50));
+            let a = frame.alloc_int(sym("A"), n);
+            for i in 0..n {
+                a.set(i, Value::Int((1 << 53) + 1));
+            }
+        };
+        let mut par = Store::new();
+        setup(&mut par);
+        session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut par)
+            .expect("runs");
+        let mut seq = Store::new();
+        setup(&mut seq);
+        machine
+            .exec_block(
+                &sub,
+                &mut seq,
+                std::slice::from_ref(&target),
+                &mut ExecState::default(),
+            )
+            .expect("sequential");
+        assert_eq!(par.scalar(sym("s")), seq.scalar(sym("s")));
+        assert_eq!(
+            par.scalar(sym("s")),
+            Some(Value::Int(
+                (i64::MAX - 50).wrapping_add(100 * ((1 << 53) + 1))
+            ))
+        );
+    }
+
+    /// An unbound Int accumulator seeds from `Int(0)` — the declared
+    /// type — not a `Real(0.0)` default that would flip the merged
+    /// scalar to `f64`.
+    #[test]
+    fn unbound_int_scalar_reduction_seeds_typed_zero() {
+        let src = "
+SUBROUTINE t(A, N)
+  INTEGER A(*)
+  INTEGER i, N, s
+  DO l1 i = 1, N
+    s = s + A(i)
+  ENDDO
+END
+";
+        let (machine, sub, target, analysis) = full_setup(src, "l1");
+        let n = 100usize;
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n as i64);
+        let a = frame.alloc_int(sym("A"), n);
+        for i in 0..n {
+            a.set(i, Value::Int((1 << 53) + 1));
+        }
+        session2()
+            .run_loop(&machine, &sub, &target, &analysis, &mut frame)
+            .expect("runs");
+        assert_eq!(
+            frame.scalar(sym("s")),
+            Some(Value::Int(100 * ((1 << 53) + 1)))
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod civ;
 pub mod exec;
 pub mod inspector;
 pub mod lrpd;
+pub mod merge;
 pub mod pool;
 pub mod session;
 pub mod sim;
@@ -40,6 +41,7 @@ pub use civ::extract_slice;
 pub use exec::{ExecOutcome, ExecPlan, RunStats};
 pub use inspector::{inspect, inspect_execute, InspectVerdict};
 pub use lrpd::LrpdOutcome;
+pub use merge::{clone_buf, copy_back, identity_buf, merge_into, merge_into_boxed};
 pub use pool::parallel_chunks;
 pub use session::{ConfigError, LoopJob, Session, SessionBuilder, SessionConfig};
 pub use sim::{charged_test_units, makespan, SimResult, SimSpec};

@@ -540,6 +540,38 @@ END
     },
 };
 
+/// 16. Integer histogram reduction through a colliding index array —
+///     the buffered-merge path over `i64` values beyond 2^53, where
+///     any `f64` round-trip in the merge phase loses bits (the
+///     regression class the typed flat-slice kernels exist for).
+pub const INT_HISTOGRAM: KernelShape = KernelShape {
+    name: "int_histogram",
+    source: "
+SUBROUTINE histo(H, J, W, N)
+  INTEGER H(64)
+  INTEGER J(*), W(*)
+  INTEGER i, N
+  DO do300 i = 1, N
+    H(J(i)) = H(J(i)) + W(i)
+  ENDDO
+END
+",
+    sub: "histo",
+    label: "do300",
+    prepare: |n| {
+        let machine = machine_of(INT_HISTOGRAM.source);
+        let mut frame = Store::new();
+        frame.set_int(sym("N"), n as i64);
+        let h = frame.alloc_int(sym("H"), 64);
+        fill_int(&h, |k| (1 << 62) + k as i64);
+        let j = frame.alloc_int(sym("J"), n);
+        fill_int(&j, |i| (i % 64) as i64 + 1); // heavy collisions
+        let w = frame.alloc_int(sym("W"), n);
+        fill_int(&w, |i| (1 << 53) + i as i64 + 1); // not f64-exact
+        (frame, machine)
+    },
+};
+
 /// 15. A tiny-granularity parallel loop (the flo52/ocean slowdown
 ///     effect: parallel but not worth spawning at small N).
 pub const TINY_LOOP: KernelShape = KernelShape {
@@ -581,6 +613,7 @@ pub fn all_shapes() -> Vec<&'static KernelShape> {
         &TLS_FEEDBACK,
         &EXT_REDUCTION,
         &STATIC_REDUCTION,
+        &INT_HISTOGRAM,
         &TINY_LOOP,
     ]
 }

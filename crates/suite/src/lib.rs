@@ -16,7 +16,7 @@ pub mod run;
 pub use bench_def::{all_benchmarks, BenchDef, LoopDef, SuiteKind, PERFECT_CLUB, SPEC2006, SPEC92};
 pub use kernels::{
     all_shapes, KernelShape, Prepared, CIV_CONDITIONAL, CIV_WHILE, EXT_REDUCTION, GATED_BRANCHES,
-    HOIST_INDIRECT, INDEX_REDUCTION, MONOTONE_WINDOWS, OFFSET_CROSSOVER, PRIVATE_SCRATCH,
-    SEQ_RECURRENCE, SOLVH, STATIC_REDUCTION, STENCIL, TINY_LOOP, TLS_FEEDBACK,
+    HOIST_INDIRECT, INDEX_REDUCTION, INT_HISTOGRAM, MONOTONE_WINDOWS, OFFSET_CROSSOVER,
+    PRIVATE_SCRATCH, SEQ_RECURRENCE, SOLVH, STATIC_REDUCTION, STENCIL, TINY_LOOP, TLS_FEEDBACK,
 };
 pub use run::{measure_benchmark, measure_loop, BenchTiming, LoopMeasurement};

@@ -363,8 +363,12 @@ impl Gen {
 }
 
 /// Statement templates mixing fissionable shapes (independent maps, a
-/// scan, an integer reduction) with shapes that force merging (scalar
-/// temp chains, arrays both read and written across statements).
+/// scan, scalar and Int-array reductions) with shapes that force
+/// merging (scalar temp chains, arrays both read and written across
+/// statements). The `H` reductions update through the indirection
+/// array `P` with addends beyond 2^53 over cells seeded near 2^61, so
+/// any `f64` round-trip in the buffered-merge path diverges from the
+/// classic leg immediately.
 const TEMPLATES: &[&str] = &[
     "A(i) = B(i) * 2.0 + C(i)",
     "A(i + 1) = C(i) - B(i)",
@@ -374,6 +378,10 @@ const TEMPLATES: &[&str] = &[
     "A(i) = A(i) + T",
     "K = K + P(i)",
     "C(i) = B(i) * 0.25",
+    "H(P(i) + 1) = H(P(i) + 1) + 9007199254740993",
+    "H(P(i) + 1) = MIN(H(P(i) + 1), 9007199254740993 * P(i))",
+    "H(P(i) + 1) = MAX(H(P(i) + 1), 4611686018427387904 + P(i))",
+    "K = K + 9007199254740993",
 ];
 
 fn gen_source(seed: u64) -> String {
@@ -389,9 +397,9 @@ fn gen_source(seed: u64) -> String {
         .collect();
     format!(
         "
-SUBROUTINE gen(A, B, C, S, P, T, K, N)
+SUBROUTINE gen(A, B, C, S, P, H, T, K, N)
   DIMENSION A(*), B(*), C(*), S(*)
-  INTEGER P(*)
+  INTEGER P(*), H(*)
   INTEGER i, N, K
   DO gl i = 1, N
 {body}  ENDDO
@@ -417,6 +425,12 @@ fn corpus_frame(n: usize) -> impl FnOnce(&mut Store) {
         let p = f.alloc_int(sym("P"), n + 2);
         for k in 0..p.len() {
             p.set(k, Value::Int((k % 5) as i64));
+        }
+        // Int reduction target: seeded near 2^61 so an f64 round-trip
+        // anywhere in the merge path visibly loses low bits.
+        let h = f.alloc_int(sym("H"), n + 2);
+        for k in 0..h.len() {
+            h.set(k, Value::Int((1i64 << 61) + k as i64));
         }
     }
 }

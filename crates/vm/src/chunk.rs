@@ -317,6 +317,71 @@ pub enum Op {
         /// Right operand constant-pool index of the value op.
         k: u16,
     },
+    /// Fused scalar-reduction accumulate, the whole `s = s op A(i)`
+    /// statement (`ChargedLoadScalar + FusedLoadElemS + FusedBinStore`):
+    /// charge, load the accumulator slot, read `arr[scalars[idx_slot]]`
+    /// (traced), apply `op`, write the result register and store it
+    /// back to the accumulator slot with its declared-type coercion.
+    /// In the parallel executor the accumulator slot lives in each
+    /// worker's private [`crate::Frame`], so this is the per-thread
+    /// accumulator-register op of the reduction pipeline.
+    FusedRedAccS {
+        /// Folded leading charge (always > 0 — built from a
+        /// `ChargedLoadScalar`, which the pass only mints from an
+        /// actual `Charge`).
+        charge: u32,
+        /// The reduction operator.
+        op: BinOp,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Accumulator scalar slot (read and written).
+        acc_slot: u16,
+        /// Array slot of the element operand.
+        arr: u16,
+        /// Scalar slot holding the element subscript.
+        idx_slot: u16,
+    },
+    /// Fused indirect reduction update with a constant operand, the
+    /// whole `A(B(i)) = A(B(i)) op c` statement
+    /// (`FusedLoadElemE + FusedBinRK + FusedStoreElemE`). Replays the
+    /// unfused stream's traced accesses exactly: read `idx_arr`, read
+    /// `arr`, read `idx_arr` again (the store recomputes its
+    /// subscript; nothing in the window writes, so one linearization
+    /// is exact), write `arr`.
+    FusedRedElemK {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The reduction operator (`op=`).
+        op: BinOp,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Array slot of the updated array.
+        arr: u16,
+        /// Array slot of the index array.
+        idx_arr: u16,
+        /// Scalar slot holding the index array's subscript.
+        idx_slot: u16,
+        /// Right operand constant-pool index.
+        k: u16,
+    },
+    /// [`Op::FusedRedElemK`] with a scalar-slot right operand:
+    /// `A(B(i)) = A(B(i)) op scalars[b_slot]`.
+    FusedRedElemS {
+        /// Folded leading charge (0 = none).
+        charge: u32,
+        /// The reduction operator (`op=`).
+        op: BinOp,
+        /// Result register (still written, as in the unfused stream).
+        dst: Reg,
+        /// Array slot of the updated array.
+        arr: u16,
+        /// Array slot of the index array.
+        idx_arr: u16,
+        /// Scalar slot holding the index array's subscript.
+        idx_slot: u16,
+        /// Right operand scalar slot.
+        b_slot: u16,
+    },
     /// Fused `LoopTest + SetVarRaw`: test the loop bounds, and either
     /// publish the control register to the loop variable's scalar slot
     /// (continuing) or jump to `exit`.
@@ -365,8 +430,21 @@ impl Op {
                 | Op::FusedLoadElemE { .. }
                 | Op::FusedStoreElemE { .. }
                 | Op::FusedElemUpdateE { .. }
+                | Op::FusedRedAccS { .. }
+                | Op::FusedRedElemK { .. }
+                | Op::FusedRedElemS { .. }
                 | Op::LoopTestSet { .. }
                 | Op::LoopIncrJump { .. }
+        )
+    }
+
+    /// Whether this is one of the dedicated reduction
+    /// superinstructions (`s = s op A(i)`, `A(B(i)) op= v`) — the
+    /// numerator for the `vm.red_ops` dispatch metric.
+    pub fn is_reduction(&self) -> bool {
+        matches!(
+            self,
+            Op::FusedRedAccS { .. } | Op::FusedRedElemK { .. } | Op::FusedRedElemS { .. }
         )
     }
 }
@@ -694,6 +772,52 @@ impl Chunk {
                 self.scalar_name(*idx_slot),
                 self.consts[*idx_k as usize],
                 self.consts[*k as usize]
+            ),
+            Op::FusedRedAccS {
+                charge: c,
+                op,
+                dst,
+                acc_slot,
+                arr,
+                idx_slot,
+            } => format!(
+                "{}{} {op:?}= {}[{}] (r{dst})",
+                charge(c),
+                self.scalar_name(*acc_slot),
+                self.array_name(*arr),
+                self.scalar_name(*idx_slot)
+            ),
+            Op::FusedRedElemK {
+                charge: c,
+                op,
+                dst,
+                arr,
+                idx_arr,
+                idx_slot,
+                k,
+            } => format!(
+                "{}{}[{}[{}]] {op:?}= const[{k}] {:?} (r{dst})",
+                charge(c),
+                self.array_name(*arr),
+                self.array_name(*idx_arr),
+                self.scalar_name(*idx_slot),
+                self.consts[*k as usize]
+            ),
+            Op::FusedRedElemS {
+                charge: c,
+                op,
+                dst,
+                arr,
+                idx_arr,
+                idx_slot,
+                b_slot,
+            } => format!(
+                "{}{}[{}[{}]] {op:?}= {} (r{dst})",
+                charge(c),
+                self.array_name(*arr),
+                self.array_name(*idx_arr),
+                self.scalar_name(*idx_slot),
+                self.scalar_name(*b_slot)
             ),
             Op::LoopTestSet {
                 i,

@@ -15,6 +15,10 @@
 //! * the whole indexed read-modify-write statement
 //!   `LoadScalar+LoadElem+{Const,LoadScalar}+Bin+LoadScalar+StoreElem`
 //!   → `FusedElemUpdate{K,S}`,
+//! * whole reduction statements (third level, consuming pass-one
+//!   superinstructions): `s = s op A(i)` → `FusedRedAccS` and
+//!   `A(B(i)) = A(B(i)) op v` → `FusedRedElem{K,S}` — the per-iteration
+//!   bodies the runtime's reduction plans execute,
 //! * the per-iteration loop overhead `LoopTest + SetVarRaw` and
 //!   `LoopIncr + Jump` → `LoopTestSet` / `LoopIncrJump`.
 //!
@@ -394,6 +398,43 @@ fn fold_charge(op: &Op, c: u32) -> Option<Op> {
             idx_k,
             k,
         }),
+        // `FusedRedAccS` is always built charge-carrying (its head is a
+        // `ChargedLoadScalar`), so only the element-reduction shapes can
+        // ever need a re-home.
+        Op::FusedRedElemK {
+            charge: 0,
+            op,
+            dst,
+            arr,
+            idx_arr,
+            idx_slot,
+            k,
+        } => Some(Op::FusedRedElemK {
+            charge: c,
+            op,
+            dst,
+            arr,
+            idx_arr,
+            idx_slot,
+            k,
+        }),
+        Op::FusedRedElemS {
+            charge: 0,
+            op,
+            dst,
+            arr,
+            idx_arr,
+            idx_slot,
+            b_slot,
+        } => Some(Op::FusedRedElemS {
+            charge: c,
+            op,
+            dst,
+            arr,
+            idx_arr,
+            idx_slot,
+            b_slot,
+        }),
         _ => None,
     }
 }
@@ -546,6 +587,110 @@ fn fuse_body(rest: &[Op]) -> Option<(Op, usize)> {
                             b_slot: *slot,
                         },
                         6,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    // The whole scalar-accumulating reduction statement `s = s op A(i)`
+    // (third level: earlier passes have produced `ChargedLoadScalar +
+    // FusedLoadElemS + FusedBinStore`). The accumulator slot is both
+    // the left operand and the store target, so the statement collapses
+    // to one op; the elided registers are operand temps the window
+    // itself consumes.
+    if let [Op::ChargedLoadScalar {
+        charge,
+        dst: ra,
+        slot: acc,
+    }, Op::FusedLoadElemS {
+        charge: 0,
+        dst: rb,
+        arr,
+        idx_slot,
+    }, Op::FusedBinStore {
+        charge: 0,
+        op,
+        slot,
+        dst,
+        a,
+        b,
+    }, ..] = rest
+    {
+        if slot == acc && dst == ra && a == ra && b == rb && ra != rb {
+            return Some((
+                Op::FusedRedAccS {
+                    charge: *charge,
+                    op: *op,
+                    dst: *ra,
+                    acc_slot: *acc,
+                    arr: *arr,
+                    idx_slot: *idx_slot,
+                },
+                3,
+            ));
+        }
+    }
+    // The whole indirect reduction statement `A(B(i)) = A(B(i)) op v`
+    // with a constant or scalar operand (third level: earlier passes
+    // have produced `FusedLoadElemE + FusedBinR{K,S} + FusedStoreElemE`).
+    // Both subscripts read the same index element and nothing in the
+    // window writes before the final store, so one linearization is
+    // exact; the VM arm still replays the store's traced index read.
+    if let [Op::FusedLoadElemE {
+        charge,
+        dst: r,
+        idx_arr,
+        idx_slot,
+        arr,
+    }, opnd, Op::FusedStoreElemE {
+        charge: 0,
+        idx_arr: idx_arr2,
+        idx_slot: idx_slot2,
+        arr: arr2,
+        src,
+    }, ..] = rest
+    {
+        if idx_arr2 == idx_arr && idx_slot2 == idx_slot && arr2 == arr && src == r {
+            match opnd {
+                Op::FusedBinRK {
+                    charge: 0,
+                    op,
+                    dst,
+                    a,
+                    k,
+                } if dst == r && a == r => {
+                    return Some((
+                        Op::FusedRedElemK {
+                            charge: *charge,
+                            op: *op,
+                            dst: *r,
+                            arr: *arr,
+                            idx_arr: *idx_arr,
+                            idx_slot: *idx_slot,
+                            k: *k,
+                        },
+                        3,
+                    ));
+                }
+                Op::FusedBinRS {
+                    charge: 0,
+                    op,
+                    dst,
+                    a,
+                    b_slot,
+                } if dst == r && a == r => {
+                    return Some((
+                        Op::FusedRedElemS {
+                            charge: *charge,
+                            op: *op,
+                            dst: *r,
+                            arr: *arr,
+                            idx_arr: *idx_arr,
+                            idx_slot: *idx_slot,
+                            b_slot: *b_slot,
+                        },
+                        3,
                     ));
                 }
                 _ => {}
@@ -895,6 +1040,129 @@ END
                 Op::FusedElemUpdateE { charge, .. } if *charge > 0
             )),
             1,
+            "{:?}",
+            fused.ops
+        );
+        assert_differential(src);
+    }
+
+    #[test]
+    fn scalar_reduction_statement_fuses_whole() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(8)
+  INTEGER i, s
+  s = 0
+  DO i = 1, 8
+    A(i) = i
+  ENDDO
+  DO i = 1, 8
+    s = s + A(i)
+  ENDDO
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedRedAccS { charge, op: BinOp::Add, .. } if *charge > 0
+            )),
+            1,
+            "{:?}",
+            fused.ops
+        );
+        assert_differential(src);
+    }
+
+    /// `s = A(i) + s` has the accumulator on the right, so the compiled
+    /// stream has a different shape and must not match the reduction
+    /// rule (it still fuses piecewise).
+    #[test]
+    fn right_accumulator_does_not_match_reduction_rule() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION A(8)
+  INTEGER i, s
+  s = 0
+  DO i = 1, 8
+    s = A(i) + s
+  ENDDO
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(op, Op::FusedRedAccS { .. })),
+            0,
+            "{:?}",
+            fused.ops
+        );
+        assert_differential(src);
+    }
+
+    #[test]
+    fn indirect_reduction_statement_fuses_whole() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION F(8), J(8)
+  INTEGER i
+  x = 2.0
+  DO i = 1, 8
+    J(i) = i
+  ENDDO
+  DO i = 1, 8
+    F(J(i)) = F(J(i)) + 0.25
+  ENDDO
+  DO i = 1, 8
+    F(J(i)) = F(J(i)) * x
+  ENDDO
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedRedElemK { charge, op: BinOp::Add, .. } if *charge > 0
+            )),
+            1,
+            "{:?}",
+            fused.ops
+        );
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedRedElemS { charge, op: BinOp::Mul, .. } if *charge > 0
+            )),
+            1,
+            "{:?}",
+            fused.ops
+        );
+        assert_differential(src);
+    }
+
+    /// Mismatched subscripts (`F(J(i)) = F(K(i)) ...`) must keep the
+    /// indirect-reduction statement unfused: it is not a reduction.
+    #[test]
+    fn indirect_reduction_differing_index_array_does_not_fuse() {
+        let src = "
+SUBROUTINE main()
+  DIMENSION F(8), J(8), K(8)
+  INTEGER i
+  DO i = 1, 8
+    J(i) = i
+    K(i) = 9 - i
+  ENDDO
+  DO i = 1, 8
+    F(J(i)) = F(K(i)) + 0.25
+  ENDDO
+END
+";
+        let (_, fused) = compile_both(src);
+        assert_eq!(
+            count(&fused, |op| matches!(
+                op,
+                Op::FusedRedElemK { .. } | Op::FusedRedElemS { .. }
+            )),
+            0,
             "{:?}",
             fused.ops
         );

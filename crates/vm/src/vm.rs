@@ -107,6 +107,9 @@ pub struct DispatchCounts {
     pub ops: u64,
     /// Of those, superinstructions ([`Op::is_fused`]).
     pub fused_ops: u64,
+    /// Of the superinstructions, dedicated reduction ops
+    /// ([`Op::is_reduction`]).
+    pub red_ops: u64,
 }
 
 impl DispatchCounts {
@@ -114,6 +117,7 @@ impl DispatchCounts {
     pub fn merge(&mut self, other: &DispatchCounts) {
         self.ops += other.ops;
         self.fused_ops += other.fused_ops;
+        self.red_ops += other.red_ops;
     }
 }
 
@@ -431,6 +435,7 @@ impl<'p> Vm<'p> {
             if COUNT {
                 counts.ops += 1;
                 counts.fused_ops += u64::from(ops[pc].is_fused());
+                counts.red_ops += u64::from(ops[pc].is_reduction());
             }
             match &ops[pc] {
                 Op::Charge(units) => state.charge(*units as u64)?,
@@ -819,6 +824,101 @@ impl<'p> Vm<'p> {
                         }
                         let v =
                             apply_bin(*op, view.buf.get(abs as usize), chunk.consts[*k as usize]);
+                        // The unfused stream recomputes the subscript
+                        // for the store: a second traced index-array
+                        // read between the element read and the write
+                        // (nothing in the window writes, so neither the
+                        // index value nor the bounds outcome can differ).
+                        if let Some(t) = tracer {
+                            t.read(iname, ilin);
+                        }
+                        if let Some(t) = tracer {
+                            t.write(name, abs as usize);
+                        }
+                        view.buf.set(abs as usize, v);
+                        v
+                    };
+                    frame.regs[*dst as usize] = v;
+                }
+                Op::FusedRedAccS {
+                    charge,
+                    op,
+                    dst,
+                    acc_slot,
+                    arr,
+                    idx_slot,
+                } => {
+                    // Replays `ChargedLoadScalar + FusedLoadElemS +
+                    // FusedBinStore`: charge unconditionally (built
+                    // from a ChargedLoadScalar, charge > 0), unbound
+                    // accumulator errors before the subscript load.
+                    state.charge(u64::from(*charge))?;
+                    let acc = Self::slot_value(chunk, frame, *acc_slot)?;
+                    let b = {
+                        let (name, lin, view) =
+                            Self::linearize_slot(chunk, frame, *arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(name, lin);
+                        }
+                        view.buf.get(lin)
+                    };
+                    let v = apply_bin(*op, acc, b);
+                    frame.regs[*dst as usize] = v;
+                    frame.scalars[*acc_slot as usize] =
+                        Some(match chunk.scalars[*acc_slot as usize].1 {
+                            Ty::Int => Value::Int(v.as_i64()),
+                            Ty::Real => Value::Real(v.as_f64()),
+                        });
+                }
+                Op::FusedRedElemK {
+                    charge,
+                    op,
+                    dst,
+                    arr,
+                    idx_arr,
+                    idx_slot,
+                    k,
+                }
+                | Op::FusedRedElemS {
+                    charge,
+                    op,
+                    dst,
+                    arr,
+                    idx_arr,
+                    idx_slot,
+                    b_slot: k,
+                } => {
+                    if *charge > 0 {
+                        state.charge(u64::from(*charge))?;
+                    }
+                    let v = {
+                        let (iname, ilin, iview) =
+                            Self::linearize_slot(chunk, frame, *idx_arr, *idx_slot)?;
+                        if let Some(t) = tracer {
+                            t.read(iname, ilin);
+                        }
+                        let idx = iview.buf.get(ilin).as_i64();
+                        let name = chunk.arrays[*arr as usize];
+                        let view = frame.arrays[*arr as usize]
+                            .as_ref()
+                            .ok_or(RunError::UnboundArray(name))?;
+                        let abs = view.offset as i64 + (idx - 1);
+                        if abs < 0 || abs as usize >= view.buf.len() {
+                            return Err(RunError::BadIndex(name));
+                        }
+                        if let Some(t) = tracer {
+                            t.read(name, abs as usize);
+                        }
+                        let cur = view.buf.get(abs as usize);
+                        // The operand sits between the element read and
+                        // the store in the unfused stream, so an
+                        // unbound scalar operand errors after the read.
+                        let b = if matches!(&ops[pc], Op::FusedRedElemS { .. }) {
+                            Self::slot_value(chunk, frame, *k)?
+                        } else {
+                            chunk.consts[*k as usize]
+                        };
+                        let v = apply_bin(*op, cur, b);
                         // The unfused stream recomputes the subscript
                         // for the store: a second traced index-array
                         // read between the element read and the write

@@ -128,13 +128,11 @@ fn index_reduction_fused_stream() {
   1  r1 = N
   2  r2 = const[0] Int(1)
   3  loop.init r0 to r1 by r2 (i)
-  4  loop.test-set r0 r1 r2 -> i, exit 11
-  5  charge 13; r3 = F[J[i]]
-  6  r3 = r3 Add const[1] Real(0.5)
-  7  F[J[i]] = r3
-  8  charge 17; F[J[i] Add const[0] Int(1)] Add= const[2] Real(0.25) (r3)
-  9  charge 17; F[J[i] Add const[3] Int(2)] Add= const[2] Real(0.25) (r3)
- 10  r0 += r2; jump 4
+  4  loop.test-set r0 r1 r2 -> i, exit 9
+  5  charge 13; F[J[i]] Add= const[1] Real(0.5) (r3)
+  6  charge 17; F[J[i] Add const[0] Int(1)] Add= const[2] Real(0.25) (r3)
+  7  charge 17; F[J[i] Add const[3] Int(2)] Add= const[2] Real(0.25) (r3)
+  8  r0 += r2; jump 4
 "#,
     );
 }

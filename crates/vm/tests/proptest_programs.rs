@@ -7,9 +7,13 @@
 //! Programs are built directly as ASTs from a seeded splitmix64 stream:
 //! scalar and element assignments, IF/THEN/ELSE, nested DO loops (and
 //! occasional DO WHILE), arithmetic over two scalars pools (int + real),
-//! intrinsics, and a 16-element array whose subscripts are clamped into
-//! bounds with `1 + MOD(ABS(e), 15)` so every generated program runs to
-//! completion on every engine.
+//! intrinsics, and two 16-element arrays — `A` Real and `B` Int —
+//! whose subscripts are clamped into bounds with `1 + MOD(ABS(e), 15)`
+//! so every generated program runs to completion on every engine. `B`
+//! is the reduction target: the generator emits
+//! sum/MIN/MAX/product self-updates with operands beyond 2^53, the
+//! exact shape the peephole pass fuses to `FusedRed*` superinstructions
+//! and where any `f64` detour loses integer bits.
 
 use std::sync::{Arc, Mutex};
 
@@ -72,6 +76,10 @@ fn arr() -> Sym {
     sym("A")
 }
 
+fn iarr() -> Sym {
+    sym("B")
+}
+
 /// A subscript guaranteed in 1..=15 for the 16-element array.
 fn safe_index(g: &mut Gen, depth: u32) -> Expr {
     let inner = gen_expr(g, depth.saturating_sub(1));
@@ -92,7 +100,10 @@ fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
         1 => Expr::Real(g.below(16) as f64 * 0.25),
         2 => Expr::Var(int_scalars()[g.below(2) as usize]),
         3 => Expr::Var(real_scalars()[g.below(2) as usize]),
-        4 => Expr::Elem(arr(), vec![safe_index(g, depth)]),
+        4 => Expr::Elem(
+            if g.below(3) == 0 { iarr() } else { arr() },
+            vec![safe_index(g, depth)],
+        ),
         5 => Expr::Un(
             if g.below(2) == 0 {
                 UnOp::Neg
@@ -139,7 +150,7 @@ fn gen_expr(g: &mut Gen, depth: u32) -> Expr {
 }
 
 fn gen_stmt(g: &mut Gen, depth: u32) -> Stmt {
-    let choices = if depth == 0 { 3 } else { 6 };
+    let choices = if depth == 0 { 4 } else { 7 };
     match g.below(choices) {
         0 => Stmt::Assign {
             lhs: LValue::Scalar(int_scalars()[g.below(2) as usize]),
@@ -154,6 +165,25 @@ fn gen_stmt(g: &mut Gen, depth: u32) -> Stmt {
             rhs: gen_expr(g, 2),
         },
         3 => {
+            // An Int-array reduction self-update through a shared
+            // subscript (sum / MIN / MAX / product) with operands
+            // beyond 2^53 — fuses to `FusedRed*` and must stay exact
+            // in i64 on every engine.
+            let idx = safe_index(g, 1);
+            let cur = Expr::Elem(iarr(), vec![idx.clone()]);
+            let big = 9_007_199_254_740_993i64 + g.below(9) as i64;
+            let rhs = match g.below(4) {
+                0 => Expr::Bin(BinOp::Add, Box::new(cur), Box::new(Expr::Int(big))),
+                1 => Expr::Intrin(Intrinsic::Min, vec![cur, Expr::Int(-big)]),
+                2 => Expr::Intrin(Intrinsic::Max, vec![cur, Expr::Int(big)]),
+                _ => Expr::Bin(BinOp::Mul, Box::new(cur), Box::new(Expr::Int(3))),
+            };
+            Stmt::Assign {
+                lhs: LValue::Element(iarr(), vec![idx]),
+                rhs,
+            }
+        }
+        4 => {
             let cond = gen_expr(g, 2);
             let then_len = 1 + g.below(2) as usize;
             let else_len = g.below(2) as usize;
@@ -163,7 +193,7 @@ fn gen_stmt(g: &mut Gen, depth: u32) -> Stmt {
                 else_body: gen_block(g, depth - 1, else_len),
             }
         }
-        4 => {
+        5 => {
             let var = [sym("j"), sym("k")][g.below(2) as usize];
             Stmt::Do {
                 label: None,
@@ -244,11 +274,18 @@ fn gen_program(seed: u64) -> Program {
         units: vec![Subroutine {
             name: sym("main"),
             params: vec![],
-            decls: vec![Decl {
-                name: arr(),
-                dims: vec![DimDecl::Fixed(Expr::Int(16))],
-                ty: Ty::Real,
-            }],
+            decls: vec![
+                Decl {
+                    name: arr(),
+                    dims: vec![DimDecl::Fixed(Expr::Int(16))],
+                    ty: Ty::Real,
+                },
+                Decl {
+                    name: iarr(),
+                    dims: vec![DimDecl::Fixed(Expr::Int(16))],
+                    ty: Ty::Int,
+                },
+            ],
             body,
         }],
     }
@@ -284,10 +321,13 @@ fn observe(
         .chain(real_scalars())
         .map(|s| (s, store.scalar(s).map(value_bits)))
         .collect();
-    let elems = store
+    let mut elems: Vec<(u8, u64)> = store
         .array(arr())
         .map(|a| (0..16).map(|k| value_bits(a.buf.get(k))).collect())
         .unwrap_or_default();
+    if let Some(a) = store.array(iarr()) {
+        elems.extend((0..16).map(|k| value_bits(a.buf.get(k))));
+    }
     let events = std::mem::take(&mut *rec.events.lock().unwrap());
     (result, scalars, elems, cost, events)
 }
